@@ -1,0 +1,359 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (see DESIGN.md §3 for the experiment index), plus the
+// ablation studies of design choices. Each benchmark reports its
+// headline quantity through b.ReportMetric so `go test -bench` output
+// doubles as an experiment log.
+package cloudeval_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"cloudeval/internal/analysis"
+	"cloudeval/internal/augment"
+	"cloudeval/internal/boost"
+	"cloudeval/internal/cost"
+	"cloudeval/internal/dataset"
+	"cloudeval/internal/evalcluster"
+	"cloudeval/internal/llm"
+	"cloudeval/internal/repostats"
+	"cloudeval/internal/score"
+	"cloudeval/internal/strategy"
+	"cloudeval/internal/unittest"
+	"cloudeval/internal/yamlmatch"
+)
+
+// Shared fixtures, computed once per benchmark binary run.
+var (
+	fixtureOnce  sync.Once
+	fxOriginals  []dataset.Problem
+	fxFullCorpus []dataset.Problem
+)
+
+func fixtures() ([]dataset.Problem, []dataset.Problem) {
+	fixtureOnce.Do(func() {
+		fxOriginals = dataset.Generate()
+		fxFullCorpus = augment.ExpandCorpus(fxOriginals)
+	})
+	return fxOriginals, fxFullCorpus
+}
+
+var (
+	zeroShotOnce sync.Once
+	zsRows       []score.ModelAggregate
+	zsRaw        map[string][]score.ProblemScore
+)
+
+func zeroShot() ([]score.ModelAggregate, map[string][]score.ProblemScore) {
+	zeroShotOnce.Do(func() {
+		_, full := fixtures()
+		zsRows, zsRaw = score.Benchmark(llm.Models, full)
+	})
+	return zsRows, zsRaw
+}
+
+// BenchmarkTable1Augmentation regenerates the practical-augmentation
+// statistics: simplification must reduce both words and tokens.
+func BenchmarkTable1Augmentation(b *testing.B) {
+	originals, _ := fixtures()
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		full := augment.ExpandCorpus(originals)
+		stats := augment.Table1(full)
+		o, s := stats[dataset.Original], stats[dataset.Simplified]
+		reduction = (o.AvgWords - s.AvgWords) / o.AvgWords * 100
+	}
+	b.ReportMetric(reduction, "word-reduction-%")
+}
+
+// BenchmarkTable2DatasetStats regenerates the per-category dataset
+// statistics.
+func BenchmarkTable2DatasetStats(b *testing.B) {
+	originals, _ := fixtures()
+	var avgLines float64
+	for i := 0; i < b.N; i++ {
+		avgLines = dataset.ComputeStats(originals).AvgSolutionLines
+	}
+	b.ReportMetric(avgLines, "avg-solution-lines")
+}
+
+// BenchmarkTable3Cost regenerates the running-cost breakdown.
+func BenchmarkTable3Cost(b *testing.B) {
+	_, full := fixtures()
+	jobs := evalcluster.JobsFromProblems(full)
+	var minTotal float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		minTotal = cost.ComputeTable3(full, jobs).MinTotal
+	}
+	b.ReportMetric(minTotal, "min-total-$")
+}
+
+// BenchmarkTable4ZeroShot runs the full 12-model x 1011-problem
+// zero-shot benchmark with all six metrics.
+func BenchmarkTable4ZeroShot(b *testing.B) {
+	_, full := fixtures()
+	var gpt4 float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := score.Benchmark(llm.Models, full)
+		gpt4 = rows[0].UnitTest
+	}
+	b.ReportMetric(gpt4, "gpt4-unit-test")
+}
+
+// BenchmarkTable5Augmented measures unit-test passes across original/
+// simplified/translated subsets for the top and a bottom model.
+func BenchmarkTable5Augmented(b *testing.B) {
+	_, full := fixtures()
+	gpt4, _ := llm.ByName("gpt-4")
+	var delta float64
+	for i := 0; i < b.N; i++ {
+		counts := analysis.VariantPassCounts(gpt4, full)
+		delta = float64(counts[dataset.Simplified] - counts[dataset.Original])
+	}
+	b.ReportMetric(delta, "gpt4-simplified-delta")
+}
+
+// BenchmarkTable6FewShot sweeps 0..3-shot prompting for the paper's
+// three few-shot models.
+func BenchmarkTable6FewShot(b *testing.B) {
+	originals, _ := fixtures()
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		for _, name := range []string{"gpt-3.5", "llama-2-70b-chat", "llama-2-7b-chat"} {
+			m, _ := llm.ByName(name)
+			counts := analysis.FewShotPassCounts(m, originals, 3)
+			if name == "gpt-3.5" {
+				gain = float64(counts[3] - counts[0])
+			}
+		}
+	}
+	b.ReportMetric(gain, "gpt3.5-3shot-gain")
+}
+
+// BenchmarkTable8RepoStats recounts the YAML survey through the scanner.
+func BenchmarkTable8RepoStats(b *testing.B) {
+	var atLeast10 int
+	for i := 0; i < b.N; i++ {
+		count := 0
+		for _, r := range repostats.Table8[:25] {
+			_, yaml := repostats.ScanTree(repostats.SyntheticTree(r))
+			if yaml >= 10 {
+				count++
+			}
+		}
+		atLeast10 = repostats.CountAtLeast(repostats.Table8, 10)
+		_ = count
+	}
+	b.ReportMetric(float64(atLeast10), "repos-10plus-yaml")
+}
+
+// BenchmarkFigure5ClusterScaling sweeps the evaluation cluster from 1
+// to 64 workers with and without the shared image cache.
+func BenchmarkFigure5ClusterScaling(b *testing.B) {
+	_, full := fixtures()
+	jobs := evalcluster.JobsFromProblems(full)
+	var speedup, cacheGain float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t1 := evalcluster.Simulate(jobs, evalcluster.DefaultSimConfig(1, false))
+		t64 := evalcluster.Simulate(jobs, evalcluster.DefaultSimConfig(64, false))
+		t64c := evalcluster.Simulate(jobs, evalcluster.DefaultSimConfig(64, true))
+		speedup = float64(t1.Total) / float64(t64.Total)
+		cacheGain = float64(t64.Total) / float64(t64c.Total)
+	}
+	b.ReportMetric(speedup, "parallel-speedup-64w")
+	b.ReportMetric(cacheGain, "cache-gain-64w")
+}
+
+// BenchmarkFigure6Breakdown re-slices the zero-shot run into the four
+// analysis perspectives.
+func BenchmarkFigure6Breakdown(b *testing.B) {
+	_, full := fixtures()
+	_, raw := zeroShot()
+	byID := analysis.ProblemIndex(full)
+	var envoyGap float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		breakdown := analysis.Breakdown(raw, byID)
+		g := breakdown["gpt-4"]["application_category"]
+		envoyGap = g["kubernetes"] - g["envoy"]
+	}
+	b.ReportMetric(envoyGap, "gpt4-k8s-minus-envoy")
+}
+
+// BenchmarkFigure7FailureModes categorizes every answer of the paper's
+// three spotlighted models into the six failure modes.
+func BenchmarkFigure7FailureModes(b *testing.B) {
+	originals, _ := fixtures()
+	byID := analysis.ProblemIndex(originals)
+	var gpt4Correct int
+	for i := 0; i < b.N; i++ {
+		for _, name := range []string{"gpt-4", "llama-2-70b-chat", "llama-2-7b-chat"} {
+			m, _ := llm.ByName(name)
+			scores := score.EvaluateModel(m, originals, llm.GenOptions{})
+			counts := analysis.FailureCounts(scores, byID)
+			if name == "gpt-4" {
+				gpt4Correct = counts[5]
+			}
+		}
+	}
+	b.ReportMetric(float64(gpt4Correct), "gpt4-cat6-count")
+}
+
+// BenchmarkFigure8PassAtK runs the multi-sample generation study
+// (paper: GPT-4 capped at 6 samples; others at 16).
+func BenchmarkFigure8PassAtK(b *testing.B) {
+	originals, _ := fixtures()
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		m, _ := llm.ByName("gpt-3.5")
+		series := analysis.PassAtK(m, originals, 16, 0.75)
+		gain = float64(series[15]) / float64(series[0])
+	}
+	b.ReportMetric(gain, "gpt3.5-pass@16-over-pass@1")
+}
+
+// BenchmarkFigure9Predictor trains the unit-test classifier leave-one-
+// model-out and computes SHAP importances.
+func BenchmarkFigure9Predictor(b *testing.B) {
+	_, raw := zeroShot()
+	var kvwImportance float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := boost.LeaveOneModelOut(raw, boost.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+		imp, err := boost.GlobalImportance(raw, boost.DefaultConfig(), 300)
+		if err != nil {
+			b.Fatal(err)
+		}
+		kvwImportance = imp["kv_wildcard"]
+	}
+	b.ReportMetric(kvwImportance, "kv-wildcard-shap")
+}
+
+// --- Ablation benches (design choices called out in DESIGN.md §4) ---
+
+// BenchmarkAblationPostprocessing quantifies §3.1's extraction policies:
+// unit-test pass rate with and without post-processing for a fence-
+// wrapping model.
+func BenchmarkAblationPostprocessing(b *testing.B) {
+	originals, _ := fixtures()
+	m, _ := llm.ByName("gpt-4") // wraps answers in markdown fences
+	slice := originals[:150]
+	var withPP, withoutPP int
+	for i := 0; i < b.N; i++ {
+		withPP, withoutPP = 0, 0
+		for _, p := range slice {
+			raw := m.Generate(p, llm.GenOptions{})
+			if unittest.Run(p, llm.Postprocess(raw)).Passed {
+				withPP++
+			}
+			if unittest.Run(p, raw).Passed {
+				withoutPP++
+			}
+		}
+	}
+	b.ReportMetric(float64(withPP), "passes-with-postprocessing")
+	b.ReportMetric(float64(withoutPP), "passes-without")
+}
+
+// BenchmarkAblationWildcardLabels measures how much better the
+// label-aware KV-wildcard match tracks unit-test outcomes than plain KV
+// exact match (the reason the labels exist).
+func BenchmarkAblationWildcardLabels(b *testing.B) {
+	originals, _ := fixtures()
+	m, _ := llm.ByName("gpt-4")
+	slice := originals[:150]
+	var wildAgree, exactAgree float64
+	for i := 0; i < b.N; i++ {
+		agreeW, agreeE := 0, 0
+		for _, p := range slice {
+			answer := llm.Postprocess(m.Generate(p, llm.GenOptions{}))
+			passed := unittest.Run(p, answer).Passed
+			wild := yamlmatch.KVWildcardMatch(answer, p.ReferenceYAML) == 1
+			exact := yamlmatch.KVExactMatch(answer, yamlmatch.StripLabels(p.ReferenceYAML)) == 1
+			if wild == passed {
+				agreeW++
+			}
+			if exact == passed {
+				agreeE++
+			}
+		}
+		wildAgree = float64(agreeW) / float64(len(slice))
+		exactAgree = float64(agreeE) / float64(len(slice))
+	}
+	b.ReportMetric(wildAgree, "wildcard-agreement")
+	b.ReportMetric(exactAgree, "exact-agreement")
+}
+
+// BenchmarkAblationCacheBandwidth sweeps the WAN bandwidth to show when
+// the shared cache matters (Figure 5 sensitivity).
+func BenchmarkAblationCacheBandwidth(b *testing.B) {
+	originals, _ := fixtures()
+	jobs := evalcluster.JobsFromProblems(originals)
+	var gainAt25, gainAt400 float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, mbps := range []float64{25, 400} {
+			cfg := evalcluster.DefaultSimConfig(64, false)
+			cfg.WANMbps = mbps
+			noCache := evalcluster.Simulate(jobs, cfg)
+			cfg.SharedCache = true
+			cached := evalcluster.Simulate(jobs, cfg)
+			gain := float64(noCache.Total) / float64(cached.Total)
+			if mbps == 25 {
+				gainAt25 = gain
+			} else {
+				gainAt400 = gain
+			}
+		}
+	}
+	b.ReportMetric(gainAt25, "cache-gain-25mbps")
+	b.ReportMetric(gainAt400, "cache-gain-400mbps")
+}
+
+// BenchmarkAblationFormatRetry quantifies the paper's observation 1
+// (§4.1): a basic format check + regenerate loop recovers the trivially
+// malformed answers of the best model.
+func BenchmarkAblationFormatRetry(b *testing.B) {
+	originals, _ := fixtures()
+	m, _ := llm.ByName("gpt-4")
+	slice := originals[:150]
+	var greedyPass, retryPass int
+	for i := 0; i < b.N; i++ {
+		greedyPass, retryPass = 0, 0
+		for _, p := range slice {
+			if unittest.Run(p, strategy.Greedy(m, p).Answer).Passed {
+				greedyPass++
+			}
+			if unittest.Run(p, strategy.FormatRetry(m, p, 4, 0.75).Answer).Passed {
+				retryPass++
+			}
+		}
+	}
+	b.ReportMetric(float64(greedyPass), "passes-greedy")
+	b.ReportMetric(float64(retryPass), "passes-format-retry")
+}
+
+// BenchmarkAblationVirtualClock measures unit-test throughput: the
+// virtual clock is why the whole 1011-problem campaign evaluates in
+// seconds of real time instead of the paper's 10 wall-clock hours.
+func BenchmarkAblationVirtualClock(b *testing.B) {
+	originals, _ := fixtures()
+	p := originals[0]
+	ref := yamlmatch.StripLabels(p.ReferenceYAML)
+	var virtualSecs float64
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		res := unittest.Run(p, ref)
+		virtualSecs = res.VirtualTime.Seconds()
+	}
+	real := time.Since(start).Seconds() / float64(b.N)
+	b.ReportMetric(virtualSecs, "virtual-secs/test")
+	if real > 0 {
+		b.ReportMetric(virtualSecs/real, "virtual-time-speedup")
+	}
+}

@@ -1,0 +1,77 @@
+// Package cloudeval is the public API of the CloudEval-YAML benchmark
+// reproduction: a hand-written 1011-problem dataset for cloud
+// configuration generation, a six-metric scoring pipeline (text-level,
+// YAML-aware and function-level via simulated Kubernetes/Envoy
+// clusters), a scalable evaluation-cluster model, and the paper's full
+// evaluation study over a twelve-model zoo.
+//
+// Quick start:
+//
+//	bench := cloudeval.New()
+//	fmt.Println(bench.Table4()) // the zero-shot leaderboard
+//
+// Score a single answer functionally:
+//
+//	p := bench.Originals[0]
+//	result := cloudeval.RunUnitTest(p, myYAML)
+//	fmt.Println(result.Passed)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every table and figure.
+package cloudeval
+
+import (
+	"cloudeval/internal/core"
+	"cloudeval/internal/dataset"
+	"cloudeval/internal/llm"
+	"cloudeval/internal/score"
+	"cloudeval/internal/unittest"
+	"cloudeval/internal/yamlmatch"
+)
+
+// Benchmark is a configured CloudEval-YAML instance; see core.Benchmark
+// for the full method set (Table1..Table9, Figure5..Figure9, ZeroShot).
+type Benchmark = core.Benchmark
+
+// Problem is one benchmark entry: question, optional YAML context,
+// labeled reference answer and bash unit test.
+type Problem = dataset.Problem
+
+// Model is one entry of the simulated model zoo.
+type Model = llm.Model
+
+// ProblemScore holds the six metrics for one (model, problem) pair.
+type ProblemScore = score.ProblemScore
+
+// UnitTestResult is the outcome of one functional evaluation.
+type UnitTestResult = unittest.Result
+
+// New builds the default benchmark: the 337 hand-written problems,
+// their simplified and translated variants (1011 total), and the
+// twelve-model zoo of Table 4.
+func New() *Benchmark { return core.New() }
+
+// Dataset returns the 337 original problems.
+func Dataset() []Problem { return dataset.Generate() }
+
+// Models returns the model zoo in the paper's ranking order.
+func Models() []Model { return llm.Models }
+
+// RunUnitTest executes a problem's unit test against a candidate YAML
+// answer in a fresh simulated cluster.
+func RunUnitTest(p Problem, answerYAML string) UnitTestResult {
+	return unittest.Run(p, answerYAML)
+}
+
+// ScoreAnswer computes all six metrics for a candidate answer.
+func ScoreAnswer(p Problem, answerYAML string) ProblemScore {
+	return score.ScoreAnswer(p, answerYAML)
+}
+
+// Postprocess extracts clean YAML from a raw LLM response using the
+// paper's §3.1 policies.
+func Postprocess(response string) string { return llm.Postprocess(response) }
+
+// CleanReference returns a problem's reference answer with match labels
+// stripped — the text a perfect model would produce.
+func CleanReference(p Problem) string { return yamlmatch.StripLabels(p.ReferenceYAML) }

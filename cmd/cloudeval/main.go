@@ -1,0 +1,161 @@
+// Command cloudeval is the benchmark's CLI: it prints dataset
+// statistics, runs the model zoo, and regenerates every table and
+// figure of the paper.
+//
+// Usage:
+//
+//	cloudeval dataset            # Table 2 statistics
+//	cloudeval bench              # Table 4 zero-shot leaderboard
+//	cloudeval figures -id table5 # one experiment by ID
+//	cloudeval figures -all       # every table and figure
+//	cloudeval cost               # Table 3 cost breakdown
+//	cloudeval cluster -workers 64 -cache   # one Figure 5 point
+//	cloudeval eval -problem k8s-pod-001 -f answer.yaml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cloudeval"
+	"cloudeval/internal/core"
+	"cloudeval/internal/evalcluster"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "dataset":
+		err = cmdDataset()
+	case "bench":
+		err = cmdBench()
+	case "figures":
+		err = cmdFigures(args)
+	case "cost":
+		err = cmdCost()
+	case "cluster":
+		err = cmdCluster(args)
+	case "eval":
+		err = cmdEval(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "cloudeval: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cloudeval:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `cloudeval - the CloudEval-YAML benchmark
+
+Commands:
+  dataset             print dataset statistics (Table 2) and augmentation stats (Table 1)
+  bench               run the zero-shot benchmark (Table 4)
+  figures -id <id>    regenerate one experiment (table1..table9, figure5..figure9)
+  figures -all        regenerate every table and figure
+  cost                print the running-cost breakdown (Table 3)
+  cluster [-workers N] [-cache]   simulate one evaluation campaign (Figure 5 point)
+  eval -problem <id> -f <file>    run one answer through the full scoring pipeline
+`)
+}
+
+func cmdDataset() error {
+	b := cloudeval.New()
+	fmt.Println("== Table 1: practical data augmentation ==")
+	fmt.Println(b.Table1())
+	fmt.Println("== Table 2: dataset statistics ==")
+	fmt.Println(b.Table2())
+	return nil
+}
+
+func cmdBench() error {
+	b := cloudeval.New()
+	fmt.Println(b.Table4())
+	return nil
+}
+
+func cmdFigures(args []string) error {
+	fs := flag.NewFlagSet("figures", flag.ExitOnError)
+	id := fs.String("id", "", "experiment id (table1..table9, figure5..figure9)")
+	all := fs.Bool("all", false, "run every experiment")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b := cloudeval.New()
+	if *all {
+		return b.RunAll(os.Stdout)
+	}
+	gen, ok := b.Experiments()[strings.ToLower(*id)]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (known: %s)", *id, strings.Join(core.ExperimentIDs, ", "))
+	}
+	fmt.Println(gen())
+	return nil
+}
+
+func cmdCost() error {
+	b := cloudeval.New()
+	fmt.Println(b.Table3())
+	return nil
+}
+
+func cmdCluster(args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	workers := fs.Int("workers", 64, "worker count")
+	cache := fs.Bool("cache", false, "enable the shared pull-through image cache")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b := cloudeval.New()
+	res := evalcluster.Simulate(b.Jobs(), evalcluster.DefaultSimConfig(*workers, *cache))
+	fmt.Printf("workers=%d cache=%v\n", res.Workers, res.SharedCache)
+	fmt.Printf("evaluation time: %.2f hours\n", res.Total.Hours())
+	fmt.Printf("WAN traffic:     %.1f GB\n", res.WANTrafficMB/1024)
+	if res.SharedCache {
+		fmt.Printf("cache hits/misses: %d/%d\n", res.CacheHits, res.CacheMisses)
+	}
+	return nil
+}
+
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	problemID := fs.String("problem", "", "problem ID, e.g. k8s-pod-001")
+	file := fs.String("f", "", "path to the candidate YAML answer")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *problemID == "" || *file == "" {
+		return fmt.Errorf("eval requires -problem and -f")
+	}
+	answer, err := os.ReadFile(*file)
+	if err != nil {
+		return err
+	}
+	for _, p := range cloudeval.Dataset() {
+		if p.ID != *problemID {
+			continue
+		}
+		s := cloudeval.ScoreAnswer(p, string(answer))
+		fmt.Printf("problem:      %s (%s/%s)\n", p.ID, p.Category, p.Subcategory)
+		fmt.Printf("bleu:         %.3f\n", s.BLEU)
+		fmt.Printf("edit_distance:%.3f\n", s.EditDist)
+		fmt.Printf("exact_match:  %.0f\n", s.ExactMatch)
+		fmt.Printf("kv_exact:     %.0f\n", s.KVExact)
+		fmt.Printf("kv_wildcard:  %.3f\n", s.KVWildcard)
+		fmt.Printf("unit_test:    %.0f\n", s.UnitTest)
+		return nil
+	}
+	return fmt.Errorf("problem %q not found", *problemID)
+}

@@ -1,0 +1,57 @@
+// Command datasetgen materializes the CloudEval-YAML corpus to a
+// directory tree, one directory per problem, in the layout the paper's
+// released dataset uses:
+//
+//	<out>/<problem-id>/
+//	    prompt.txt        the natural-language question (plus context)
+//	    context.yaml      the optional YAML context
+//	    labeled_code.yaml the labeled reference answer
+//	    unit_test.sh      the bash unit test
+//
+// Usage: datasetgen -out ./dataset [-augmented]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cloudeval/internal/augment"
+	"cloudeval/internal/dataset"
+)
+
+func main() {
+	out := flag.String("out", "dataset", "output directory")
+	augmented := flag.Bool("augmented", false, "include simplified and translated variants (1011 problems)")
+	flag.Parse()
+
+	problems := dataset.Generate()
+	if *augmented {
+		problems = augment.ExpandCorpus(problems)
+	}
+	for _, p := range problems {
+		dir := filepath.Join(*out, p.ID)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatal(err)
+		}
+		write(filepath.Join(dir, "prompt.txt"), p.Question)
+		if p.ContextYAML != "" {
+			write(filepath.Join(dir, "context.yaml"), p.ContextYAML)
+		}
+		write(filepath.Join(dir, "labeled_code.yaml"), p.ReferenceYAML)
+		write(filepath.Join(dir, "unit_test.sh"), p.UnitTest)
+	}
+	fmt.Printf("wrote %d problems to %s\n", len(problems), *out)
+}
+
+func write(path, content string) {
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datasetgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,129 @@
+// Command evalnode runs one node of the distributed evaluation cluster
+// over real TCP sockets: the Redis-compatible coordination store, a
+// master that dispatches jobs, or a worker that executes unit tests.
+//
+//	evalnode redis  -addr 127.0.0.1:6399
+//	evalnode worker -addr 127.0.0.1:6399 -name worker-1
+//	evalnode master -addr 127.0.0.1:6399 -model gpt-4 -limit 50
+//
+// The master generates answers with the named simulated model for the
+// first -limit problems, submits them, waits for results, and prints
+// the pass rate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"cloudeval/internal/dataset"
+	"cloudeval/internal/evalcluster"
+	"cloudeval/internal/llm"
+	"cloudeval/internal/miniredis"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: evalnode <redis|master|worker> [flags]")
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "redis":
+		err = runRedis(os.Args[2:])
+	case "master":
+		err = runMaster(os.Args[2:])
+	case "worker":
+		err = runWorker(os.Args[2:])
+	default:
+		err = fmt.Errorf("unknown role %q", os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evalnode:", err)
+		os.Exit(1)
+	}
+}
+
+func runRedis(args []string) error {
+	fs := flag.NewFlagSet("redis", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:6399", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv := miniredis.NewServer()
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("evalnode redis listening on %s\n", bound)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	srv.Close()
+	return nil
+}
+
+func runMaster(args []string) error {
+	fs := flag.NewFlagSet("master", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:6399", "redis address")
+	modelName := fs.String("model", "gpt-4", "model to evaluate")
+	limit := fs.Int("limit", 50, "number of problems to submit")
+	timeout := fs.Duration("timeout", 5*time.Minute, "result collection timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	model, ok := llm.ByName(*modelName)
+	if !ok {
+		return fmt.Errorf("unknown model %q", *modelName)
+	}
+	problems := dataset.Generate()
+	if *limit > 0 && *limit < len(problems) {
+		problems = problems[:*limit]
+	}
+	master, err := evalcluster.NewMaster(*addr)
+	if err != nil {
+		return err
+	}
+	defer master.Close()
+	for _, p := range problems {
+		answer := llm.Postprocess(model.Generate(p, llm.GenOptions{}))
+		if _, err := master.Submit(p.ID, answer); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("submitted %d jobs for %s; waiting for workers...\n", len(problems), model.Name)
+	results, err := master.Collect(len(problems), *timeout)
+	if err != nil {
+		return err
+	}
+	passed := 0
+	for _, r := range results {
+		if r.Passed {
+			passed++
+		}
+	}
+	fmt.Printf("%s: %d/%d unit tests passed (%.3f)\n",
+		model.Name, passed, len(results), float64(passed)/float64(len(results)))
+	return nil
+}
+
+func runWorker(args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:6399", "redis address")
+	name := fs.String("name", "worker", "worker name")
+	idle := fs.Duration("idle", 10*time.Second, "exit after this long without jobs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, err := evalcluster.NewWorker(*addr, *name, dataset.Generate())
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	fmt.Printf("%s: processing jobs from %s\n", *name, *addr)
+	n, err := w.Run(*idle)
+	fmt.Printf("%s: processed %d jobs\n", *name, n)
+	return err
+}

@@ -1,0 +1,121 @@
+package augment
+
+import (
+	"strings"
+	"testing"
+
+	"cloudeval/internal/dataset"
+)
+
+func TestSimplifyShortens(t *testing.T) {
+	originals := dataset.Generate()
+	shorter, total := 0, 0
+	for _, p := range originals {
+		s := Simplify(p.Question)
+		if s == "" {
+			t.Errorf("%s: simplified to nothing", p.ID)
+		}
+		ow := len(strings.Fields(p.Question))
+		sw := len(strings.Fields(s))
+		if sw < ow {
+			shorter++
+		}
+		if sw > ow {
+			t.Errorf("%s: simplification grew the question (%d -> %d words)", p.ID, ow, sw)
+		}
+		total++
+	}
+	if shorter < total*5/10 {
+		t.Errorf("only %d/%d questions got shorter", shorter, total)
+	}
+}
+
+func TestSimplifyUsesAbbreviations(t *testing.T) {
+	in := "Write a YAML file to create a Kubernetes deployment with a load balancer service in the production namespace."
+	out := Simplify(in)
+	for _, want := range []string{"k8s", "LB", "ns"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("simplified %q lacks abbreviation %q", out, want)
+		}
+	}
+}
+
+func TestTranslateProducesChinese(t *testing.T) {
+	for _, p := range dataset.Generate()[:60] {
+		zh := Translate(p.Question)
+		if !containsCJK(zh) {
+			t.Errorf("%s: translation contains no Chinese: %q", p.ID, zh)
+		}
+	}
+}
+
+func containsCJK(s string) bool {
+	for _, r := range s {
+		if r >= 0x4E00 && r <= 0x9FFF {
+			return true
+		}
+	}
+	return false
+}
+
+func TestTranslateKeepsTechnicalTokens(t *testing.T) {
+	in := "Create a Kubernetes LimitRange named resource-limits with default CPU 100m."
+	zh := Translate(in)
+	for _, keep := range []string{"LimitRange", "resource-limits", "100m"} {
+		if !strings.Contains(zh, keep) {
+			t.Errorf("technical token %q lost in %q", keep, zh)
+		}
+	}
+}
+
+func TestAugmentProducesVariants(t *testing.T) {
+	p := dataset.Generate()[0]
+	s, tr := Augment(p)
+	if s.Variant != dataset.Simplified || tr.Variant != dataset.Translated {
+		t.Error("variants mislabeled")
+	}
+	if s.ID != p.ID+"-s" || tr.ID != p.ID+"-t" {
+		t.Errorf("variant IDs: %s %s", s.ID, tr.ID)
+	}
+	// Reference and unit test are shared.
+	if s.ReferenceYAML != p.ReferenceYAML || tr.UnitTest != p.UnitTest {
+		t.Error("reference/unit test must be shared with the original")
+	}
+}
+
+func TestExpandCorpusTo1011(t *testing.T) {
+	all := ExpandCorpus(dataset.Generate())
+	if len(all) != 1011 {
+		t.Fatalf("corpus = %d, want 1011", len(all))
+	}
+	counts := map[dataset.Variant]int{}
+	for _, p := range all {
+		counts[p.Variant]++
+	}
+	for _, v := range []dataset.Variant{dataset.Original, dataset.Simplified, dataset.Translated} {
+		if counts[v] != 337 {
+			t.Errorf("%s count = %d, want 337", v, counts[v])
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	all := ExpandCorpus(dataset.Generate())
+	stats := Table1(all)
+	o, s := stats[dataset.Original], stats[dataset.Simplified]
+	if o.Count != 337 || s.Count != 337 {
+		t.Fatalf("counts: %+v %+v", o, s)
+	}
+	if s.AvgWords >= o.AvgWords {
+		t.Errorf("simplified avg words %.2f >= original %.2f", s.AvgWords, o.AvgWords)
+	}
+	if s.AvgTokens >= o.AvgTokens {
+		t.Errorf("simplified avg tokens %.2f >= original %.2f", s.AvgTokens, o.AvgTokens)
+	}
+	out := FormatTable1(all)
+	for _, want := range []string{"Original", "Simplified", "Translated", "337"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+// Package core is the top of the CloudEval-YAML stack: it wires the
+// dataset, augmentation, model zoo, scoring pipeline, evaluation
+// cluster, cost model and predictor together, and regenerates every
+// table and figure of the paper's evaluation on demand.
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"cloudeval/internal/analysis"
+	"cloudeval/internal/augment"
+	"cloudeval/internal/boost"
+	"cloudeval/internal/cost"
+	"cloudeval/internal/dataset"
+	"cloudeval/internal/evalcluster"
+	"cloudeval/internal/llm"
+	"cloudeval/internal/related"
+	"cloudeval/internal/repostats"
+	"cloudeval/internal/score"
+)
+
+// Benchmark is a configured CloudEval-YAML instance.
+type Benchmark struct {
+	// Originals are the 337 hand-written problems; Problems is the full
+	// 1011-problem corpus with augmentation.
+	Originals []dataset.Problem
+	Problems  []dataset.Problem
+	Models    []llm.Model
+
+	mu       sync.Mutex
+	rows     []score.ModelAggregate
+	rawByMod map[string][]score.ProblemScore
+	jobs     []evalcluster.Job
+}
+
+// New builds the default benchmark: full corpus, twelve-model zoo.
+func New() *Benchmark {
+	originals := dataset.Generate()
+	return &Benchmark{
+		Originals: originals,
+		Problems:  augment.ExpandCorpus(originals),
+		Models:    llm.Models,
+	}
+}
+
+// ZeroShot runs (and caches) the Table 4 campaign: every model over the
+// full corpus with all six metrics.
+func (b *Benchmark) ZeroShot() ([]score.ModelAggregate, map[string][]score.ProblemScore) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.rows == nil {
+		b.rows, b.rawByMod = score.Benchmark(b.Models, b.Problems)
+	}
+	return b.rows, b.rawByMod
+}
+
+// Jobs derives (and caches) the cluster-simulation workload.
+func (b *Benchmark) Jobs() []evalcluster.Job {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.jobs == nil {
+		b.jobs = evalcluster.JobsFromProblems(b.Problems)
+	}
+	return b.jobs
+}
+
+// ModelNames lists zoo names in ranking order.
+func (b *Benchmark) ModelNames() []string {
+	out := make([]string, len(b.Models))
+	for i, m := range b.Models {
+		out[i] = m.Name
+	}
+	return out
+}
+
+func (b *Benchmark) model(name string) llm.Model {
+	for _, m := range b.Models {
+		if m.Name == name {
+			return m
+		}
+	}
+	panic("core: unknown model " + name)
+}
+
+// Table1 renders the augmentation statistics.
+func (b *Benchmark) Table1() string { return augment.FormatTable1(b.Problems) }
+
+// Table2 renders the dataset statistics.
+func (b *Benchmark) Table2() string { return dataset.FormatTable2(b.Originals) }
+
+// Table3 renders the running-cost breakdown.
+func (b *Benchmark) Table3() string {
+	t := cost.ComputeTable3(b.Problems, b.Jobs())
+	return t.Format()
+}
+
+// Table4 renders the zero-shot benchmark.
+func (b *Benchmark) Table4() string {
+	rows, _ := b.ZeroShot()
+	return score.FormatTable4(rows)
+}
+
+// Table5 renders unit-test pass counts across original/simplified/
+// translated questions.
+func (b *Benchmark) Table5() string {
+	counts := map[string]map[dataset.Variant]int{}
+	for _, m := range b.Models {
+		counts[m.Name] = analysis.VariantPassCounts(m, b.Problems)
+	}
+	return analysis.FormatTable5(counts, b.ModelNames())
+}
+
+// Table6Models are the models the paper runs the few-shot study on.
+var Table6Models = []string{"gpt-3.5", "llama-2-70b-chat", "llama-2-7b-chat"}
+
+// Table6 renders few-shot prompting pass counts.
+func (b *Benchmark) Table6() string {
+	counts := map[string][]int{}
+	for _, name := range Table6Models {
+		counts[name] = analysis.FewShotPassCounts(b.model(name), b.Originals, 3)
+	}
+	return analysis.FormatTable6(counts, Table6Models)
+}
+
+// Table7 renders the related-benchmark comparison.
+func (b *Benchmark) Table7() string { return related.Format() }
+
+// Table8 renders the YAML-usage survey.
+func (b *Benchmark) Table8() string { return repostats.FormatTable8(repostats.Table8) }
+
+// Table9 renders the per-factor unit-test breakdown.
+func (b *Benchmark) Table9() string {
+	_, raw := b.ZeroShot()
+	byID := analysis.ProblemIndex(b.Problems)
+	return analysis.FormatTable9(analysis.Breakdown(raw, byID), b.ModelNames())
+}
+
+// Figure5 renders the evaluation-time scaling study.
+func (b *Benchmark) Figure5() string {
+	results := evalcluster.Figure5(b.Jobs(), []int{1, 4, 16, 64})
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s %-10s %-10s %-12s\n", "Workers", "Cache", "Hours", "WAN (GB)")
+	for _, r := range results {
+		fmt.Fprintf(&sb, "%-8d %-10v %-10.2f %-12.1f\n", r.Workers, r.SharedCache, r.Total.Hours(), r.WANTrafficMB/1024)
+	}
+	return sb.String()
+}
+
+// Figure6 renders the four-perspective analysis.
+func (b *Benchmark) Figure6() string {
+	_, raw := b.ZeroShot()
+	byID := analysis.ProblemIndex(b.Problems)
+	breakdown := analysis.Breakdown(raw, byID)
+	var sb strings.Builder
+	perspectives := make([]string, 0, len(analysis.Figure6Slices()))
+	for k := range analysis.Figure6Slices() {
+		perspectives = append(perspectives, k)
+	}
+	sort.Strings(perspectives)
+	for _, persp := range perspectives {
+		fmt.Fprintf(&sb, "== %s ==\n", persp)
+		slices := analysis.Figure6Slices()[persp]
+		fmt.Fprintf(&sb, "%-24s", "Model")
+		for _, sl := range slices {
+			fmt.Fprintf(&sb, "%12s", sl.Name)
+		}
+		sb.WriteString("\n")
+		for _, name := range b.ModelNames() {
+			fmt.Fprintf(&sb, "%-24s", name)
+			for _, sl := range slices {
+				fmt.Fprintf(&sb, "%12.3f", breakdown[name][persp][sl.Name])
+			}
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}
+
+// Figure7Models are the models the paper's failure analysis plots.
+var Figure7Models = []string{"gpt-4", "llama-2-70b-chat", "llama-2-7b-chat"}
+
+// Figure7 renders failure-mode counts on the original subset.
+func (b *Benchmark) Figure7() string {
+	byID := analysis.ProblemIndex(b.Originals)
+	counts := map[string][6]int{}
+	for _, name := range Figure7Models {
+		scores := score.EvaluateModel(b.model(name), b.Originals, llm.GenOptions{})
+		counts[name] = analysis.FailureCounts(scores, byID)
+	}
+	return analysis.FormatFigure7(counts, Figure7Models)
+}
+
+// Figure8Config mirrors §4.2: four models, temperature sampling, GPT-4
+// capped at 6 samples by API limits.
+type Figure8Config struct {
+	Temperature float64
+	MaxK        int
+	GPT4MaxK    int
+}
+
+// DefaultFigure8Config is the paper's setup.
+func DefaultFigure8Config() Figure8Config {
+	return Figure8Config{Temperature: 0.75, MaxK: 16, GPT4MaxK: 6}
+}
+
+// Figure8Models are the pass@k study models.
+var Figure8Models = []string{"gpt-4", "gpt-3.5", "palm-2-bison", "llama-2-70b-chat"}
+
+// Figure8 renders pass@k series over the original subset.
+func (b *Benchmark) Figure8(cfg Figure8Config) string {
+	series := map[string][]int{}
+	for _, name := range Figure8Models {
+		k := cfg.MaxK
+		if name == "gpt-4" {
+			k = cfg.GPT4MaxK
+		}
+		series[name] = analysis.PassAtK(b.model(name), b.Originals, k, cfg.Temperature)
+	}
+	return analysis.FormatFigure8(series, Figure8Models)
+}
+
+// Figure9 renders the unit-test predictor study: leave-one-model-out
+// predictions and SHAP feature importance.
+func (b *Benchmark) Figure9() string {
+	_, raw := b.ZeroShot()
+	results, err := boost.LeaveOneModelOut(raw, boost.DefaultConfig())
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	imp, err := boost.GlobalImportance(raw, boost.DefaultConfig(), 500)
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	return "(a) predicted vs ground-truth unit-test score\n" + boost.FormatFigure9A(results) +
+		"\n(b) SHAP feature importance\n" + boost.FormatFigure9B(imp)
+}
+
+// Experiments maps experiment IDs to their generators.
+func (b *Benchmark) Experiments() map[string]func() string {
+	return map[string]func() string{
+		"table1":  b.Table1,
+		"table2":  b.Table2,
+		"table3":  b.Table3,
+		"table4":  b.Table4,
+		"table5":  b.Table5,
+		"table6":  b.Table6,
+		"table7":  b.Table7,
+		"table8":  b.Table8,
+		"table9":  b.Table9,
+		"figure5": b.Figure5,
+		"figure6": b.Figure6,
+		"figure7": b.Figure7,
+		"figure8": func() string { return b.Figure8(DefaultFigure8Config()) },
+		"figure9": b.Figure9,
+	}
+}
+
+// ExperimentIDs lists experiments in presentation order.
+var ExperimentIDs = []string{
+	"table1", "table2", "table3", "table4", "table5", "table6",
+	"table7", "table8", "table9",
+	"figure5", "figure6", "figure7", "figure8", "figure9",
+}
+
+// RunAll writes every experiment to w.
+func (b *Benchmark) RunAll(w io.Writer) error {
+	gens := b.Experiments()
+	for _, id := range ExperimentIDs {
+		if _, err := fmt.Fprintf(w, "=== %s ===\n%s\n", id, gens[id]()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

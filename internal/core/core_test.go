@@ -1,0 +1,94 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"cloudeval/internal/dataset"
+)
+
+func TestNewBenchmarkShape(t *testing.T) {
+	b := New()
+	if len(b.Originals) != dataset.TotalOriginal {
+		t.Errorf("originals = %d", len(b.Originals))
+	}
+	if len(b.Problems) != 1011 {
+		t.Errorf("problems = %d, want 1011", len(b.Problems))
+	}
+	if len(b.Models) != 12 {
+		t.Errorf("models = %d, want 12", len(b.Models))
+	}
+	names := b.ModelNames()
+	if names[0] != "gpt-4" {
+		t.Errorf("first model = %s", names[0])
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	b := New()
+	gens := b.Experiments()
+	if len(gens) != len(ExperimentIDs) {
+		t.Errorf("registry has %d generators, IDs list %d", len(gens), len(ExperimentIDs))
+	}
+	for _, id := range ExperimentIDs {
+		if gens[id] == nil {
+			t.Errorf("experiment %q has no generator", id)
+		}
+	}
+}
+
+func TestCheapExperimentsProduceOutput(t *testing.T) {
+	b := New()
+	for _, id := range []string{"table1", "table2", "table7", "table8"} {
+		out := b.Experiments()[id]()
+		if strings.TrimSpace(out) == "" {
+			t.Errorf("%s produced no output", id)
+		}
+	}
+}
+
+func TestZeroShotCached(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark in -short mode")
+	}
+	b := New()
+	rows1, raw1 := b.ZeroShot()
+	rows2, raw2 := b.ZeroShot()
+	if &rows1[0] != &rows2[0] {
+		t.Error("ZeroShot should cache its result")
+	}
+	if len(raw1) != 12 || len(raw2) != 12 {
+		t.Errorf("raw scores for %d models", len(raw1))
+	}
+	// Table 4 and Table 9 render from the cache.
+	if !strings.Contains(b.Table4(), "gpt-4") {
+		t.Error("Table 4 missing gpt-4")
+	}
+	if !strings.Contains(b.Table9(), "gpt-4") {
+		t.Error("Table 9 missing gpt-4")
+	}
+	if !strings.Contains(b.Figure6(), "application_category") {
+		t.Error("Figure 6 missing perspectives")
+	}
+}
+
+func TestFigure7Output(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model evaluation in -short mode")
+	}
+	b := New()
+	out := b.Figure7()
+	for _, m := range Figure7Models {
+		if !strings.Contains(out, m) {
+			t.Errorf("Figure 7 missing %s:\n%s", m, out)
+		}
+	}
+}
+
+func TestFigure5Output(t *testing.T) {
+	b := New()
+	out := b.Figure5()
+	if !strings.Contains(out, "64") || !strings.Contains(out, "Workers") {
+		t.Errorf("Figure 5 output:\n%s", out)
+	}
+}

@@ -1,0 +1,141 @@
+// Package cost models the dollar cost of a benchmark run (§3.4,
+// Table 3): LLM inference priced per token, and cloud evaluation priced
+// per instance-hour for the cluster options the paper quotes.
+package cost
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"cloudeval/internal/dataset"
+	"cloudeval/internal/evalcluster"
+)
+
+// InferenceOption prices querying one model over the dataset.
+type InferenceOption struct {
+	Name string
+	// USDPerMTokensIn/Out are API prices per million tokens.
+	USDPerMTokensIn  float64
+	USDPerMTokensOut float64
+	// USDPerHour prices hosted open-source inference (replicate-style);
+	// TokensPerSecond sets its throughput.
+	USDPerHour      float64
+	TokensPerSecond float64
+}
+
+// EvalOption prices the cloud evaluation cluster.
+type EvalOption struct {
+	Name        string
+	Instances   int
+	USDPerHour  float64 // per instance
+	SharedCache bool
+}
+
+// PaperOptions are the Table 3 configurations.
+var (
+	InferenceGPT35 = InferenceOption{Name: "GPT-3.5", USDPerMTokensIn: 1.5, USDPerMTokensOut: 2.0}
+	InferenceLlama = InferenceOption{Name: "Llama-7b (hosted)", USDPerHour: 1.40, TokensPerSecond: 55}
+
+	EvalSpot1   = EvalOption{Name: "GCP spot x1", Instances: 1, USDPerHour: 0.029, SharedCache: true}
+	EvalSpot64  = EvalOption{Name: "GCP spot x64", Instances: 64, USDPerHour: 0.029, SharedCache: true}
+	EvalStd64   = EvalOption{Name: "GCP std x64", Instances: 64, USDPerHour: 0.134, SharedCache: true}
+	EvalOptions = []EvalOption{EvalSpot1, EvalSpot64, EvalStd64}
+)
+
+// InferenceCost prices generating one answer per problem.
+func InferenceCost(opt InferenceOption, problems []dataset.Problem) float64 {
+	var inToks, outToks int
+	for _, p := range problems {
+		inToks += p.QuestionTokens() + 120 // template overhead
+		outToks += p.SolutionTokens()
+	}
+	if opt.USDPerHour > 0 {
+		secs := float64(inToks+outToks) / opt.TokensPerSecond
+		return opt.USDPerHour * secs / 3600
+	}
+	return float64(inToks)/1e6*opt.USDPerMTokensIn + float64(outToks)/1e6*opt.USDPerMTokensOut
+}
+
+// EvalCost prices running all unit tests on a cluster option, using the
+// evalcluster simulation for the campaign duration.
+func EvalCost(opt EvalOption, jobs []evalcluster.Job) (usd float64, duration time.Duration) {
+	res := evalcluster.Simulate(jobs, evalcluster.DefaultSimConfig(opt.Instances, opt.SharedCache))
+	hours := res.Total.Hours()
+	// Billing granularity: whole instance-minutes.
+	return hours * float64(opt.Instances) * opt.USDPerHour, res.Total
+}
+
+// Table3 is the full cost breakdown.
+type Table3 struct {
+	Inference map[string]float64
+	Eval      map[string]float64
+	EvalTime  map[string]time.Duration
+	MinTotal  float64
+	MaxTotal  float64
+}
+
+// ComputeTable3 prices every combination the paper quotes.
+func ComputeTable3(problems []dataset.Problem, jobs []evalcluster.Job) Table3 {
+	t := Table3{
+		Inference: map[string]float64{},
+		Eval:      map[string]float64{},
+		EvalTime:  map[string]time.Duration{},
+	}
+	for _, inf := range []InferenceOption{InferenceGPT35, InferenceLlama} {
+		t.Inference[inf.Name] = InferenceCost(inf, problems)
+	}
+	for _, ev := range EvalOptions {
+		usd, dur := EvalCost(ev, jobs)
+		t.Eval[ev.Name] = usd
+		t.EvalTime[ev.Name] = dur
+	}
+	minInf, maxInf := minMax(t.Inference)
+	minEval, maxEval := minMax(t.Eval)
+	t.MinTotal = minInf + minEval
+	t.MaxTotal = maxInf + maxEval
+	return t
+}
+
+func minMax(m map[string]float64) (lo, hi float64) {
+	first := true
+	for _, v := range m {
+		if first {
+			lo, hi = v, v
+			first = false
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// Format renders Table 3.
+func (t Table3) Format() string {
+	var b strings.Builder
+	b.WriteString("LLM Inference:\n")
+	for _, name := range sortedKeys(t.Inference) {
+		fmt.Fprintf(&b, "  %-22s $%.2f\n", name, t.Inference[name])
+	}
+	b.WriteString("Cloud Evaluation:\n")
+	for _, name := range sortedKeys(t.Eval) {
+		fmt.Fprintf(&b, "  %-22s $%.2f (%.1f h)\n", name, t.Eval[name], t.EvalTime[name].Hours())
+	}
+	fmt.Fprintf(&b, "Total cost range: $%.2f - $%.2f per run\n", t.MinTotal, t.MaxTotal)
+	return b.String()
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

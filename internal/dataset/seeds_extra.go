@@ -1,0 +1,311 @@
+package dataset
+
+import "fmt"
+
+// Additional seed templates registered into the subcategory pools at
+// init time: storage-backed pods, health probes, deadline-bounded jobs,
+// multi-container deployments, and the RBAC/storage/quota tail of the
+// "others" column, plus the Istio Gateway resource. Expanding the pools
+// diversifies the cycled 337-problem corpus without changing its
+// category distribution.
+func init() {
+	podSeeds = append(podSeeds, podVolumeSeed, podProbeSeed)
+	jobSeeds = append(jobSeeds, jobDeadlineSeed)
+	deploymentSeeds = append(deploymentSeeds, deploymentSidecarSeed)
+	othersSeeds = append(othersSeeds, roleSeed, persistentVolumeSeed, resourceQuotaSeed)
+	istioSeeds = append(istioSeeds, gatewaySeed)
+}
+
+// podVolumeSeed: pod with an emptyDir volume mounted into the container.
+func podVolumeSeed(i int) Problem {
+	name := pick(vocabNames, i+9) + "-scratch"
+	image := pick(vocabImages, i+3)
+	mountPath := pick([]string{"/var/cache", "/tmp/work", "/data/scratch", "/var/spool"}, i)
+	return Problem{
+		Question: fmt.Sprintf(
+			"Write a Pod manifest named %q (image %q, label app: %s) with an emptyDir volume called "+
+				"\"scratch\" mounted into the container at %q.",
+			name, image, name, mountPath),
+		ReferenceYAML: fmt.Sprintf(`apiVersion: v1
+kind: Pod
+metadata:
+  name: %s
+  labels:
+    app: %s
+spec:
+  containers:
+  - name: app # *
+    image: %s
+    volumeMounts:
+    - name: scratch
+      mountPath: %s
+  volumes:
+  - name: scratch
+    emptyDir: {}
+`, name, name, image, mountPath),
+		UnitTest: fmt.Sprintf(`kubectl apply -f labeled_code.yaml
+kubectl wait --for=condition=Ready pod -l app=%s --timeout=60s
+vol=$(kubectl get pod %s -o=jsonpath='{.spec.volumes[0].name}')
+mount=$(kubectl get pod %s -o=jsonpath='{.spec.containers[0].volumeMounts[0].mountPath}')
+if [[ $vol == "scratch" && $mount == "%s" ]]; then
+  echo unit_test_passed
+fi
+`, name, name, name, mountPath),
+		Source: "kubernetes.io/docs/concepts/storage/volumes/#emptydir",
+	}
+}
+
+// podProbeSeed: pod with an HTTP liveness probe.
+func podProbeSeed(i int) Problem {
+	name := pick(vocabNames, i+11) + "-probed"
+	port := pick(vocabPorts, i+2)
+	path := pick([]string{"/healthz", "/livez", "/status", "/ping"}, i)
+	period := 5 + i%10
+	return Problem{
+		Question: fmt.Sprintf(
+			"Our %q pod (nginx:1.25, label app: %s, container port %d) needs an HTTP livenessProbe on "+
+				"path %q port %d with periodSeconds %d. Write the manifest.",
+			name, name, port, path, port, period),
+		ReferenceYAML: fmt.Sprintf(`apiVersion: v1
+kind: Pod
+metadata:
+  name: %s
+  labels:
+    app: %s
+spec:
+  containers:
+  - name: web # *
+    image: nginx:1.25
+    ports:
+    - containerPort: %d
+    livenessProbe:
+      httpGet:
+        path: %s
+        port: %d
+      periodSeconds: %d
+`, name, name, port, path, port, period),
+		UnitTest: fmt.Sprintf(`kubectl apply -f labeled_code.yaml
+kubectl wait --for=condition=Ready pod -l app=%s --timeout=60s
+ppath=$(kubectl get pod %s -o=jsonpath='{.spec.containers[0].livenessProbe.httpGet.path}')
+pport=$(kubectl get pod %s -o=jsonpath='{.spec.containers[0].livenessProbe.httpGet.port}')
+period=$(kubectl get pod %s -o=jsonpath='{.spec.containers[0].livenessProbe.periodSeconds}')
+if [[ $ppath == "%s" && $pport == "%d" && $period == "%d" ]]; then
+  echo unit_test_passed
+fi
+`, name, name, name, name, path, port, period),
+		Source: "kubernetes.io/docs/tasks/configure-pod-container/configure-liveness-readiness-startup-probes",
+	}
+}
+
+// jobDeadlineSeed: job bounded by activeDeadlineSeconds.
+func jobDeadlineSeed(i int) Problem {
+	name := pick(vocabNames, i+4) + "-bounded"
+	deadline := 120 + i%4*60
+	return Problem{
+		Question: fmt.Sprintf(
+			"Define a Job named %q running busybox:1.36 that is killed if it exceeds %d seconds "+
+				"(activeDeadlineSeconds). restartPolicy Never.",
+			name, deadline),
+		ReferenceYAML: fmt.Sprintf(`apiVersion: batch/v1
+kind: Job
+metadata:
+  name: %s
+spec:
+  activeDeadlineSeconds: %d
+  template:
+    spec:
+      containers:
+      - name: task # *
+        image: busybox:1.36
+      restartPolicy: Never
+`, name, deadline),
+		UnitTest: fmt.Sprintf(`kubectl apply -f labeled_code.yaml
+deadline=$(kubectl get job %s -o=jsonpath='{.spec.activeDeadlineSeconds}')
+policy=$(kubectl get job %s -o=jsonpath='{.spec.template.spec.restartPolicy}')
+if [[ $deadline == "%d" && $policy == "Never" ]]; then
+  echo unit_test_passed
+fi
+`, name, name, deadline),
+		Source: "kubernetes.io/docs/concepts/workloads/controllers/job/#job-termination-and-cleanup",
+	}
+}
+
+// deploymentSidecarSeed: two-container deployment.
+func deploymentSidecarSeed(i int) Problem {
+	app := pick(vocabNames, i+8)
+	mainImage := pick(vocabImages, i+1)
+	return Problem{
+		Question: fmt.Sprintf(
+			"Write a Deployment %q (2 replicas, labels app: %s) whose pods run two containers: "+
+				"\"main\" with image %q and \"logshipper\" with image busybox:1.36. All replicas must become ready.",
+			app+"-paired", app, mainImage),
+		ReferenceYAML: fmt.Sprintf(`apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: %s-paired
+spec:
+  replicas: 2
+  selector:
+    matchLabels:
+      app: %s
+  template:
+    metadata:
+      labels:
+        app: %s
+    spec:
+      containers:
+      - name: main
+        image: %s
+      - name: logshipper
+        image: busybox:1.36
+`, app, app, app, mainImage),
+		UnitTest: fmt.Sprintf(`kubectl apply -f labeled_code.yaml
+kubectl wait --for=condition=available deployment --all --timeout=60s
+names=$(kubectl get pods -l app=%s -o=jsonpath='{.items[0].spec.containers[*].name}')
+ready=$(kubectl get deployment %s-paired -o=jsonpath='{.status.readyReplicas}')
+if [[ $names == *"main"* && $names == *"logshipper"* && $ready == "2" ]]; then
+  echo unit_test_passed
+fi
+`, app, app),
+		Source: "kubernetes.io/docs/concepts/workloads/pods/sidecar-containers",
+	}
+}
+
+// roleSeed: namespaced Role with rules.
+func roleSeed(i int) Problem {
+	ns := pick(vocabNS, i)
+	resource := pick([]string{"pods", "configmaps", "services", "secrets"}, i)
+	name := resource + "-editor"
+	return Problem{
+		Question: fmt.Sprintf(
+			"Write a namespaced Role called %q in the %s namespace allowing get, list and update on %s "+
+				"in the core API group.",
+			name, ns, resource),
+		ReferenceYAML: fmt.Sprintf(`apiVersion: rbac.authorization.k8s.io/v1
+kind: Role
+metadata:
+  name: %s
+  namespace: %s
+rules:
+- apiGroups:
+  - ""
+  resources:
+  - %s
+  verbs:
+  - get
+  - list
+  - update
+`, name, ns, resource),
+		UnitTest: fmt.Sprintf(`kubectl create ns %s 2>/dev/null
+kubectl apply -f labeled_code.yaml
+res=$(kubectl get role %s -n %s -o=jsonpath='{.rules[0].resources[0]}')
+verbs=$(kubectl get role %s -n %s -o=jsonpath='{.rules[0].verbs[*]}')
+if [[ $res == "%s" && $verbs == *"update"* ]]; then
+  echo unit_test_passed
+fi
+`, ns, name, ns, name, ns, resource),
+		Source: "kubernetes.io/docs/reference/access-authn-authz/rbac/#role-example",
+	}
+}
+
+// persistentVolumeSeed: hostPath PV.
+func persistentVolumeSeed(i int) Problem {
+	name := pick(vocabNames, i+6) + "-pv"
+	size := pick([]string{"2Gi", "8Gi", "20Gi", "50Gi"}, i)
+	path := fmt.Sprintf("/mnt/disks/%s", pick(vocabNames, i+6))
+	return Problem{
+		Question: fmt.Sprintf(
+			"Create a PersistentVolume named %q with %s capacity, access mode ReadWriteOnce, and a "+
+				"hostPath at %q.",
+			name, size, path),
+		ReferenceYAML: fmt.Sprintf(`apiVersion: v1
+kind: PersistentVolume
+metadata:
+  name: %s
+spec:
+  capacity:
+    storage: %s
+  accessModes:
+  - ReadWriteOnce
+  hostPath:
+    path: %s
+`, name, size, path),
+		UnitTest: fmt.Sprintf(`kubectl apply -f labeled_code.yaml
+size=$(kubectl get persistentvolume %s -o=jsonpath='{.spec.capacity.storage}')
+hp=$(kubectl get persistentvolume %s -o=jsonpath='{.spec.hostPath.path}')
+if [[ $size == "%s" && $hp == "%s" ]]; then
+  echo unit_test_passed
+fi
+`, name, name, size, path),
+		Source: "kubernetes.io/docs/tasks/configure-pod-container/configure-persistent-volume-storage",
+	}
+}
+
+// resourceQuotaSeed: namespace-level quota.
+func resourceQuotaSeed(i int) Problem {
+	ns := pick(vocabNS[1:], i)
+	pods := 10 + i%10*5
+	cpu := pick([]string{"4", "8", "16", "2"}, i)
+	return Problem{
+		Question: fmt.Sprintf(
+			"The %s namespace needs a ResourceQuota named \"compute-quota\" capping it at %d pods and "+
+				"requests.cpu of %s. Provide the YAML (set metadata.namespace).",
+			ns, pods, cpu),
+		ReferenceYAML: fmt.Sprintf(`apiVersion: v1
+kind: ResourceQuota
+metadata:
+  name: compute-quota
+  namespace: %s
+spec:
+  hard:
+    pods: "%d"
+    requests.cpu: "%s"
+`, ns, pods, cpu),
+		UnitTest: fmt.Sprintf(`kubectl create ns %s 2>/dev/null
+kubectl apply -f labeled_code.yaml
+pods=$(kubectl get resourcequota compute-quota -n %s -o=jsonpath='{.spec.hard.pods}')
+cpu=$(kubectl get resourcequota compute-quota -n %s -o=jsonpath="{.spec.hard['requests\.cpu']}")
+if [[ $pods == "%d" && $cpu == "%s" ]]; then
+  echo unit_test_passed
+fi
+`, ns, ns, ns, pods, cpu),
+		Source: "kubernetes.io/docs/concepts/policy/resource-quotas",
+	}
+}
+
+// gatewaySeed: Istio Gateway for HTTP ingress.
+func gatewaySeed(i int) Problem {
+	name := pick(vocabNames, i+5) + "-gateway"
+	host := fmt.Sprintf("%s.example.com", pick(vocabNames, i+5))
+	port := pick([]int{80, 8080, 8443}, i)
+	return Problem{
+		Question: fmt.Sprintf(
+			"Write an Istio Gateway named %q using the default istio: ingressgateway selector, with one "+
+				"server on port %d (name http, protocol HTTP) serving host %q.",
+			name, port, host),
+		ReferenceYAML: fmt.Sprintf(`apiVersion: networking.istio.io/v1alpha3
+kind: Gateway
+metadata:
+  name: %s
+spec:
+  selector:
+    istio: ingressgateway
+  servers:
+  - port:
+      number: %d
+      name: http
+      protocol: HTTP
+    hosts:
+    - %s
+`, name, port, host),
+		UnitTest: fmt.Sprintf(`kubectl apply -f labeled_code.yaml
+sel=$(kubectl get gateway %s -o=jsonpath='{.spec.selector.istio}')
+pnum=$(kubectl get gateway %s -o=jsonpath='{.spec.servers[0].port.number}')
+ghost=$(kubectl get gateway %s -o=jsonpath='{.spec.servers[0].hosts[0]}')
+if [[ $sel == "ingressgateway" && $pnum == "%d" && $ghost == "%s" ]]; then
+  echo unit_test_passed
+fi
+`, name, name, name, port, host),
+		Source: "istio.io/latest/docs/reference/config/networking/gateway",
+	}
+}

@@ -1,0 +1,819 @@
+package dataset
+
+import "fmt"
+
+// The seed templates in this file cover the Kubernetes workload
+// subcategories of Table 2. Each seed is a faithful, parameterized port
+// of a documentation/StackOverflow-style task; the unit tests assert
+// functional behaviour through kubectl and curl exactly as the paper's
+// hand-written scripts do.
+
+var podSeeds = []seedFunc{
+	// Basic pod serving HTTP on a container port.
+	func(i int) Problem {
+		name := pick(vocabNames, i) + "-pod"
+		image := pick(vocabImages, i)
+		port := pick(vocabPorts, i)
+		app := pick(vocabNames, i)
+		return Problem{
+			Question: fmt.Sprintf(
+				"Write a YAML file to create a Kubernetes Pod named %q that runs the %q image. "+
+					"The pod must carry the label app: %s and expose container port %d so that other workloads can reach it. "+
+					"Use the v1 API and keep the configuration minimal.",
+				name, image, app, port),
+			ReferenceYAML: fmt.Sprintf(`apiVersion: v1
+kind: Pod
+metadata:
+  name: %s
+  labels:
+    app: %s
+spec:
+  containers:
+  - name: %s # *
+    image: %s
+    ports:
+    - containerPort: %d
+`, name, app, name, image, port),
+			UnitTest: fmt.Sprintf(`kubectl apply -f labeled_code.yaml
+kubectl wait --for=condition=Ready pod -l app=%s --timeout=60s
+pod=$(kubectl get pods -l app=%s --output=jsonpath={.items..metadata.name})
+if [ -z "$pod" ]; then
+  exit 1
+fi
+image=$(kubectl get pod $pod -o=jsonpath='{.spec.containers[0].image}')
+port=$(kubectl get pod $pod -o=jsonpath='{.spec.containers[0].ports[0].containerPort}')
+pod_ip=$(kubectl get pod $pod -o=jsonpath='{.status.podIP}')
+code=$(curl -s -o /dev/null -w "%%{http_code}" $pod_ip:%d)
+if [[ $image == "%s" && $port == "%d" && $code == "200" ]]; then
+  echo unit_test_passed
+fi
+`, app, app, port, image, port),
+			Source: "kubernetes.io/docs/concepts/workloads/pods",
+		}
+	},
+	// Pod with environment variables.
+	func(i int) Problem {
+		name := pick(vocabNames, i) + "-env-pod"
+		image := pick(vocabImages, i+1)
+		envName := fmt.Sprintf("%s_HOST", upper(pick(vocabNames, i+2)))
+		envValue := fmt.Sprintf("%s.svc.cluster.local", pick(vocabNames, i+2))
+		portName := fmt.Sprintf("%s_PORT", upper(pick(vocabNames, i+2)))
+		portVal := pick(vocabPorts, i+1)
+		return Problem{
+			Question: fmt.Sprintf(
+				"Create a Pod manifest named %q using image %q. The container needs two environment variables: "+
+					"%s set to %q and %s set to \"%d\" (as a string). Label the pod app: %s.",
+				name, image, envName, envValue, portName, portVal, name),
+			ReferenceYAML: fmt.Sprintf(`apiVersion: v1
+kind: Pod
+metadata:
+  name: %s
+  labels:
+    app: %s
+spec:
+  containers:
+  - name: main # *
+    image: %s
+    env:
+    - name: %s
+      value: %s
+    - name: %s
+      value: "%d"
+`, name, name, image, envName, envValue, portName, portVal),
+			UnitTest: fmt.Sprintf(`kubectl apply -f labeled_code.yaml
+kubectl wait --for=condition=Ready pod -l app=%s --timeout=60s
+env_vars=$(kubectl get pods --selector=app=%s -o=jsonpath='{.items[0].spec.containers[0].env[*].name}')
+host_val=$(kubectl get pods --selector=app=%s -o=jsonpath='{.items[0].spec.containers[0].env[0].value}')
+if [[ $env_vars == *"%s"* && $env_vars == *"%s"* && $host_val == "%s" ]]; then
+  echo unit_test_passed
+fi
+`, name, name, name, envName, portName, envValue),
+			Source: "kubernetes.io/docs/tasks/inject-data-application/define-environment-variable-container",
+		}
+	},
+	// Pod with resource limits.
+	func(i int) Problem {
+		name := pick(vocabNames, i) + "-limits"
+		image := pick(vocabImages, i)
+		cpu := pick(vocabCPU, i)
+		mem := pick(vocabMem, i)
+		return Problem{
+			Question: fmt.Sprintf(
+				"I need a Pod spec for a container called %q running %q whose resource limits are capped at %s CPU "+
+					"and %s of memory. Name the pod %q and give it the label app: %s so our selectors find it.",
+				name, image, cpu, mem, name, name),
+			ReferenceYAML: fmt.Sprintf(`apiVersion: v1
+kind: Pod
+metadata:
+  name: %s
+  labels:
+    app: %s
+spec:
+  containers:
+  - name: %s
+    image: %s
+    resources:
+      limits:
+        cpu: %s
+        memory: %s
+`, name, name, name, image, cpu, mem),
+			UnitTest: fmt.Sprintf(`kubectl apply -f labeled_code.yaml
+kubectl wait --for=condition=Ready pod -l app=%s --timeout=60s
+pod=$(kubectl get pods -l app=%s --output=jsonpath={.items..metadata.name})
+cpu_limit=$(kubectl get pod $pod -o=jsonpath='{.spec.containers[0].resources.limits.cpu}')
+memory_limit=$(kubectl get pod $pod -o=jsonpath='{.spec.containers[0].resources.limits.memory}')
+if [ "$cpu_limit" == "%s" ] && [ "$memory_limit" == "%s" ]; then
+  echo unit_test_passed
+fi
+`, name, name, cpu, mem),
+			Source: "kubernetes.io/docs/concepts/configuration/manage-resources-containers",
+		}
+	},
+	// Pod in a non-default namespace.
+	func(i int) Problem {
+		ns := pick(vocabNS[1:], i)
+		name := pick(vocabNames, i+3) + "-ns-pod"
+		image := pick(vocabImages, i+2)
+		return Problem{
+			Question: fmt.Sprintf(
+				"Our %s namespace already exists. Provide a Pod YAML that deploys image %q into it under the name %q, "+
+					"labeled tier: %s. The manifest must set metadata.namespace explicitly.",
+				ns, image, name, pick(vocabNames, i)),
+			ReferenceYAML: fmt.Sprintf(`apiVersion: v1
+kind: Pod
+metadata:
+  name: %s
+  namespace: %s
+  labels:
+    tier: %s
+spec:
+  containers:
+  - name: app # *
+    image: %s
+`, name, ns, pick(vocabNames, i), image),
+			UnitTest: fmt.Sprintf(`kubectl create ns %s
+kubectl apply -f labeled_code.yaml
+kubectl wait --for=condition=Ready pod -l tier=%s -n %s --timeout=60s
+found=$(kubectl get pods -n %s -l tier=%s --output=jsonpath={.items..metadata.name})
+if [ "$found" == "%s" ]; then
+  echo unit_test_passed
+fi
+`, ns, pick(vocabNames, i), ns, ns, pick(vocabNames, i), name),
+			Source: "stackoverflow.com/questions/55382591",
+		}
+	},
+	// Pod with an explicit command.
+	func(i int) Problem {
+		name := pick(vocabNames, i+5) + "-cmd"
+		msg := fmt.Sprintf("booting %s", pick(vocabNames, i+5))
+		return Problem{
+			Question: fmt.Sprintf(
+				"Write a Pod manifest named %q that runs busybox:1.36 with the command [\"sh\", \"-c\"] and the argument "+
+					"\"echo %s && sleep 3600\". Label it app: %s.",
+				name, msg, name),
+			ReferenceYAML: fmt.Sprintf(`apiVersion: v1
+kind: Pod
+metadata:
+  name: %s
+  labels:
+    app: %s
+spec:
+  containers:
+  - name: shell
+    image: busybox:1.36
+    command:
+    - sh
+    - -c
+    args:
+    - echo %s && sleep 3600
+`, name, name, msg),
+			UnitTest: fmt.Sprintf(`kubectl apply -f labeled_code.yaml
+kubectl wait --for=condition=Ready pod -l app=%s --timeout=60s
+cmd=$(kubectl get pod %s -o=jsonpath='{.spec.containers[0].command[0]}')
+img=$(kubectl get pod %s -o=jsonpath='{.spec.containers[0].image}')
+if [[ $cmd == "sh" && $img == "busybox:1.36" ]]; then
+  echo unit_test_passed
+fi
+`, name, name, name),
+			Source: "kubernetes.io/docs/tasks/inject-data-application/define-command-argument-container",
+		}
+	},
+	// Multi-container pod.
+	func(i int) Problem {
+		name := pick(vocabNames, i+7) + "-sidecar"
+		mainImage := pick(vocabImages, i)
+		sideImage := "busybox:1.36"
+		return Problem{
+			Question: fmt.Sprintf(
+				"Define a two-container Pod called %q: the first container %q runs %q, the second container "+
+					"\"sidecar\" runs %q. Both containers share the pod; label it app: %s.",
+				name, "main", mainImage, sideImage, name),
+			ReferenceYAML: fmt.Sprintf(`apiVersion: v1
+kind: Pod
+metadata:
+  name: %s
+  labels:
+    app: %s
+spec:
+  containers:
+  - name: main
+    image: %s
+  - name: sidecar
+    image: %s
+`, name, name, mainImage, sideImage),
+			UnitTest: fmt.Sprintf(`kubectl apply -f labeled_code.yaml
+kubectl wait --for=condition=Ready pod -l app=%s --timeout=60s
+names=$(kubectl get pod %s -o=jsonpath='{.spec.containers[*].name}')
+if [[ $names == *"main"* && $names == *"sidecar"* ]]; then
+  echo unit_test_passed
+fi
+`, name, name),
+			Source: "kubernetes.io/docs/concepts/workloads/pods/#how-pods-manage-multiple-containers",
+		}
+	},
+}
+
+var daemonSetSeeds = []seedFunc{
+	// Registry proxy with hostPort (Appendix C sample #1 family).
+	func(i int) Problem {
+		name := pick(vocabNames, i) + "-registry-proxy"
+		app := pick(vocabNames, i) + "-registry"
+		hostPort := 5000 + i%4*100
+		cpu := pick(vocabCPU, i)
+		mem := pick(vocabMem, i)
+		return Problem{
+			Question: fmt.Sprintf(
+				"Create a DaemonSet configuration. This DaemonSet should run the latest nginx image labeled as "+
+					"\"app: %s\" and expose a registry service on port 80 (with hostPort %d). The environment variables "+
+					"REGISTRY_HOST and REGISTRY_PORT should be set to %q and \"%d\" respectively. "+
+					"Ensure the CPU limit is set to %s and memory limit is set to %s.",
+				app, hostPort, app+".svc.cluster.local", hostPort, cpu, mem),
+			ReferenceYAML: fmt.Sprintf(`apiVersion: apps/v1
+kind: DaemonSet
+metadata:
+  name: %s # *
+spec:
+  selector:
+    matchLabels:
+      app: %s
+  template:
+    metadata:
+      labels:
+        app: %s
+    spec:
+      containers:
+      - name: %s # *
+        image: nginx:latest
+        resources:
+          limits:
+            cpu: %s
+            memory: %s
+        env:
+        - name: REGISTRY_HOST
+          value: %s.svc.cluster.local
+        - name: REGISTRY_PORT
+          value: "%d"
+        ports:
+        - name: registry # *
+          containerPort: 80
+          hostPort: %d
+`, name, app, app, name, cpu, mem, app, hostPort, hostPort),
+			UnitTest: fmt.Sprintf(`kubectl apply -f labeled_code.yaml
+kubectl wait --for=condition=Ready pod -l app=%s --timeout=60s
+passed_tests=0
+total_tests=3
+pods=$(kubectl get pods -l app=%s --output=jsonpath={.items..metadata.name})
+host_ip=$(kubectl get pod $pods -o=jsonpath='{.status.hostIP}')
+curl_output=$(curl -s -o /dev/null -w "%%{http_code}" $host_ip:%d)
+if [ "$curl_output" == "200" ]; then
+  ((passed_tests++))
+else
+  exit 1
+fi
+env_vars=$(kubectl get pods --selector=app=%s -o=jsonpath='{.items[0].spec.containers[0].env[*].name}')
+if [[ $env_vars == *"REGISTRY_HOST"* && $env_vars == *"REGISTRY_PORT"* ]]; then
+  ((passed_tests++))
+fi
+cpu_limit=$(kubectl get pod $pods -o=jsonpath='{.spec.containers[0].resources.limits.cpu}')
+memory_limit=$(kubectl get pod $pods -o=jsonpath='{.spec.containers[0].resources.limits.memory}')
+if [ "$cpu_limit" == "%s" ] && [ "$memory_limit" == "%s" ]; then
+  ((passed_tests++))
+fi
+if [ $passed_tests -eq $total_tests ]; then
+  echo unit_test_passed
+fi
+`, app, app, hostPort, app, cpu, mem),
+			Source: "kubernetes.io/docs/concepts/workloads/controllers/daemonset (adapted)",
+		}
+	},
+	// Log collection agent.
+	func(i int) Problem {
+		name := pick(vocabNames, i+2) + "-log-agent"
+		image := pick(vocabImages, i+3)
+		return Problem{
+			Question: fmt.Sprintf(
+				"We roll a log collection agent onto every node. Write a DaemonSet named %q whose pod template runs "+
+					"image %q with the label daemon: %s. After it is applied, the DaemonSet must report one ready pod "+
+					"on our single-node cluster.",
+				name, image, name),
+			ReferenceYAML: fmt.Sprintf(`apiVersion: apps/v1
+kind: DaemonSet
+metadata:
+  name: %s
+spec:
+  selector:
+    matchLabels:
+      daemon: %s
+  template:
+    metadata:
+      labels:
+        daemon: %s
+    spec:
+      containers:
+      - name: agent # *
+        image: %s
+`, name, name, name, image),
+			UnitTest: fmt.Sprintf(`kubectl apply -f labeled_code.yaml
+kubectl wait --for=condition=Ready pod -l daemon=%s --timeout=60s
+ready=$(kubectl get daemonset %s -o=jsonpath='{.status.numberReady}')
+if [ "$ready" == "1" ]; then
+  echo unit_test_passed
+fi
+`, name, name),
+			Source: "kubernetes.io/docs/concepts/workloads/controllers/daemonset",
+		}
+	},
+	// Node metrics exporter with hostPort.
+	func(i int) Problem {
+		name := pick(vocabNames, i+4) + "-exporter"
+		port := 9100 + i%5
+		return Problem{
+			Question: fmt.Sprintf(
+				"Provide a DaemonSet YAML for a node metrics exporter named %q. It runs nginx:1.25, is labeled "+
+					"app: %s, and publishes container port %d with an identical hostPort so the scraper can reach "+
+					"every node directly.",
+				name, name, port),
+			ReferenceYAML: fmt.Sprintf(`apiVersion: apps/v1
+kind: DaemonSet
+metadata:
+  name: %s
+spec:
+  selector:
+    matchLabels:
+      app: %s
+  template:
+    metadata:
+      labels:
+        app: %s
+    spec:
+      containers:
+      - name: exporter # *
+        image: nginx:1.25
+        ports:
+        - containerPort: %d
+          hostPort: %d
+`, name, name, name, port, port),
+			UnitTest: fmt.Sprintf(`kubectl apply -f labeled_code.yaml
+kubectl wait --for=condition=Ready pod -l app=%s --timeout=60s
+pod=$(kubectl get pods -l app=%s --output=jsonpath={.items..metadata.name})
+host_ip=$(kubectl get pod $pod -o=jsonpath='{.status.hostIP}')
+code=$(curl -s -o /dev/null -w "%%{http_code}" $host_ip:%d)
+if [ "$code" == "200" ]; then
+  echo unit_test_passed
+fi
+`, name, name, port),
+			Source: "github.com/prometheus/node_exporter (deployment docs, adapted)",
+		}
+	},
+	// DaemonSet with resource limits and env.
+	func(i int) Problem {
+		name := pick(vocabNames, i+6) + "-sync"
+		cpu := pick(vocabCPU, i+1)
+		mem := pick(vocabMem, i+1)
+		level := pick([]string{"debug", "info", "warn"}, i)
+		return Problem{
+			Question: fmt.Sprintf(
+				"Write a DaemonSet called %q (label run: %s) running redis:7 with a LOG_LEVEL environment variable "+
+					"set to %q. Cap each pod at %s CPU and %s memory.",
+				name, name, level, cpu, mem),
+			ReferenceYAML: fmt.Sprintf(`apiVersion: apps/v1
+kind: DaemonSet
+metadata:
+  name: %s
+spec:
+  selector:
+    matchLabels:
+      run: %s
+  template:
+    metadata:
+      labels:
+        run: %s
+    spec:
+      containers:
+      - name: sync # *
+        image: redis:7
+        env:
+        - name: LOG_LEVEL
+          value: %s
+        resources:
+          limits:
+            cpu: %s
+            memory: %s
+`, name, name, name, level, cpu, mem),
+			UnitTest: fmt.Sprintf(`kubectl apply -f labeled_code.yaml
+kubectl wait --for=condition=Ready pod -l run=%s --timeout=60s
+pod=$(kubectl get pods -l run=%s --output=jsonpath={.items..metadata.name})
+lvl=$(kubectl get pod $pod -o=jsonpath='{.spec.containers[0].env[0].value}')
+cpu=$(kubectl get pod $pod -o=jsonpath='{.spec.containers[0].resources.limits.cpu}')
+if [[ $lvl == "%s" && $cpu == "%s" ]]; then
+  echo unit_test_passed
+fi
+`, name, name, level, cpu),
+			Source: "stackoverflow.com/questions/59190954 (adapted)",
+		}
+	},
+}
+
+// deploymentContext renders the standard nginx-style deployment used as
+// YAML context for service problems.
+func deploymentContext(app, image string, replicas, port int) string {
+	return fmt.Sprintf(`apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: %s-deployment
+spec:
+  replicas: %d
+  selector:
+    matchLabels:
+      app: %s
+  template:
+    metadata:
+      labels:
+        app: %s
+    spec:
+      containers:
+      - name: %s-container
+        image: %s
+        ports:
+        - containerPort: %d
+`, app, replicas, app, app, app, image, port)
+}
+
+var serviceSeeds = []seedFunc{
+	// LoadBalancer service (Appendix C sample #2 family).
+	func(i int) Problem {
+		app := pick(vocabNames, i)
+		image := pick(vocabImages, i)
+		port := 80
+		ctx := deploymentContext(app, image, 3, port)
+		return Problem{
+			Question: fmt.Sprintf(
+				"Given the following YAML, please help me create a service with load balancer that uses the %s "+
+					"selector, exposed on port %d. It should be accessible via browser.",
+				app, port),
+			ContextYAML: ctx,
+			ReferenceYAML: fmt.Sprintf(`apiVersion: v1
+kind: Service
+metadata:
+  name: %s-service # *
+spec:
+  selector:
+    app: %s
+  ports:
+  - name: http
+    port: %d
+    targetPort: %d
+  type: LoadBalancer
+`, app, app, port, port),
+			UnitTest: fmt.Sprintf(`echo "%s" | kubectl apply -f -
+kubectl wait --for=condition=ready deployment --all --timeout=15s
+kubectl apply -f labeled_code.yaml
+sleep 15
+kubectl get svc
+svc=$(kubectl get svc --output=jsonpath={.items[0].metadata.name})
+timeout -s INT 8s minikube service $svc > bash_output.txt 2>&1
+cat bash_output.txt
+grep "Opening service default/$svc in default browser..." bash_output.txt && echo unit_test_passed
+`, escapeForEcho(ctx)),
+			Source: "kubernetes.io/docs/tutorials/stateless-application/expose-external-ip-address",
+		}
+	},
+	// NodePort service.
+	func(i int) Problem {
+		app := pick(vocabNames, i+1)
+		image := pick(vocabImages, i+1)
+		port := pick(vocabPorts, i)
+		ctx := deploymentContext(app, image, 2, port)
+		return Problem{
+			Question: fmt.Sprintf(
+				"The deployment below is already written. Add a NodePort Service named %q that selects app: %s "+
+					"and forwards service port %d to the pods' port %d, so the app answers on the node's IP.",
+				app+"-nodeport", app, port, port),
+			ContextYAML: ctx,
+			ReferenceYAML: fmt.Sprintf(`apiVersion: v1
+kind: Service
+metadata:
+  name: %s-nodeport # *
+spec:
+  type: NodePort
+  selector:
+    app: %s
+  ports:
+  - port: %d
+    targetPort: %d
+`, app, app, port, port),
+			UnitTest: fmt.Sprintf(`echo "%s" | kubectl apply -f -
+kubectl wait --for=condition=ready deployment --all --timeout=15s
+kubectl apply -f labeled_code.yaml
+sleep 5
+node_port=$(kubectl get svc --output=jsonpath={.items[0].spec.ports[0].nodePort})
+node_ip=$(minikube ip)
+code=$(curl -s -o /dev/null -w "%%{http_code}" $node_ip:$node_port)
+if [ "$code" == "200" ]; then
+  echo unit_test_passed
+fi
+`, escapeForEcho(ctx)),
+			Source: "stackoverflow.com/questions/41509439 (adapted)",
+		}
+	},
+	// ClusterIP service reached through cluster DNS.
+	func(i int) Problem {
+		app := pick(vocabNames, i+2)
+		image := pick(vocabImages, i+2)
+		port := pick(vocabPorts, i+2)
+		ctx := deploymentContext(app, image, 2, port)
+		svcName := app + "-internal"
+		return Problem{
+			Question: fmt.Sprintf(
+				"Using the deployment below as context, write a ClusterIP Service named %q for in-cluster access "+
+					"only: selector app: %s, service port %d targeting container port %d.",
+				svcName, app, port, port),
+			ContextYAML: ctx,
+			ReferenceYAML: fmt.Sprintf(`apiVersion: v1
+kind: Service
+metadata:
+  name: %s # *
+spec:
+  selector:
+    app: %s
+  ports:
+  - port: %d
+    targetPort: %d
+`, svcName, app, port, port),
+			UnitTest: fmt.Sprintf(`echo "%s" | kubectl apply -f -
+kubectl wait --for=condition=ready deployment --all --timeout=15s
+kubectl apply -f labeled_code.yaml
+sleep 5
+svc=$(kubectl get svc --output=jsonpath={.items[0].metadata.name})
+code=$(curl -s -o /dev/null -w "%%{http_code}" $svc.default.svc.cluster.local:%d)
+typ=$(kubectl get svc $svc -o=jsonpath='{.spec.type}')
+if [ "$code" == "200" ] && [ "$typ" != "NodePort" ] && [ "$typ" != "LoadBalancer" ]; then
+  echo unit_test_passed
+fi
+`, escapeForEcho(ctx), port),
+			Source: "kubernetes.io/docs/concepts/services-networking/service",
+		}
+	},
+}
+
+var jobSeeds = []seedFunc{
+	// One-shot computation job.
+	func(i int) Problem {
+		name := pick(vocabNames, i) + "-calc"
+		digits := 1000 + i*500
+		return Problem{
+			Question: fmt.Sprintf(
+				"Write a Job manifest named %q that computes pi to %d places using perl:5.34.0 with the command "+
+					"perl -Mbignum=bpi -wle 'print bpi(%d)'. Set restartPolicy to Never. The job must run to "+
+					"completion.",
+				name, digits, digits),
+			ReferenceYAML: fmt.Sprintf(`apiVersion: batch/v1
+kind: Job
+metadata:
+  name: %s
+spec:
+  template:
+    spec:
+      containers:
+      - name: pi # *
+        image: perl:5.34.0
+        command:
+        - perl
+        - -Mbignum=bpi
+        - -wle
+        - print bpi(%d)
+      restartPolicy: Never
+`, name, digits),
+			UnitTest: fmt.Sprintf(`kubectl apply -f labeled_code.yaml
+kubectl wait --for=condition=complete job/%s --timeout=120s
+succeeded=$(kubectl get job %s -o=jsonpath='{.status.succeeded}')
+if [ "$succeeded" == "1" ]; then
+  echo unit_test_passed
+fi
+`, name, name),
+			Source: "kubernetes.io/docs/concepts/workloads/controllers/job",
+		}
+	},
+	// Job with a backoff limit.
+	func(i int) Problem {
+		name := pick(vocabNames, i+1) + "-migrate"
+		backoff := 2 + i%4
+		image := pick(vocabImages, i+4)
+		return Problem{
+			Question: fmt.Sprintf(
+				"Our database migration runs as a Job named %q with image %q. Configure backoffLimit: %d so a "+
+					"broken migration does not retry forever, and restartPolicy: OnFailure.",
+				name, image, backoff),
+			ReferenceYAML: fmt.Sprintf(`apiVersion: batch/v1
+kind: Job
+metadata:
+  name: %s
+spec:
+  backoffLimit: %d
+  template:
+    spec:
+      containers:
+      - name: migrate # *
+        image: %s
+      restartPolicy: OnFailure
+`, name, backoff, image),
+			UnitTest: fmt.Sprintf(`kubectl apply -f labeled_code.yaml
+limit=$(kubectl get job %s -o=jsonpath='{.spec.backoffLimit}')
+kubectl wait --for=condition=complete job/%s --timeout=120s
+if [ "$limit" == "%d" ]; then
+  echo unit_test_passed
+fi
+`, name, name, backoff),
+			Source: "kubernetes.io/docs/concepts/workloads/controllers/job/#pod-backoff-failure-policy",
+		}
+	},
+	// Parallel job with completions.
+	func(i int) Problem {
+		name := pick(vocabNames, i+2) + "-fanout"
+		completions := 3 + i%3
+		parallelism := 1 + i%3
+		return Problem{
+			Question: fmt.Sprintf(
+				"Define a Job %q running busybox:1.36 with %d completions and parallelism %d "+
+					"(a work-queue style fan-out). restartPolicy must be Never.",
+				name, completions, parallelism),
+			ReferenceYAML: fmt.Sprintf(`apiVersion: batch/v1
+kind: Job
+metadata:
+  name: %s
+spec:
+  completions: %d
+  parallelism: %d
+  template:
+    spec:
+      containers:
+      - name: work # *
+        image: busybox:1.36
+      restartPolicy: Never
+`, name, completions, parallelism),
+			UnitTest: fmt.Sprintf(`kubectl apply -f labeled_code.yaml
+comp=$(kubectl get job %s -o=jsonpath='{.spec.completions}')
+par=$(kubectl get job %s -o=jsonpath='{.spec.parallelism}')
+if [[ $comp == "%d" && $par == "%d" ]]; then
+  echo unit_test_passed
+fi
+`, name, name, completions, parallelism),
+			Source: "kubernetes.io/docs/concepts/workloads/controllers/job/#parallel-jobs",
+		}
+	},
+}
+
+var deploymentSeeds = []seedFunc{
+	// Basic replicated deployment.
+	func(i int) Problem {
+		app := pick(vocabNames, i)
+		image := pick(vocabImages, i)
+		replicas := 2 + i%4
+		port := pick(vocabPorts, i)
+		return Problem{
+			Question: fmt.Sprintf(
+				"Write a Deployment manifest for %q: %d replicas of image %q, selector and pod labels app: %s, "+
+					"container port %d. After applying it, every replica must become ready.",
+				app+"-deployment", replicas, image, app, port),
+			ReferenceYAML: deploymentContext(app, image, replicas, port),
+			UnitTest: fmt.Sprintf(`kubectl apply -f labeled_code.yaml
+kubectl wait --for=condition=available deployment --all --timeout=60s
+ready=$(kubectl get deployment --output=jsonpath={.items[0].status.readyReplicas})
+if [ "$ready" == "%d" ]; then
+  echo unit_test_passed
+fi
+`, replicas),
+			Source: "kubernetes.io/docs/concepts/workloads/controllers/deployment",
+		}
+	},
+	// Deployment with env from literal values.
+	func(i int) Problem {
+		app := pick(vocabNames, i+3)
+		mode := pick([]string{"production", "staging", "canary"}, i)
+		return Problem{
+			Question: fmt.Sprintf(
+				"Create a Deployment named %q (1 replica, image node:20-alpine, labels app: %s) whose container "+
+					"sets the environment variable APP_MODE=%s.",
+				app+"-app", app, mode),
+			ReferenceYAML: fmt.Sprintf(`apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: %s-app
+spec:
+  replicas: 1
+  selector:
+    matchLabels:
+      app: %s
+  template:
+    metadata:
+      labels:
+        app: %s
+    spec:
+      containers:
+      - name: app # *
+        image: node:20-alpine
+        env:
+        - name: APP_MODE
+          value: %s
+`, app, app, app, mode),
+			UnitTest: fmt.Sprintf(`kubectl apply -f labeled_code.yaml
+kubectl wait --for=condition=available deployment --all --timeout=60s
+mode=$(kubectl get pods -l app=%s -o=jsonpath='{.items[0].spec.containers[0].env[0].value}')
+if [ "$mode" == "%s" ]; then
+  echo unit_test_passed
+fi
+`, app, mode),
+			Source: "stackoverflow.com/questions/49694646 (adapted)",
+		}
+	},
+	// Deployment with rolling-update strategy knobs.
+	func(i int) Problem {
+		app := pick(vocabNames, i+5)
+		surge := 1 + i%2
+		unavailable := i % 2
+		return Problem{
+			Question: fmt.Sprintf(
+				"Our %q deployment (image httpd:2.4, 3 replicas, labels app: %s) must use a RollingUpdate strategy "+
+					"with maxSurge %d and maxUnavailable %d. Provide the complete YAML.",
+				app+"-rolling", app, surge, unavailable),
+			ReferenceYAML: fmt.Sprintf(`apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: %s-rolling
+spec:
+  replicas: 3
+  strategy:
+    type: RollingUpdate
+    rollingUpdate:
+      maxSurge: %d
+      maxUnavailable: %d
+  selector:
+    matchLabels:
+      app: %s
+  template:
+    metadata:
+      labels:
+        app: %s
+    spec:
+      containers:
+      - name: httpd # *
+        image: httpd:2.4
+`, app, surge, unavailable, app, app),
+			UnitTest: fmt.Sprintf(`kubectl apply -f labeled_code.yaml
+kubectl wait --for=condition=available deployment --all --timeout=60s
+surge=$(kubectl get deployment %s-rolling -o=jsonpath='{.spec.strategy.rollingUpdate.maxSurge}')
+unavail=$(kubectl get deployment %s-rolling -o=jsonpath='{.spec.strategy.rollingUpdate.maxUnavailable}')
+if [[ $surge == "%d" && $unavail == "%d" ]]; then
+  echo unit_test_passed
+fi
+`, app, app, surge, unavailable),
+			Source: "kubernetes.io/docs/concepts/workloads/controllers/deployment/#rolling-update-deployment",
+		}
+	},
+}
+
+func upper(s string) string {
+	out := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		out[i] = c
+	}
+	return string(out)
+}
+
+// escapeForEcho protects a YAML block so it survives inside a double-
+// quoted echo argument in the unit test script.
+func escapeForEcho(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"', '\\', '$', '`':
+			out = append(out, '\\')
+		}
+		out = append(out, s[i])
+	}
+	return string(out)
+}

@@ -1,0 +1,339 @@
+package dataset
+
+import "fmt"
+
+// envoySeeds generates Envoy bootstrap configuration problems. Their
+// unit tests validate the config with "envoy --mode validate", start it,
+// and probe listeners with curl — mirroring the paper's Docker-based
+// Envoy testing.
+var envoySeeds = []seedFunc{
+	// Single listener forwarding everything to one upstream cluster.
+	func(i int) Problem {
+		listenPort := 10000 + i%8*100
+		cluster := pick(vocabNames, i) + "_backend"
+		upstreamPort := pick(vocabPorts, i)
+		return Problem{
+			Question: fmt.Sprintf(
+				"Write an Envoy bootstrap YAML (static_resources) with one listener named listener_0 bound to "+
+					"0.0.0.0:%d. Its HTTP connection manager routes every path (prefix \"/\") to a cluster named %q "+
+					"of type STATIC with a single endpoint at 127.0.0.1:%d using ROUND_ROBIN load balancing.",
+				listenPort, cluster, upstreamPort),
+			ReferenceYAML: fmt.Sprintf(`static_resources:
+  listeners:
+  - name: listener_0
+    address:
+      socket_address:
+        address: 0.0.0.0
+        port_value: %d
+    filter_chains:
+    - filters:
+      - name: envoy.filters.network.http_connection_manager
+        typed_config:
+          stat_prefix: ingress_http # *
+          route_config:
+            name: local_route
+            virtual_hosts:
+            - name: local_service # *
+              domains:
+              - "*"
+              routes:
+              - match:
+                  prefix: /
+                route:
+                  cluster: %s
+  clusters:
+  - name: %s
+    type: STATIC
+    lb_policy: ROUND_ROBIN
+    load_assignment:
+      cluster_name: %s
+      endpoints:
+      - lb_endpoints:
+        - endpoint:
+            address:
+              socket_address:
+                address: 127.0.0.1
+                port_value: %d
+`, listenPort, cluster, cluster, cluster, upstreamPort),
+			UnitTest: fmt.Sprintf(`envoy --mode validate -c labeled_code.yaml
+if [ $? -ne 0 ]; then
+  exit 1
+fi
+envoy -c labeled_code.yaml
+status=$(curl -s -o /dev/null -w "%%{http_code}" http://localhost:%d/)
+if [ "$status" == "200" ]; then
+  echo unit_test_passed
+fi
+`, listenPort),
+			Source: "envoyproxy.io/docs/envoy/latest/start/quick-start/configuration-static",
+		}
+	},
+	// Path-based routing to two clusters.
+	func(i int) Problem {
+		listenPort := 8080 + i%6*10
+		apiCluster := pick(vocabNames, i+1) + "_api"
+		webCluster := pick(vocabNames, i+2) + "_web"
+		return Problem{
+			Question: fmt.Sprintf(
+				"I need an Envoy config listening on 0.0.0.0:%d that sends requests with path prefix \"/api\" to "+
+					"cluster %q (endpoint 127.0.0.1:9001) and everything else (prefix \"/\") to cluster %q (endpoint "+
+					"127.0.0.1:9002). Both clusters are STATIC. Order the routes so /api matches first.",
+				listenPort, apiCluster, webCluster),
+			ReferenceYAML: fmt.Sprintf(`static_resources:
+  listeners:
+  - name: main
+    address:
+      socket_address:
+        address: 0.0.0.0
+        port_value: %d
+    filter_chains:
+    - filters:
+      - name: envoy.filters.network.http_connection_manager
+        typed_config:
+          stat_prefix: ingress_http # *
+          route_config:
+            name: split_route
+            virtual_hosts:
+            - name: all # *
+              domains:
+              - "*"
+              routes:
+              - match:
+                  prefix: /api
+                route:
+                  cluster: %s
+              - match:
+                  prefix: /
+                route:
+                  cluster: %s
+  clusters:
+  - name: %s
+    type: STATIC
+    load_assignment:
+      cluster_name: %s
+      endpoints:
+      - lb_endpoints:
+        - endpoint:
+            address:
+              socket_address:
+                address: 127.0.0.1
+                port_value: 9001
+  - name: %s
+    type: STATIC
+    load_assignment:
+      cluster_name: %s
+      endpoints:
+      - lb_endpoints:
+        - endpoint:
+            address:
+              socket_address:
+                address: 127.0.0.1
+                port_value: 9002
+`, listenPort, apiCluster, webCluster, apiCluster, apiCluster, webCluster, webCluster),
+			UnitTest: fmt.Sprintf(`envoy --mode validate -c labeled_code.yaml || exit 1
+envoy -c labeled_code.yaml
+api=$(curl -s -o /dev/null -w "%%{http_code}" http://localhost:%d/api/users)
+web=$(curl -s -o /dev/null -w "%%{http_code}" http://localhost:%d/index.html)
+api_body=$(curl -s http://localhost:%d/api/users)
+if [[ $api == "200" && $web == "200" && $api_body == *"%s"* ]]; then
+  echo unit_test_passed
+fi
+`, listenPort, listenPort, listenPort, apiCluster),
+			Source: "envoyproxy.io/docs/envoy/latest/configuration/http/http_conn_man/route_matching",
+		}
+	},
+	// Two listeners sharing one upstream.
+	func(i int) Problem {
+		portA := 10100 + i%5*10
+		portB := portA + 1000
+		cluster := pick(vocabNames, i+3) + "_svc"
+		return Problem{
+			Question: fmt.Sprintf(
+				"Our gateway needs two Envoy listeners: \"public\" on 0.0.0.0:%d and \"internal\" on 0.0.0.0:%d. "+
+					"Both route all traffic (prefix \"/\") to the same STATIC cluster %q with endpoint 127.0.0.1:%d. "+
+					"Write the full bootstrap static_resources YAML.",
+				portA, portB, cluster, 9000),
+			ReferenceYAML: fmt.Sprintf(`static_resources:
+  listeners:
+  - name: public
+    address:
+      socket_address:
+        address: 0.0.0.0
+        port_value: %d
+    filter_chains:
+    - filters:
+      - name: envoy.filters.network.http_connection_manager
+        typed_config:
+          stat_prefix: public_http # *
+          route_config:
+            name: public_route
+            virtual_hosts:
+            - name: public_hosts # *
+              domains:
+              - "*"
+              routes:
+              - match:
+                  prefix: /
+                route:
+                  cluster: %s
+  - name: internal
+    address:
+      socket_address:
+        address: 0.0.0.0
+        port_value: %d
+    filter_chains:
+    - filters:
+      - name: envoy.filters.network.http_connection_manager
+        typed_config:
+          stat_prefix: internal_http # *
+          route_config:
+            name: internal_route
+            virtual_hosts:
+            - name: internal_hosts # *
+              domains:
+              - "*"
+              routes:
+              - match:
+                  prefix: /
+                route:
+                  cluster: %s
+  clusters:
+  - name: %s
+    type: STATIC
+    load_assignment:
+      cluster_name: %s
+      endpoints:
+      - lb_endpoints:
+        - endpoint:
+            address:
+              socket_address:
+                address: 127.0.0.1
+                port_value: 9000
+`, portA, cluster, portB, cluster, cluster, cluster),
+			UnitTest: fmt.Sprintf(`envoy --mode validate -c labeled_code.yaml || exit 1
+envoy -c labeled_code.yaml
+a=$(curl -s -o /dev/null -w "%%{http_code}" http://localhost:%d/)
+b=$(curl -s -o /dev/null -w "%%{http_code}" http://localhost:%d/)
+if [[ $a == "200" && $b == "200" ]]; then
+  echo unit_test_passed
+fi
+`, portA, portB),
+			Source: "envoyproxy.io/docs/envoy/latest/configuration/listeners",
+		}
+	},
+}
+
+// istioSeeds generates Istio custom-resource problems; their tests use
+// kubectl against the simulated cluster, where Istio CRs are stored and
+// queried like any resource.
+var istioSeeds = []seedFunc{
+	// DestinationRule with a load-balancer policy (Appendix D example).
+	func(i int) Problem {
+		svc := pick([]string{"ratings", "reviews", "productpage", "details"}, i)
+		ns := pick([]string{"prod", "staging", "bookinfo"}, i)
+		policy := pick([]string{"LEAST_REQUEST", "ROUND_ROBIN", "RANDOM"}, i)
+		return Problem{
+			Question: fmt.Sprintf(
+				"I'm working with the bookinfo application in our Istio setup. I recall there was a "+
+					"DestinationRule specifically for the %s service in the %s namespace, which ensures traffic is "+
+					"load balanced using the %s strategy. Please provide me the exact configuration for that, named %q.",
+				svc, ns, policy, svc),
+			ReferenceYAML: fmt.Sprintf(`apiVersion: networking.istio.io/v1alpha3
+kind: DestinationRule
+metadata:
+  name: %s
+  namespace: %s
+spec:
+  host: %s
+  trafficPolicy:
+    loadBalancer:
+      simple: %s
+`, svc, ns, svc, policy),
+			UnitTest: fmt.Sprintf(`kubectl create ns %s
+kubectl apply -f labeled_code.yaml
+host=$(kubectl get destinationrule %s -n %s -o=jsonpath='{.spec.host}')
+lb=$(kubectl get destinationrule %s -n %s -o=jsonpath='{.spec.trafficPolicy.loadBalancer.simple}')
+if [[ $host == "%s" && $lb == "%s" ]]; then
+  echo unit_test_passed
+fi
+`, ns, svc, ns, svc, ns, svc, policy),
+			Source: "istio.io/latest/docs/reference/config/networking/destination-rule (Appendix D example)",
+		}
+	},
+	// DestinationRule with a subset carrying its own policy.
+	func(i int) Problem {
+		svc := pick([]string{"ratings", "reviews", "cart"}, i)
+		ns := pick([]string{"prod", "mesh"}, i)
+		version := fmt.Sprintf("v%d", 2+i%3)
+		return Problem{
+			Question: fmt.Sprintf(
+				"I need an Istio destination rule YAML set up for the bookinfo application's %s service in the "+
+					"%s namespace. Main traffic is load balanced with LEAST_REQUEST. Additionally there is a subset "+
+					"named \"testversion\" using version %s labels, and for this subset traffic is balanced with "+
+					"ROUND_ROBIN. Name the resource %q and provide the entire YAML.",
+				svc, ns, version, svc),
+			ReferenceYAML: fmt.Sprintf(`apiVersion: networking.istio.io/v1alpha3
+kind: DestinationRule
+metadata:
+  name: %s
+  namespace: %s
+spec:
+  host: %s
+  trafficPolicy:
+    loadBalancer:
+      simple: LEAST_REQUEST
+  subsets:
+  - name: testversion
+    labels:
+      version: %s
+    trafficPolicy:
+      loadBalancer:
+        simple: ROUND_ROBIN
+`, svc, ns, svc, version),
+			UnitTest: fmt.Sprintf(`kubectl create ns %s
+kubectl apply -f labeled_code.yaml
+subset=$(kubectl get destinationrule %s -n %s -o=jsonpath='{.spec.subsets[0].name}')
+ver=$(kubectl get destinationrule %s -n %s -o=jsonpath='{.spec.subsets[0].labels.version}')
+sublb=$(kubectl get destinationrule %s -n %s -o=jsonpath='{.spec.subsets[0].trafficPolicy.loadBalancer.simple}')
+if [[ $subset == "testversion" && $ver == "%s" && $sublb == "ROUND_ROBIN" ]]; then
+  echo unit_test_passed
+fi
+`, ns, svc, ns, svc, ns, svc, ns, version),
+			Source: "istio.io/latest/docs/reference/config/networking/destination-rule/#Subset",
+		}
+	},
+	// VirtualService routing to a weighted destination.
+	func(i int) Problem {
+		svc := pick([]string{"reviews", "frontend", "checkout"}, i)
+		host := svc + ".default.svc.cluster.local"
+		subset := fmt.Sprintf("v%d", 1+i%3)
+		return Problem{
+			Question: fmt.Sprintf(
+				"Write an Istio VirtualService named %q that matches the host %q and routes all HTTP traffic to "+
+					"destination host %q, subset %q.",
+				svc+"-route", svc, host, subset),
+			ReferenceYAML: fmt.Sprintf(`apiVersion: networking.istio.io/v1alpha3
+kind: VirtualService
+metadata:
+  name: %s-route
+spec:
+  hosts:
+  - %s
+  http:
+  - route:
+    - destination:
+        host: %s
+        subset: %s
+`, svc, svc, host, subset),
+			UnitTest: fmt.Sprintf(`kubectl apply -f labeled_code.yaml
+hosts=$(kubectl get virtualservice %s-route -o=jsonpath='{.spec.hosts[0]}')
+dest=$(kubectl get virtualservice %s-route -o=jsonpath='{.spec.http[0].route[0].destination.host}')
+subset=$(kubectl get virtualservice %s-route -o=jsonpath='{.spec.http[0].route[0].destination.subset}')
+if [[ $hosts == "%s" && $dest == "%s" && $subset == "%s" ]]; then
+  echo unit_test_passed
+fi
+`, svc, svc, svc, svc, host, subset),
+			Source: "istio.io/latest/docs/reference/config/networking/virtual-service",
+		}
+	},
+}

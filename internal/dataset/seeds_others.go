@@ -1,0 +1,507 @@
+package dataset
+
+import "fmt"
+
+// othersSeeds covers the long tail of Kubernetes kinds in Table 2's
+// "others" column: namespaces, config, RBAC, storage, autoscaling,
+// networking, stateful workloads and debugging problems.
+var othersSeeds = []seedFunc{
+	// Namespace with labels.
+	func(i int) Problem {
+		name := pick([]string{"analytics", "payments", "internal-tools", "ml-serving"}, i)
+		team := pick(vocabNames, i)
+		return Problem{
+			Question: fmt.Sprintf(
+				"Write a YAML manifest that creates a Namespace called %q labeled team: %s, so our cost reports "+
+					"can group workloads by owner.",
+				name, team),
+			ReferenceYAML: fmt.Sprintf(`apiVersion: v1
+kind: Namespace
+metadata:
+  name: %s
+  labels:
+    team: %s
+`, name, team),
+			UnitTest: fmt.Sprintf(`kubectl apply -f labeled_code.yaml
+team=$(kubectl get namespace %s -o=jsonpath='{.metadata.labels.team}')
+if [ "$team" == "%s" ]; then
+  echo unit_test_passed
+fi
+`, name, team),
+			Source: "kubernetes.io/docs/tasks/administer-cluster/namespaces",
+		}
+	},
+	// ConfigMap with several keys.
+	func(i int) Problem {
+		name := pick(vocabNames, i) + "-config"
+		logLevel := pick([]string{"debug", "info", "warning"}, i)
+		timeout := 10 + i%20
+		return Problem{
+			Question: fmt.Sprintf(
+				"Create a ConfigMap named %q with two data entries: log.level set to %q and request.timeout set "+
+					"to \"%ds\". Plain v1 API.",
+				name, logLevel, timeout),
+			ReferenceYAML: fmt.Sprintf(`apiVersion: v1
+kind: ConfigMap
+metadata:
+  name: %s
+data:
+  log.level: %s
+  request.timeout: %ds
+`, name, logLevel, timeout),
+			UnitTest: fmt.Sprintf(`kubectl apply -f labeled_code.yaml
+lvl=$(kubectl get configmap %s -o=jsonpath="{.data['log\.level']}")
+if [ "$lvl" == "%s" ]; then
+  echo unit_test_passed
+fi
+`, name, logLevel),
+			Source: "kubernetes.io/docs/concepts/configuration/configmap",
+		}
+	},
+	// Opaque secret via stringData.
+	func(i int) Problem {
+		name := pick(vocabNames, i+1) + "-credentials"
+		user := pick(vocabNames, i+2)
+		return Problem{
+			Question: fmt.Sprintf(
+				"Write a Secret manifest named %q of type Opaque. Use stringData (not base64) with username: %s "+
+					"and password: s3cr3t-%d.",
+				name, user, 100+i),
+			ReferenceYAML: fmt.Sprintf(`apiVersion: v1
+kind: Secret
+metadata:
+  name: %s
+type: Opaque
+stringData:
+  username: %s
+  password: s3cr3t-%d
+`, name, user, 100+i),
+			UnitTest: fmt.Sprintf(`kubectl apply -f labeled_code.yaml
+u=$(kubectl get secret %s -o=jsonpath='{.stringData.username}')
+t=$(kubectl get secret %s -o=jsonpath='{.type}')
+if [[ $u == "%s" && $t == "Opaque" ]]; then
+  echo unit_test_passed
+fi
+`, name, name, user),
+			Source: "kubernetes.io/docs/concepts/configuration/secret",
+		}
+	},
+	// LimitRange (the Appendix D simplification example).
+	func(i int) Problem {
+		cpuDefault := pick(vocabCPU, i)
+		memDefault := pick(vocabMem, i)
+		cpuMax := pick([]string{"150m", "300m", "600m", "250m"}, i)
+		memMax := pick([]string{"250Mi", "512Mi", "1Gi", "128Mi"}, i)
+		return Problem{
+			Question: fmt.Sprintf(
+				"Craft a yaml file to define a Kubernetes LimitRange. Containers within the cluster should have a "+
+					"default CPU request of %s and a memory request of %s. Any Pod created should not exceed a maximum "+
+					"CPU usage of %s or a memory usage of %s. Name it resource-limits.",
+				cpuDefault, memDefault, cpuMax, memMax),
+			ReferenceYAML: fmt.Sprintf(`apiVersion: v1
+kind: LimitRange
+metadata:
+  name: resource-limits
+spec:
+  limits:
+  - type: Container
+    defaultRequest:
+      cpu: %s
+      memory: %s
+  - type: Pod
+    max:
+      cpu: %s
+      memory: %s
+`, cpuDefault, memDefault, cpuMax, memMax),
+			UnitTest: fmt.Sprintf(`kubectl apply -f labeled_code.yaml
+cpu=$(kubectl get limitrange resource-limits -o=jsonpath='{.spec.limits[0].defaultRequest.cpu}')
+maxmem=$(kubectl get limitrange resource-limits -o=jsonpath='{.spec.limits[1].max.memory}')
+if [[ $cpu == "%s" && $maxmem == "%s" ]]; then
+  echo unit_test_passed
+fi
+`, cpuDefault, memMax),
+			Source: "kubernetes.io/docs/concepts/policy/limit-range (Appendix D example)",
+		}
+	},
+	// PersistentVolumeClaim.
+	func(i int) Problem {
+		name := pick(vocabNames, i+3) + "-data"
+		size := pick([]string{"1Gi", "5Gi", "10Gi", "20Gi"}, i)
+		mode := pick([]string{"ReadWriteOnce", "ReadOnlyMany"}, i)
+		return Problem{
+			Question: fmt.Sprintf(
+				"Define a PersistentVolumeClaim named %q requesting %s of storage with access mode %s.",
+				name, size, mode),
+			ReferenceYAML: fmt.Sprintf(`apiVersion: v1
+kind: PersistentVolumeClaim
+metadata:
+  name: %s
+spec:
+  accessModes:
+  - %s
+  resources:
+    requests:
+      storage: %s
+`, name, mode, size),
+			UnitTest: fmt.Sprintf(`kubectl apply -f labeled_code.yaml
+size=$(kubectl get persistentvolumeclaim %s -o=jsonpath='{.spec.resources.requests.storage}')
+mode=$(kubectl get persistentvolumeclaim %s -o=jsonpath='{.spec.accessModes[0]}')
+if [[ $size == "%s" && $mode == "%s" ]]; then
+  echo unit_test_passed
+fi
+`, name, name, size, mode),
+			Source: "kubernetes.io/docs/concepts/storage/persistent-volumes",
+		}
+	},
+	// RoleBinding (the Figure 1 problem).
+	func(i int) Problem {
+		ns := pick([]string{"development", "qa", "integration", "sandbox"}, i)
+		user := pick([]string{"dave", "alice", "bob", "carol"}, i)
+		role := pick([]string{"secret-reader", "config-viewer", "pod-inspector"}, i)
+		return Problem{
+			Question: fmt.Sprintf(
+				"Write a yaml file to create a Kubernetes RoleBinding in the %s namespace with the name "+
+					"\"read-secrets\". This RoleBinding should bind the user %q to the ClusterRole named %q. Ensure "+
+					"that both the user and the ClusterRole are under the rbac.authorization.k8s.io API group.",
+				ns, user, role),
+			ReferenceYAML: fmt.Sprintf(`apiVersion: rbac.authorization.k8s.io/v1
+kind: RoleBinding
+metadata:
+  name: read-secrets
+  namespace: %s
+subjects:
+- kind: User
+  name: %s
+  apiGroup: rbac.authorization.k8s.io
+roleRef:
+  kind: ClusterRole
+  name: %s
+  apiGroup: rbac.authorization.k8s.io
+`, ns, user, role),
+			UnitTest: fmt.Sprintf(`kubectl create ns %s
+kubectl apply -f labeled_code.yaml
+kubectl create clusterrole %s --verb=get,list --resource=secrets
+namespace=$(kubectl get rolebinding read-secrets -n %s -o jsonpath='{.metadata.namespace}')
+subject_name=$(kubectl get rolebinding read-secrets -n %s -o jsonpath='{.subjects[0].name}')
+role_ref_name=$(kubectl get rolebinding read-secrets -n %s -o jsonpath='{.roleRef.name}')
+if [[ $namespace == "%s" && $subject_name == "%s" && $role_ref_name == "%s" ]]; then
+  echo unit_test_passed
+fi
+`, ns, role, ns, ns, ns, ns, user, role),
+			Source: "kubernetes.io/docs/reference/access-authn-authz/rbac (Figure 1 example)",
+		}
+	},
+	// ClusterRole with rules.
+	func(i int) Problem {
+		name := pick(vocabNames, i+4) + "-reader"
+		resource := pick([]string{"pods", "services", "configmaps", "deployments"}, i)
+		return Problem{
+			Question: fmt.Sprintf(
+				"Provide a ClusterRole named %q allowing the verbs get, list and watch on %s (core API group).",
+				name, resource),
+			ReferenceYAML: fmt.Sprintf(`apiVersion: rbac.authorization.k8s.io/v1
+kind: ClusterRole
+metadata:
+  name: %s
+rules:
+- apiGroups:
+  - ""
+  resources:
+  - %s
+  verbs:
+  - get
+  - list
+  - watch
+`, name, resource),
+			UnitTest: fmt.Sprintf(`kubectl apply -f labeled_code.yaml
+res=$(kubectl get clusterrole %s -o=jsonpath='{.rules[0].resources[0]}')
+verbs=$(kubectl get clusterrole %s -o=jsonpath='{.rules[0].verbs[*]}')
+if [[ $res == "%s" && $verbs == *"watch"* ]]; then
+  echo unit_test_passed
+fi
+`, name, name, resource),
+			Source: "kubernetes.io/docs/reference/access-authn-authz/rbac/#role-and-clusterrole",
+		}
+	},
+	// ServiceAccount.
+	func(i int) Problem {
+		name := pick(vocabNames, i+5) + "-bot"
+		ns := pick(vocabNS, i)
+		return Problem{
+			Question: fmt.Sprintf(
+				"Our CI needs a ServiceAccount called %q in the %s namespace. Write the manifest (set the "+
+					"namespace in metadata even if it is default).",
+				name, ns),
+			ReferenceYAML: fmt.Sprintf(`apiVersion: v1
+kind: ServiceAccount
+metadata:
+  name: %s
+  namespace: %s
+`, name, ns),
+			UnitTest: fmt.Sprintf(`kubectl create ns %s 2>/dev/null
+kubectl apply -f labeled_code.yaml
+found=$(kubectl get serviceaccount %s -n %s -o=jsonpath='{.metadata.name}')
+if [ "$found" == "%s" ]; then
+  echo unit_test_passed
+fi
+`, ns, name, ns, name),
+			Source: "kubernetes.io/docs/tasks/configure-pod-container/configure-service-account",
+		}
+	},
+	// Ingress debugging (Appendix C sample #3): fix the strict decoding error.
+	func(i int) Problem {
+		svc := pick(vocabNames, i) + "-app"
+		port := pick(vocabPorts, i+3)
+		broken := fmt.Sprintf(`apiVersion: networking.k8s.io/v1
+kind: Ingress
+metadata:
+  name: test-ingress
+  annotations:
+    nginx.ingress.kubernetes.io/rewrite-target: /
+spec:
+  rules:
+  - http:
+      paths:
+      - path: /
+        backend:
+          serviceName: %s
+          servicePort: %d
+`, svc, port)
+		return Problem{
+			Question: fmt.Sprintf(
+				"Given the following YAML which is not functionally correct, executing it reports: Error from "+
+					"server (BadRequest): Ingress in version \"v1\" cannot be handled as a Ingress: strict decoding "+
+					"error: unknown field \"spec.rules[0].http.paths[0].backend.serviceName\", unknown field "+
+					"\"spec.rules[0].http.paths[0].backend.servicePort\". Please debug it to make it valid, keeping the "+
+					"backend service %q on port %d. Name the Ingress minimal-ingress and provide the entire YAML.",
+				svc, port),
+			ContextYAML: broken,
+			ReferenceYAML: fmt.Sprintf(`apiVersion: networking.k8s.io/v1
+kind: Ingress
+metadata:
+  name: minimal-ingress
+  annotations:
+    nginx.ingress.kubernetes.io/rewrite-target: /
+spec:
+  rules:
+  - http:
+      paths:
+      - path: /
+        pathType: Prefix
+        backend:
+          service:
+            name: %s
+            port:
+              number: %d
+`, svc, port),
+			UnitTest: fmt.Sprintf(`kubectl apply -f labeled_code.yaml
+kubectl wait --namespace default --for=condition=SYNCED ingress --all --timeout=15s
+kubectl describe ingress minimal-ingress | grep "%s:%d" && echo unit_test_passed
+`, svc, port),
+			Source: "stackoverflow.com/questions/69162781 (Appendix C sample #3)",
+		}
+	},
+	// HorizontalPodAutoscaler.
+	func(i int) Problem {
+		target := pick(vocabNames, i+6) + "-deployment"
+		minR := 1 + i%2
+		maxR := 5 + i%6
+		return Problem{
+			Question: fmt.Sprintf(
+				"Write an autoscaling/v2 HorizontalPodAutoscaler named %q that scales Deployment %q between %d "+
+					"and %d replicas targeting 80%% average CPU utilization.",
+				target+"-hpa", target, minR, maxR),
+			ReferenceYAML: fmt.Sprintf(`apiVersion: autoscaling/v2
+kind: HorizontalPodAutoscaler
+metadata:
+  name: %s-hpa
+spec:
+  scaleTargetRef:
+    apiVersion: apps/v1
+    kind: Deployment
+    name: %s
+  minReplicas: %d
+  maxReplicas: %d
+  metrics:
+  - type: Resource
+    resource:
+      name: cpu
+      target:
+        type: Utilization
+        averageUtilization: 80
+`, target, target, minR, maxR),
+			UnitTest: fmt.Sprintf(`kubectl apply -f labeled_code.yaml
+minr=$(kubectl get horizontalpodautoscaler %s-hpa -o=jsonpath='{.spec.minReplicas}')
+maxr=$(kubectl get horizontalpodautoscaler %s-hpa -o=jsonpath='{.spec.maxReplicas}')
+ref=$(kubectl get horizontalpodautoscaler %s-hpa -o=jsonpath='{.spec.scaleTargetRef.name}')
+if [[ $minr == "%d" && $maxr == "%d" && $ref == "%s" ]]; then
+  echo unit_test_passed
+fi
+`, target, target, target, minR, maxR, target),
+			Source: "kubernetes.io/docs/tasks/run-application/horizontal-pod-autoscale",
+		}
+	},
+	// StatefulSet.
+	func(i int) Problem {
+		name := pick([]string{"db", "kv", "ledger", "tsdb"}, i)
+		replicas := 2 + i%2
+		image := pick([]string{"redis:7", "memcached:1.6"}, i)
+		return Problem{
+			Question: fmt.Sprintf(
+				"Define a StatefulSet named %q with %d replicas of %q, serviceName %q and labels app: %s. "+
+					"Pods must come up ready with their ordinal names (%s-0, ...).",
+				name, replicas, image, name, name, name),
+			ReferenceYAML: fmt.Sprintf(`apiVersion: apps/v1
+kind: StatefulSet
+metadata:
+  name: %s
+spec:
+  serviceName: %s
+  replicas: %d
+  selector:
+    matchLabels:
+      app: %s
+  template:
+    metadata:
+      labels:
+        app: %s
+    spec:
+      containers:
+      - name: %s # *
+        image: %s
+`, name, name, replicas, name, name, name, image),
+			UnitTest: fmt.Sprintf(`kubectl apply -f labeled_code.yaml
+kubectl wait --for=condition=Ready pod -l app=%s --timeout=60s
+first=$(kubectl get pod %s-0 -o=jsonpath='{.metadata.name}')
+if [ "$first" == "%s-0" ]; then
+  echo unit_test_passed
+fi
+`, name, name, name),
+			Source: "kubernetes.io/docs/concepts/workloads/controllers/statefulset",
+		}
+	},
+	// CronJob.
+	func(i int) Problem {
+		name := pick(vocabNames, i+7) + "-nightly"
+		schedule := pick([]string{"0 2 * * *", "*/15 * * * *", "30 4 * * 1", "0 */6 * * *"}, i)
+		return Problem{
+			Question: fmt.Sprintf(
+				"Create a CronJob named %q that runs busybox:1.36 on the schedule %q with restartPolicy OnFailure.",
+				name, schedule),
+			ReferenceYAML: fmt.Sprintf(`apiVersion: batch/v1
+kind: CronJob
+metadata:
+  name: %s
+spec:
+  schedule: "%s"
+  jobTemplate:
+    spec:
+      template:
+        spec:
+          containers:
+          - name: task # *
+            image: busybox:1.36
+          restartPolicy: OnFailure
+`, name, schedule),
+			UnitTest: fmt.Sprintf(`kubectl apply -f labeled_code.yaml
+sched=$(kubectl get cronjob %s -o=jsonpath='{.spec.schedule}')
+img=$(kubectl get cronjob %s -o=jsonpath='{.spec.jobTemplate.spec.template.spec.containers[0].image}')
+if [[ $sched == "%s" && $img == "busybox:1.36" ]]; then
+  echo unit_test_passed
+fi
+`, name, name, schedule),
+			Source: "kubernetes.io/docs/concepts/workloads/controllers/cron-jobs",
+		}
+	},
+	// Multi-document Service + Deployment (the Appendix D MySQL example).
+	func(i int) Problem {
+		name := pick([]string{"mysql", "postgres", "mariadb", "mongo"}, i)
+		port := pick([]int{3306, 5432, 3307, 27017}, i)
+		return Problem{
+			Question: fmt.Sprintf(
+				"Please write a YAML file that defines firstly a Service and then a Deployment. The Deployment "+
+					"runs a single %s instance using image %s:latest on port %d, with the environment "+
+					"MYSQL_ROOT_PASSWORD=password. The Service simply exposes the deployment on its port. All names "+
+					"should be %s and labels should be app: %s.",
+				name, name, port, name, name),
+			ReferenceYAML: fmt.Sprintf(`apiVersion: v1
+kind: Service
+metadata:
+  name: %s
+spec:
+  selector:
+    app: %s
+  ports:
+  - port: %d
+    targetPort: %d
+---
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: %s
+spec:
+  replicas: 1
+  selector:
+    matchLabels:
+      app: %s
+  template:
+    metadata:
+      labels:
+        app: %s
+    spec:
+      containers:
+      - name: %s # *
+        image: %s:latest
+        env:
+        - name: MYSQL_ROOT_PASSWORD
+          value: password
+        ports:
+        - containerPort: %d
+`, name, name, port, port, name, name, name, name, name, port),
+			UnitTest: fmt.Sprintf(`kubectl apply -f labeled_code.yaml
+kubectl wait --for=condition=available deployment --all --timeout=60s
+sleep 5
+svc=$(kubectl get svc %s -o=jsonpath='{.metadata.name}')
+code=$(curl -s -o /dev/null -w "%%{http_code}" %s.default.svc.cluster.local:%d)
+pw=$(kubectl get pods -l app=%s -o=jsonpath='{.items[0].spec.containers[0].env[0].value}')
+if [[ $svc == "%s" && $code == "200" && $pw == "password" ]]; then
+  echo unit_test_passed
+fi
+`, name, name, port, name, name),
+			Source: "kubernetes.io/docs/tasks/run-application/run-single-instance-stateful-application (Appendix D example)",
+		}
+	},
+	// NetworkPolicy.
+	func(i int) Problem {
+		app := pick(vocabNames, i+2)
+		from := pick(vocabNames, i+4)
+		return Problem{
+			Question: fmt.Sprintf(
+				"Write a NetworkPolicy named allow-%s that selects pods labeled app: %s and only allows ingress "+
+					"from pods labeled app: %s.",
+				app, app, from),
+			ReferenceYAML: fmt.Sprintf(`apiVersion: networking.k8s.io/v1
+kind: NetworkPolicy
+metadata:
+  name: allow-%s
+spec:
+  podSelector:
+    matchLabels:
+      app: %s
+  ingress:
+  - from:
+    - podSelector:
+        matchLabels:
+          app: %s
+`, app, app, from),
+			UnitTest: fmt.Sprintf(`kubectl apply -f labeled_code.yaml
+sel=$(kubectl get networkpolicy allow-%s -o=jsonpath='{.spec.podSelector.matchLabels.app}')
+src=$(kubectl get networkpolicy allow-%s -o=jsonpath='{.spec.ingress[0].from[0].podSelector.matchLabels.app}')
+if [[ $sel == "%s" && $src == "%s" ]]; then
+  echo unit_test_passed
+fi
+`, app, app, app, from),
+			Source: "kubernetes.io/docs/concepts/services-networking/network-policies",
+		}
+	},
+}

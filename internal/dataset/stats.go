@@ -1,0 +1,90 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats aggregates the Table 2 statistics for a set of problems.
+type Stats struct {
+	Count            int
+	AvgQuestionWords float64
+	AvgSolutionLines float64
+	AvgSolutionToks  float64
+	MaxSolutionToks  int
+	AvgUnitTestLines float64
+}
+
+// ComputeStats computes corpus statistics for a problem subset.
+func ComputeStats(ps []Problem) Stats {
+	s := Stats{Count: len(ps)}
+	if len(ps) == 0 {
+		return s
+	}
+	var words, lines, toks, utLines int
+	for _, p := range ps {
+		words += p.QuestionWords()
+		lines += p.SolutionLines()
+		t := p.SolutionTokens()
+		toks += t
+		if t > s.MaxSolutionToks {
+			s.MaxSolutionToks = t
+		}
+		utLines += p.UnitTestLines()
+	}
+	n := float64(len(ps))
+	s.AvgQuestionWords = float64(words) / n
+	s.AvgSolutionLines = float64(lines) / n
+	s.AvgSolutionToks = float64(toks) / n
+	s.AvgUnitTestLines = float64(utLines) / n
+	return s
+}
+
+// ByGroup partitions problems into Table 2's columns: the Kubernetes
+// subcategories, then Envoy and Istio.
+func ByGroup(ps []Problem) map[string][]Problem {
+	out := map[string][]Problem{}
+	for _, p := range ps {
+		key := p.Subcategory
+		if p.Category != Kubernetes {
+			key = string(p.Category)
+		}
+		out[key] = append(out[key], p)
+	}
+	return out
+}
+
+// Table2Columns is the presentation order of Table 2.
+var Table2Columns = []string{"pod", "daemonset", "service", "job", "deployment", "others", "envoy", "istio"}
+
+// FormatTable2 renders the dataset statistics in the paper's Table 2
+// layout.
+func FormatTable2(ps []Problem) string {
+	groups := ByGroup(ps)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s", "Statistics")
+	for _, c := range Table2Columns {
+		fmt.Fprintf(&b, "%12s", c)
+	}
+	fmt.Fprintf(&b, "%12s\n", "total/avg")
+	total := ComputeStats(ps)
+	rows := []struct {
+		label string
+		get   func(Stats) string
+	}{
+		{"Total Problem Count", func(s Stats) string { return fmt.Sprintf("%d", s.Count) }},
+		{"Avg. Question Words", func(s Stats) string { return fmt.Sprintf("%.2f", s.AvgQuestionWords) }},
+		{"Avg. Lines of Solution", func(s Stats) string { return fmt.Sprintf("%.2f", s.AvgSolutionLines) }},
+		{"Avg. Tokens of Solution", func(s Stats) string { return fmt.Sprintf("%.2f", s.AvgSolutionToks) }},
+		{"Max Tokens of Solution", func(s Stats) string { return fmt.Sprintf("%d", s.MaxSolutionToks) }},
+		{"Avg. Lines of Unit Test", func(s Stats) string { return fmt.Sprintf("%.2f", s.AvgUnitTestLines) }},
+	}
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-28s", row.label)
+		for _, c := range Table2Columns {
+			fmt.Fprintf(&b, "%12s", row.get(ComputeStats(groups[c])))
+		}
+		fmt.Fprintf(&b, "%12s\n", row.get(total))
+	}
+	return b.String()
+}

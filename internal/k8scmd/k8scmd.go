@@ -1,0 +1,253 @@
+// Package k8scmd binds the cloud-native command-line tools the
+// benchmark's unit tests invoke — kubectl, curl, minikube, istioctl and
+// envoy — to the kubesim and envoysim backends, as shell builtins.
+package k8scmd
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"cloudeval/internal/envoysim"
+	"cloudeval/internal/jsonpath"
+	"cloudeval/internal/kubesim"
+	"cloudeval/internal/shell"
+	"cloudeval/internal/yamlx"
+)
+
+// Env is the execution environment for one unit test: a fresh cluster,
+// an optional running Envoy, and the shell interpreter wired to them.
+type Env struct {
+	Cluster *kubesim.Cluster
+	Envoy   *envoysim.Bootstrap // set once "envoy -c file" runs
+	Shell   *shell.Interp
+}
+
+// NewEnv builds a fresh environment with all tools registered.
+func NewEnv() *Env {
+	e := &Env{
+		Cluster: kubesim.NewCluster(),
+		Shell:   shell.New(),
+	}
+	e.Shell.AdvanceClock = e.Cluster.AdvanceTime
+	e.Shell.Builtins["kubectl"] = e.kubectl
+	e.Shell.Builtins["curl"] = e.curl
+	e.Shell.Builtins["minikube"] = e.minikube
+	e.Shell.Builtins["istioctl"] = e.istioctl
+	e.Shell.Builtins["envoy"] = e.envoy
+	e.Shell.Builtins["docker"] = e.docker
+	return e
+}
+
+// flagSet is a tiny kubectl-style flag scanner: it separates positional
+// args from --flag=value / --flag value / -x value forms.
+type flagSet struct {
+	positional []string
+	flags      map[string]string
+}
+
+var valueFlags = map[string]bool{
+	"-n": true, "--namespace": true,
+	"-l": true, "--selector": true,
+	"-o": true, "--output": true,
+	"--for": true, "--timeout": true,
+	"--from-literal": true, "--image": true,
+	"--port": true, "--replicas": true,
+	"-f": true, "--filename": true,
+	"-c": true, "-w": true, "--max-time": true, "-m": true,
+	"--verb": true, "--resource": true,
+	"-s": true,
+}
+
+func parseFlags(args []string) flagSet {
+	fs := flagSet{flags: map[string]string{}}
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if !strings.HasPrefix(a, "-") || a == "-" {
+			fs.positional = append(fs.positional, a)
+			continue
+		}
+		if eq := strings.Index(a, "="); eq >= 0 {
+			name := a[:eq]
+			val := a[eq+1:]
+			if name == "--from-literal" {
+				fs.flags[name] = appendList(fs.flags[name], val)
+			} else {
+				fs.flags[name] = val
+			}
+			continue
+		}
+		if valueFlags[a] && i+1 < len(args) {
+			if a == "--from-literal" {
+				fs.flags[a] = appendList(fs.flags[a], args[i+1])
+			} else {
+				fs.flags[a] = args[i+1]
+			}
+			i++
+			continue
+		}
+		fs.flags[a] = "true"
+	}
+	return fs
+}
+
+func appendList(existing, v string) string {
+	if existing == "" {
+		return v
+	}
+	return existing + "\x00" + v
+}
+
+func (fs flagSet) get(names ...string) string {
+	for _, n := range names {
+		if v, ok := fs.flags[n]; ok {
+			return v
+		}
+	}
+	return ""
+}
+
+func (fs flagSet) has(name string) bool {
+	_, ok := fs.flags[name]
+	return ok
+}
+
+func (e *Env) namespaceOf(fs flagSet) string {
+	if ns := fs.get("-n", "--namespace"); ns != "" {
+		return ns
+	}
+	return "default"
+}
+
+// readManifest resolves "-f FILE" or "-f -" against the virtual FS or
+// stdin.
+func (e *Env) readManifest(fs flagSet, io *shell.IO) (string, error) {
+	file := fs.get("-f", "--filename")
+	if file == "" {
+		return "", fmt.Errorf("error: must specify one of -f and -k")
+	}
+	if file == "-" {
+		return io.In, nil
+	}
+	content, ok := e.Shell.FS[file]
+	if !ok {
+		return "", fmt.Errorf("error: the path %q does not exist", file)
+	}
+	return content, nil
+}
+
+func parseTimeout(s string) time.Duration {
+	if s == "" {
+		return 30 * time.Second
+	}
+	if d, err := time.ParseDuration(s); err == nil {
+		return d
+	}
+	if secs, err := strconv.Atoi(s); err == nil {
+		return time.Duration(secs) * time.Second
+	}
+	return 30 * time.Second
+}
+
+// renderTable prints the default "kubectl get" table for a kind.
+func renderTable(io *shell.IO, kind string, items []*yamlx.Node, cluster *kubesim.Cluster) {
+	switch strings.ToLower(kind)[0:3] {
+	case "pod":
+		fmt.Fprintf(io.Out, "%-44s %-7s %-9s %-9s %s\n", "NAME", "READY", "STATUS", "RESTARTS", "AGE")
+		for _, it := range items {
+			name := it.Path("metadata", "name").ScalarString()
+			phase := it.Path("status", "phase").ScalarString()
+			ready := "0/1"
+			if kubesim.HasCondition(it, "Ready") {
+				ready = "1/1"
+			}
+			fmt.Fprintf(io.Out, "%-44s %-7s %-9s %-9s %s\n", name, ready, phase, "0", "1m")
+		}
+	case "ser", "svc":
+		fmt.Fprintf(io.Out, "%-20s %-14s %-14s %-14s %-14s %s\n", "NAME", "TYPE", "CLUSTER-IP", "EXTERNAL-IP", "PORT(S)", "AGE")
+		for _, it := range items {
+			name := it.Path("metadata", "name").ScalarString()
+			typ := it.Path("spec", "type").ScalarString()
+			if typ == "" {
+				typ = "ClusterIP"
+			}
+			clusterIP := it.Path("spec", "clusterIP").ScalarString()
+			external := "<none>"
+			if typ == "LoadBalancer" {
+				external = "<pending>"
+				if ip := it.Path("status", "loadBalancer", "ingress", 0, "ip"); ip != nil {
+					external = ip.ScalarString()
+				}
+			}
+			var ports []string
+			if pn := it.Path("spec", "ports"); pn != nil {
+				for _, p := range pn.Items {
+					entry := p.Get("port").ScalarString()
+					if np := p.Get("nodePort"); np != nil {
+						entry += ":" + np.ScalarString()
+					}
+					ports = append(ports, entry+"/TCP")
+				}
+			}
+			fmt.Fprintf(io.Out, "%-20s %-14s %-14s %-14s %-14s %s\n", name, typ, clusterIP, external, strings.Join(ports, ","), "1m")
+		}
+	default:
+		fmt.Fprintf(io.Out, "%-44s %s\n", "NAME", "AGE")
+		for _, it := range items {
+			fmt.Fprintf(io.Out, "%-44s %s\n", it.Path("metadata", "name").ScalarString(), "1m")
+		}
+	}
+}
+
+// evalOutput renders "kubectl get" items according to -o/--output.
+func evalOutput(io *shell.IO, format string, kind string, names []string, items []*yamlx.Node, cluster *kubesim.Cluster) int {
+	switch {
+	case format == "":
+		renderTable(io, kind, items, cluster)
+		return 0
+	case strings.HasPrefix(format, "jsonpath="):
+		tmpl := strings.TrimPrefix(format, "jsonpath=")
+		tmpl = strings.Trim(tmpl, "'\"")
+		var root *yamlx.Node
+		if len(names) == 1 && len(items) == 1 {
+			root = items[0]
+		} else {
+			list := yamlx.Map()
+			list.Set("apiVersion", yamlx.String("v1"))
+			list.Set("kind", yamlx.String("List"))
+			seq := yamlx.Seq()
+			for _, it := range items {
+				seq.Append(it)
+			}
+			list.Set("items", seq)
+			root = list
+		}
+		out, err := jsonpath.Eval(root, tmpl)
+		if err != nil {
+			fmt.Fprintf(io.Err, "error: error parsing jsonpath %s: %v\n", tmpl, err)
+			return 1
+		}
+		io.Out.WriteString(out)
+		if out != "" {
+			io.Out.WriteString("\n")
+		}
+		return 0
+	case format == "yaml":
+		var docs []*yamlx.Node
+		docs = append(docs, items...)
+		io.Out.Write(yamlx.MarshalAll(docs))
+		return 0
+	case format == "name":
+		for _, it := range items {
+			fmt.Fprintf(io.Out, "%s/%s\n", kubesim.CanonicalKind(kind), it.Path("metadata", "name").ScalarString())
+		}
+		return 0
+	case format == "wide":
+		renderTable(io, kind, items, cluster)
+		return 0
+	default:
+		fmt.Fprintf(io.Err, "error: unable to match a printer suitable for the output format %q\n", format)
+		return 1
+	}
+}

@@ -1,0 +1,446 @@
+package k8scmd
+
+import (
+	"fmt"
+	"strings"
+
+	"cloudeval/internal/kubesim"
+	"cloudeval/internal/shell"
+	"cloudeval/internal/yamlx"
+)
+
+// kubectl implements the kubectl subcommands the benchmark's unit tests
+// use: apply, delete, create, get, describe, wait, logs and rollout.
+func (e *Env) kubectl(in *shell.Interp, io *shell.IO, args []string) int {
+	if len(args) == 0 {
+		fmt.Fprintln(io.Err, "kubectl: missing subcommand")
+		return 1
+	}
+	sub := args[0]
+	fs := parseFlags(args[1:])
+	switch sub {
+	case "apply":
+		return e.kubectlApply(fs, io)
+	case "delete":
+		return e.kubectlDelete(fs, io)
+	case "create":
+		return e.kubectlCreate(fs, io)
+	case "get":
+		return e.kubectlGet(fs, io)
+	case "describe":
+		return e.kubectlDescribe(fs, io)
+	case "wait":
+		return e.kubectlWait(fs, io)
+	case "logs":
+		return e.kubectlLogs(fs, io)
+	case "rollout":
+		return e.kubectlRollout(fs, io)
+	case "version":
+		fmt.Fprintln(io.Out, "Client Version: v1.28.0 (kubesim)")
+		return 0
+	case "cluster-info":
+		fmt.Fprintf(io.Out, "Kubernetes control plane is running at https://%s:8443\n", kubesim.NodeIP)
+		return 0
+	default:
+		fmt.Fprintf(io.Err, "error: unknown command %q for \"kubectl\"\n", sub)
+		return 1
+	}
+}
+
+func (e *Env) kubectlApply(fs flagSet, io *shell.IO) int {
+	src, err := e.readManifest(fs, io)
+	if err != nil {
+		fmt.Fprintln(io.Err, err)
+		return 1
+	}
+	results, err := e.Cluster.ApplyYAML(src, e.namespaceOf(fs))
+	for _, r := range results {
+		fmt.Fprintln(io.Out, r)
+	}
+	if err != nil {
+		fmt.Fprintf(io.Err, "Error from server (BadRequest): error when creating %q: %v\n", fs.get("-f", "--filename"), err)
+		return 1
+	}
+	return 0
+}
+
+func (e *Env) kubectlDelete(fs flagSet, io *shell.IO) int {
+	if fs.get("-f", "--filename") != "" {
+		src, err := e.readManifest(fs, io)
+		if err != nil {
+			fmt.Fprintln(io.Err, err)
+			return 1
+		}
+		lines, err := e.Cluster.DeleteYAML(src, e.namespaceOf(fs))
+		for _, ln := range lines {
+			fmt.Fprintln(io.Out, ln)
+		}
+		if err != nil {
+			fmt.Fprintf(io.Err, "%v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if len(fs.positional) < 2 {
+		fmt.Fprintln(io.Err, "error: resource(s) were provided, but no name was specified")
+		return 1
+	}
+	kind := fs.positional[0]
+	code := 0
+	for _, name := range fs.positional[1:] {
+		var err error
+		if k := strings.ToLower(kind); k == "ns" || k == "namespace" || k == "namespaces" {
+			err = e.Cluster.DeleteNamespace(name)
+		} else {
+			err = e.Cluster.Delete(kind, e.namespaceOf(fs), name)
+		}
+		if err != nil {
+			fmt.Fprintf(io.Err, "Error from server (NotFound): %v\n", err)
+			code = 1
+			continue
+		}
+		fmt.Fprintf(io.Out, "%s %q deleted\n", strings.ToLower(kind), name)
+	}
+	return code
+}
+
+func (e *Env) kubectlCreate(fs flagSet, io *shell.IO) int {
+	if fs.get("-f", "--filename") != "" {
+		return e.kubectlApply(fs, io)
+	}
+	if len(fs.positional) == 0 {
+		fmt.Fprintln(io.Err, "error: you must specify resources to create")
+		return 1
+	}
+	kind := strings.ToLower(fs.positional[0])
+	switch kind {
+	case "ns", "namespace":
+		if len(fs.positional) < 2 {
+			fmt.Fprintln(io.Err, "error: exactly one NAME is required")
+			return 1
+		}
+		name := fs.positional[1]
+		if err := e.Cluster.CreateNamespace(name); err != nil {
+			fmt.Fprintf(io.Err, "Error from server (AlreadyExists): %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(io.Out, "namespace/%s created\n", name)
+		return 0
+	case "secret", "configmap", "cm":
+		return e.createKVResource(kind, fs, io)
+	case "serviceaccount", "sa":
+		return e.createSimple("ServiceAccount", "v1", fs, io, 1)
+	case "clusterrole":
+		return e.createRBACRole("ClusterRole", fs, io)
+	case "role":
+		return e.createRBACRole("Role", fs, io)
+	case "deployment", "deploy":
+		return e.createDeployment(fs, io)
+	default:
+		fmt.Fprintf(io.Err, "error: unknown resource type %q for kubectl create\n", kind)
+		return 1
+	}
+}
+
+func (e *Env) createKVResource(kind string, fs flagSet, io *shell.IO) int {
+	pos := fs.positional[1:]
+	// "kubectl create secret generic NAME" has a subtype positional.
+	if kind == "secret" {
+		if len(pos) == 0 || pos[0] != "generic" && pos[0] != "tls" && pos[0] != "docker-registry" {
+			fmt.Fprintln(io.Err, "error: you must specify a secret type (generic)")
+			return 1
+		}
+		pos = pos[1:]
+	}
+	if len(pos) == 0 {
+		fmt.Fprintln(io.Err, "error: exactly one NAME is required")
+		return 1
+	}
+	name := pos[0]
+	apiKind := "ConfigMap"
+	if kind == "secret" {
+		apiKind = "Secret"
+	}
+	doc := yamlx.Map()
+	doc.Set("apiVersion", yamlx.String("v1"))
+	doc.Set("kind", yamlx.String(apiKind))
+	meta := yamlx.Map()
+	meta.Set("name", yamlx.String(name))
+	doc.Set("metadata", meta)
+	data := yamlx.Map()
+	for _, kv := range strings.Split(fs.get("--from-literal"), "\x00") {
+		if kv == "" {
+			continue
+		}
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) == 2 {
+			v := yamlx.String(parts[1])
+			v.Quoted = true
+			data.Set(parts[0], v)
+		}
+	}
+	if apiKind == "Secret" {
+		doc.Set("stringData", data)
+		doc.Set("type", yamlx.String("Opaque"))
+	} else {
+		doc.Set("data", data)
+	}
+	if _, err := e.Cluster.Apply(doc, e.namespaceOf(fs)); err != nil {
+		fmt.Fprintf(io.Err, "%v\n", err)
+		return 1
+	}
+	fmt.Fprintf(io.Out, "%s/%s created\n", strings.ToLower(apiKind), name)
+	return 0
+}
+
+func (e *Env) createSimple(apiKind, apiVersion string, fs flagSet, io *shell.IO, nameIdx int) int {
+	if len(fs.positional) <= nameIdx {
+		fmt.Fprintln(io.Err, "error: exactly one NAME is required")
+		return 1
+	}
+	name := fs.positional[nameIdx]
+	doc := yamlx.Map()
+	doc.Set("apiVersion", yamlx.String(apiVersion))
+	doc.Set("kind", yamlx.String(apiKind))
+	meta := yamlx.Map()
+	meta.Set("name", yamlx.String(name))
+	doc.Set("metadata", meta)
+	if _, err := e.Cluster.Apply(doc, e.namespaceOf(fs)); err != nil {
+		fmt.Fprintf(io.Err, "%v\n", err)
+		return 1
+	}
+	fmt.Fprintf(io.Out, "%s/%s created\n", strings.ToLower(apiKind), name)
+	return 0
+}
+
+func (e *Env) createRBACRole(apiKind string, fs flagSet, io *shell.IO) int {
+	if len(fs.positional) < 2 {
+		fmt.Fprintln(io.Err, "error: exactly one NAME is required")
+		return 1
+	}
+	name := fs.positional[1]
+	doc := yamlx.Map()
+	doc.Set("apiVersion", yamlx.String("rbac.authorization.k8s.io/v1"))
+	doc.Set("kind", yamlx.String(apiKind))
+	meta := yamlx.Map()
+	meta.Set("name", yamlx.String(name))
+	doc.Set("metadata", meta)
+	rule := yamlx.Map()
+	apiGroups := yamlx.Seq(yamlx.String(""))
+	rule.Set("apiGroups", apiGroups)
+	verbs := yamlx.Seq()
+	for _, v := range strings.Split(fs.get("--verb"), ",") {
+		if v != "" {
+			verbs.Append(yamlx.String(v))
+		}
+	}
+	rule.Set("verbs", verbs)
+	resources := yamlx.Seq()
+	for _, r := range strings.Split(fs.get("--resource"), ",") {
+		if r != "" {
+			resources.Append(yamlx.String(r))
+		}
+	}
+	rule.Set("resources", resources)
+	doc.Set("rules", yamlx.Seq(rule))
+	if _, err := e.Cluster.Apply(doc, e.namespaceOf(fs)); err != nil {
+		fmt.Fprintf(io.Err, "%v\n", err)
+		return 1
+	}
+	fmt.Fprintf(io.Out, "%s.rbac.authorization.k8s.io/%s created\n", strings.ToLower(apiKind), name)
+	return 0
+}
+
+func (e *Env) createDeployment(fs flagSet, io *shell.IO) int {
+	if len(fs.positional) < 2 {
+		fmt.Fprintln(io.Err, "error: exactly one NAME is required")
+		return 1
+	}
+	name := fs.positional[1]
+	image := fs.get("--image")
+	if image == "" {
+		fmt.Fprintln(io.Err, "error: --image is required")
+		return 1
+	}
+	src := fmt.Sprintf(`apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: %s
+  labels:
+    app: %s
+spec:
+  replicas: 1
+  selector:
+    matchLabels:
+      app: %s
+  template:
+    metadata:
+      labels:
+        app: %s
+    spec:
+      containers:
+      - name: %s
+        image: %s
+`, name, name, name, name, name, image)
+	if _, err := e.Cluster.ApplyYAML(src, e.namespaceOf(fs)); err != nil {
+		fmt.Fprintf(io.Err, "%v\n", err)
+		return 1
+	}
+	fmt.Fprintf(io.Out, "deployment.apps/%s created\n", name)
+	return 0
+}
+
+func (e *Env) kubectlGet(fs flagSet, io *shell.IO) int {
+	if len(fs.positional) == 0 {
+		fmt.Fprintln(io.Err, "error: you must specify the type of resource to get")
+		return 1
+	}
+	kind := fs.positional[0]
+	names := fs.positional[1:]
+	// "kubectl get deploy/name" form.
+	if strings.Contains(kind, "/") {
+		parts := strings.SplitN(kind, "/", 2)
+		kind, names = parts[0], append([]string{parts[1]}, names...)
+	}
+	ns := e.namespaceOf(fs)
+	if fs.has("-A") || fs.has("--all-namespaces") {
+		ns = "*"
+	}
+	var items []*yamlx.Node
+	if len(names) > 0 {
+		for _, name := range names {
+			n, ok := e.Cluster.GetByName(kind, ns, name)
+			if !ok {
+				fmt.Fprintf(io.Err, "Error from server (NotFound): %s %q not found\n", strings.ToLower(kind), name)
+				return 1
+			}
+			items = append(items, n)
+		}
+	} else {
+		items = e.Cluster.List(kind, ns, fs.get("-l", "--selector"))
+		if len(items) == 0 && fs.get("-o", "--output") == "" {
+			fmt.Fprintf(io.Err, "No resources found in %s namespace.\n", ns)
+			return 0
+		}
+	}
+	return evalOutput(io, fs.get("-o", "--output"), kind, names, items, e.Cluster)
+}
+
+func (e *Env) kubectlDescribe(fs flagSet, io *shell.IO) int {
+	if len(fs.positional) < 1 {
+		fmt.Fprintln(io.Err, "error: you must specify the type of resource to describe")
+		return 1
+	}
+	kind := fs.positional[0]
+	var names []string
+	if strings.Contains(kind, "/") {
+		parts := strings.SplitN(kind, "/", 2)
+		kind, names = parts[0], []string{parts[1]}
+	} else {
+		names = fs.positional[1:]
+	}
+	ns := e.namespaceOf(fs)
+	if len(names) == 0 {
+		for _, n := range e.Cluster.List(kind, ns, fs.get("-l", "--selector")) {
+			names = append(names, n.Path("metadata", "name").ScalarString())
+		}
+	}
+	if len(names) == 0 {
+		fmt.Fprintf(io.Err, "No resources found in %s namespace.\n", ns)
+		return 1
+	}
+	code := 0
+	for _, name := range names {
+		out, err := e.Cluster.Describe(kind, ns, name)
+		if err != nil {
+			fmt.Fprintln(io.Err, err)
+			code = 1
+			continue
+		}
+		io.Out.WriteString(out)
+	}
+	return code
+}
+
+func (e *Env) kubectlWait(fs flagSet, io *shell.IO) int {
+	forSpec := fs.get("--for")
+	cond, ok := strings.CutPrefix(forSpec, "condition=")
+	if !ok {
+		fmt.Fprintf(io.Err, "error: unrecognized --for spec %q\n", forSpec)
+		return 1
+	}
+	// condition may carry "=True".
+	cond = strings.TrimSuffix(cond, "=True")
+	if len(fs.positional) == 0 {
+		fmt.Fprintln(io.Err, "error: you must specify the type of resource to wait on")
+		return 1
+	}
+	kind := fs.positional[0]
+	names := fs.positional[1:]
+	if strings.Contains(kind, "/") {
+		parts := strings.SplitN(kind, "/", 2)
+		kind, names = parts[0], append([]string{parts[1]}, names...)
+	}
+	opts := kubesim.WaitOptions{
+		Kind:      kind,
+		Namespace: e.namespaceOf(fs),
+		Names:     names,
+		Selector:  fs.get("-l", "--selector"),
+		All:       fs.has("--all"),
+		Condition: cond,
+		Timeout:   parseTimeout(fs.get("--timeout")),
+	}
+	if err := e.Cluster.WaitFor(opts); err != nil {
+		fmt.Fprintln(io.Err, err)
+		return 1
+	}
+	for _, n := range names {
+		fmt.Fprintf(io.Out, "%s/%s condition met\n", strings.ToLower(kind), n)
+	}
+	if len(names) == 0 {
+		fmt.Fprintf(io.Out, "%s condition met\n", strings.ToLower(kind))
+	}
+	return 0
+}
+
+func (e *Env) kubectlLogs(fs flagSet, io *shell.IO) int {
+	if len(fs.positional) == 0 {
+		fmt.Fprintln(io.Err, "error: expected a pod name")
+		return 1
+	}
+	name := fs.positional[0]
+	n, ok := e.Cluster.GetByName("pod", e.namespaceOf(fs), name)
+	if !ok {
+		fmt.Fprintf(io.Err, "Error from server (NotFound): pods %q not found\n", name)
+		return 1
+	}
+	img := n.Path("spec", "containers", 0, "image").ScalarString()
+	fmt.Fprintf(io.Out, "%s: container started (image %s)\n", name, img)
+	return 0
+}
+
+func (e *Env) kubectlRollout(fs flagSet, io *shell.IO) int {
+	if len(fs.positional) < 2 || fs.positional[0] != "status" {
+		fmt.Fprintln(io.Err, "error: only 'rollout status' is supported")
+		return 1
+	}
+	target := fs.positional[1]
+	kind, name := "deployment", target
+	if strings.Contains(target, "/") {
+		parts := strings.SplitN(target, "/", 2)
+		kind, name = parts[0], parts[1]
+	}
+	opts := kubesim.WaitOptions{
+		Kind:      kind,
+		Namespace: e.namespaceOf(fs),
+		Names:     []string{name},
+		Condition: "Available",
+		Timeout:   parseTimeout(fs.get("--timeout")),
+	}
+	if err := e.Cluster.WaitFor(opts); err != nil {
+		fmt.Fprintln(io.Err, err)
+		return 1
+	}
+	fmt.Fprintf(io.Out, "%s %q successfully rolled out\n", kind, name)
+	return 0
+}

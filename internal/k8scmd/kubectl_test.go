@@ -1,0 +1,191 @@
+package k8scmd
+
+import (
+	"strings"
+	"testing"
+)
+
+func freshEnv(t *testing.T) *Env {
+	t.Helper()
+	return NewEnv()
+}
+
+func runIn(t *testing.T, env *Env, script string) (string, string, int) {
+	t.Helper()
+	res, err := env.Shell.Run(script)
+	if err != nil {
+		t.Fatalf("script error: %v\n%s", err, script)
+	}
+	return res.Stdout, res.Stderr, res.ExitCode
+}
+
+func TestKubectlCreateDeploymentImperative(t *testing.T) {
+	env := freshEnv(t)
+	out, _, code := runIn(t, env, `kubectl create deployment web --image=nginx:latest
+kubectl rollout status deployment/web --timeout=60s
+kubectl get pods -l app=web -o name`)
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "deployment.apps/web created") {
+		t.Errorf("create output: %s", out)
+	}
+	if !strings.Contains(out, "pod/web-") {
+		t.Errorf("expected created pods, got: %s", out)
+	}
+}
+
+func TestKubectlCreateConfigMapAndServiceAccount(t *testing.T) {
+	env := freshEnv(t)
+	out, _, code := runIn(t, env, `kubectl create configmap app-cfg --from-literal=mode=prod --from-literal=level=3
+kubectl get configmap app-cfg -o=jsonpath='{.data.mode}/{.data.level}'
+echo
+kubectl create serviceaccount ci-bot
+kubectl get serviceaccount ci-bot -o name`)
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "prod/3") {
+		t.Errorf("configmap literals missing: %s", out)
+	}
+	if !strings.Contains(out, "serviceaccount/ci-bot") {
+		t.Errorf("serviceaccount: %s", out)
+	}
+}
+
+func TestKubectlDeleteByNameAndNamespace(t *testing.T) {
+	env := freshEnv(t)
+	out, _, _ := runIn(t, env, `kubectl create ns scratch
+echo "apiVersion: v1
+kind: ConfigMap
+metadata:
+  name: temp
+  namespace: scratch
+data:
+  k: v" | kubectl apply -f -
+kubectl delete configmap temp -n scratch
+kubectl get configmap temp -n scratch 2>&1 || echo gone
+kubectl delete ns scratch
+kubectl get ns scratch 2>&1 || echo ns-gone`)
+	if !strings.Contains(out, "gone") || !strings.Contains(out, "ns-gone") {
+		t.Errorf("delete flow output:\n%s", out)
+	}
+}
+
+func TestKubectlGetAllNamespaces(t *testing.T) {
+	env := freshEnv(t)
+	out, _, _ := runIn(t, env, `kubectl create ns east
+kubectl create ns west
+echo "apiVersion: v1
+kind: Pod
+metadata:
+  name: p1
+  namespace: east
+spec:
+  containers:
+  - name: c
+    image: nginx" | kubectl apply -f -
+echo "apiVersion: v1
+kind: Pod
+metadata:
+  name: p2
+  namespace: west
+spec:
+  containers:
+  - name: c
+    image: nginx" | kubectl apply -f -
+kubectl get pods -A -o name | wc -l`)
+	if !strings.Contains(out, "2") {
+		t.Errorf("get -A should see both pods:\n%s", out)
+	}
+}
+
+func TestKubectlLogsAndVersion(t *testing.T) {
+	env := freshEnv(t)
+	out, _, _ := runIn(t, env, `echo "apiVersion: v1
+kind: Pod
+metadata:
+  name: app
+spec:
+  containers:
+  - name: c
+    image: redis:7" | kubectl apply -f -
+kubectl logs app
+kubectl version`)
+	if !strings.Contains(out, "redis:7") {
+		t.Errorf("logs should mention the image:\n%s", out)
+	}
+	if !strings.Contains(out, "Client Version") {
+		t.Errorf("version output:\n%s", out)
+	}
+}
+
+func TestKubectlGetYAMLRoundTrips(t *testing.T) {
+	env := freshEnv(t)
+	out, _, _ := runIn(t, env, `echo "apiVersion: v1
+kind: ConfigMap
+metadata:
+  name: rt
+data:
+  alpha: one" | kubectl apply -f -
+kubectl get configmap rt -o yaml > dumped.yaml
+kubectl delete configmap rt
+kubectl apply -f dumped.yaml
+kubectl get configmap rt -o=jsonpath='{.data.alpha}'`)
+	if !strings.Contains(out, "one") {
+		t.Errorf("get -o yaml round trip failed:\n%s", out)
+	}
+}
+
+func TestKubectlErrorMessages(t *testing.T) {
+	env := freshEnv(t)
+	_, stderr, code := runIn(t, env, `kubectl get pod no-such-pod`)
+	if code == 0 || !strings.Contains(stderr, "NotFound") {
+		t.Errorf("missing pod: code=%d stderr=%q", code, stderr)
+	}
+	_, stderr, code = runIn(t, env, `kubectl frobnicate`)
+	if code == 0 || !strings.Contains(stderr, "unknown command") {
+		t.Errorf("unknown subcommand: code=%d stderr=%q", code, stderr)
+	}
+	_, stderr, code = runIn(t, env, `kubectl wait --for=banana pod --all`)
+	if code == 0 || !strings.Contains(stderr, "unrecognized") {
+		t.Errorf("bad --for: code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestKubectlWaitSlashForm(t *testing.T) {
+	env := freshEnv(t)
+	out, _, code := runIn(t, env, `echo "apiVersion: batch/v1
+kind: Job
+metadata:
+  name: quick
+spec:
+  template:
+    spec:
+      containers:
+      - name: c
+        image: busybox:1.36
+      restartPolicy: Never" | kubectl apply -f -
+kubectl wait --for=condition=complete job/quick --timeout=60s && echo waited`)
+	if code != 0 || !strings.Contains(out, "waited") {
+		t.Errorf("wait on job/name form failed (code %d):\n%s", code, out)
+	}
+}
+
+func TestMinikubeIPAndLifecycle(t *testing.T) {
+	env := freshEnv(t)
+	out, _, _ := runIn(t, env, `minikube ip
+minikube start
+minikube status`)
+	if !strings.Contains(out, "192.168.49.2") || !strings.Contains(out, "Done!") {
+		t.Errorf("minikube output:\n%s", out)
+	}
+}
+
+func TestIstioctlAnalyze(t *testing.T) {
+	env := freshEnv(t)
+	out, _, code := runIn(t, env, `istioctl analyze && istioctl version`)
+	if code != 0 || !strings.Contains(out, "No validation issues") {
+		t.Errorf("istioctl: code=%d\n%s", code, out)
+	}
+}

@@ -1,0 +1,426 @@
+// Package kubesim implements an in-memory Kubernetes cluster that
+// stands in for minikube in the CloudEval-YAML evaluation platform.
+//
+// The simulator stores applied manifests as YAML trees, runs the
+// controllers the benchmark's unit tests observe (Deployments,
+// ReplicaSets, DaemonSets, Jobs and StatefulSets create Pods; Services
+// select endpoints; LoadBalancers acquire ingress IPs), and advances a
+// virtual clock so that "kubectl wait" and "sleep" in test scripts
+// complete in microseconds of real time.
+//
+// State is a function of virtual time: every derived object records the
+// virtual timestamps at which it transitions (scheduled, ready,
+// complete), so there is no background reconcile loop and the cluster
+// is fully deterministic.
+package kubesim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"cloudeval/internal/yamlx"
+)
+
+// Default latencies of the virtual control plane. They model the real
+// timings the paper's unit tests wait on (pods take seconds to pull and
+// start; LoadBalancers take longer) while costing nothing in real time.
+const (
+	PodReadyDelay   = 3 * time.Second
+	JobCompleteTime = 5 * time.Second
+	LBProvisionTime = 4 * time.Second
+	NodeIP          = "192.168.49.2"
+)
+
+// Object is one stored resource: the manifest as applied plus the
+// virtual timestamps driving its lifecycle.
+type Object struct {
+	Manifest  *yamlx.Node
+	Kind      string
+	Name      string
+	Namespace string
+	CreatedAt time.Time
+	ReadyAt   time.Time // pods: when Ready flips true
+	DoneAt    time.Time // jobs: completion time
+	OwnerKind string
+	OwnerName string
+	Failed    bool   // image pull errors and the like
+	FailMsg   string // reason for Failed
+	PodIP     string
+}
+
+// Cluster is a simulated Kubernetes cluster.
+type Cluster struct {
+	now        time.Time
+	objects    map[string]map[string]*Object // kindKey -> ns/name -> obj
+	namespaces map[string]bool
+	nextPodIP  int
+	nextPort   int
+	events     []string
+}
+
+// NewCluster returns an empty cluster with the "default", "kube-system"
+// namespaces and a virtual clock starting at a fixed epoch.
+func NewCluster() *Cluster {
+	return &Cluster{
+		now:        time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC),
+		objects:    make(map[string]map[string]*Object),
+		namespaces: map[string]bool{"default": true, "kube-system": true},
+		nextPodIP:  2,
+		nextPort:   30000,
+	}
+}
+
+// Now returns the current virtual time.
+func (c *Cluster) Now() time.Time { return c.now }
+
+// AdvanceTime moves the virtual clock forward.
+func (c *Cluster) AdvanceTime(d time.Duration) {
+	if d > 0 {
+		c.now = c.now.Add(d)
+	}
+}
+
+// Event records a control-plane event visible in describe output.
+func (c *Cluster) Event(format string, args ...any) {
+	c.events = append(c.events, fmt.Sprintf(format, args...))
+}
+
+// CanonicalKind returns the canonical lowercase singular for any
+// accepted kind spelling ("pods", "po", "Pod" -> "pod").
+func CanonicalKind(kind string) string { return kindKey(kind) }
+
+// kindKey canonicalizes resource kind spellings ("pod", "pods", "po",
+// "Pod" all name the same store).
+func kindKey(kind string) string {
+	k := strings.ToLower(strings.TrimSpace(kind))
+	k = strings.TrimSuffix(k, "es")
+	if strings.HasSuffix(k, "s") && k != "ingress" && k != "statefulset" && k != "daemonset" && k != "limitrange" {
+		k = strings.TrimSuffix(k, "s")
+	}
+	switch k {
+	case "po":
+		return "pod"
+	case "svc", "servic": // "services" loses its "es" above
+		return "service"
+	case "deploy":
+		return "deployment"
+	case "ds":
+		return "daemonset"
+	case "sts":
+		return "statefulset"
+	case "ns", "namespac":
+		return "namespace"
+	case "cm", "configmap":
+		return "configmap"
+	case "ing", "ingres":
+		return "ingress"
+	case "sa":
+		return "serviceaccount"
+	case "pvc", "persistentvolumeclaim":
+		return "persistentvolumeclaim"
+	case "pv", "persistentvolume":
+		return "persistentvolume"
+	case "hpa", "horizontalpodautoscaler":
+		return "horizontalpodautoscaler"
+	case "rs", "replicaset":
+		return "replicaset"
+	case "netpol", "networkpolic":
+		return "networkpolicy"
+	case "destinationrule", "destinationrul":
+		return "destinationrule"
+	case "virtualservice", "virtualservic":
+		return "virtualservice"
+	}
+	return k
+}
+
+func nsName(ns, name string) string { return ns + "/" + name }
+
+func (c *Cluster) bucket(kind string) map[string]*Object {
+	k := kindKey(kind)
+	b, ok := c.objects[k]
+	if !ok {
+		b = make(map[string]*Object)
+		c.objects[k] = b
+	}
+	return b
+}
+
+// namespaced reports whether a kind lives inside namespaces.
+func namespaced(kind string) bool {
+	switch kindKey(kind) {
+	case "namespace", "clusterrole", "clusterrolebinding", "persistentvolume", "storageclass", "node":
+		return false
+	}
+	return true
+}
+
+// CreateNamespace creates a namespace; creating an existing one errors
+// like kubectl does.
+func (c *Cluster) CreateNamespace(name string) error {
+	if c.namespaces[name] {
+		return fmt.Errorf("namespaces %q already exists", name)
+	}
+	c.namespaces[name] = true
+	return nil
+}
+
+// HasNamespace reports whether the namespace exists.
+func (c *Cluster) HasNamespace(name string) bool { return c.namespaces[name] }
+
+// DeleteNamespace removes a namespace and everything inside it.
+func (c *Cluster) DeleteNamespace(name string) error {
+	if !c.namespaces[name] {
+		return fmt.Errorf("namespaces %q not found", name)
+	}
+	delete(c.namespaces, name)
+	for _, bucket := range c.objects {
+		for key, obj := range bucket {
+			if obj.Namespace == name {
+				delete(bucket, key)
+			}
+		}
+	}
+	return nil
+}
+
+// ApplyResult describes one applied manifest.
+type ApplyResult struct {
+	Kind      string
+	Name      string
+	Namespace string
+	Created   bool // false: configured (updated)
+}
+
+func (r ApplyResult) String() string {
+	verb := "configured"
+	if r.Created {
+		verb = "created"
+	}
+	return fmt.Sprintf("%s/%s %s", strings.ToLower(r.Kind), r.Name, verb)
+}
+
+// ApplyYAML parses a (possibly multi-document) manifest and applies
+// every document, mimicking "kubectl apply -f". The defaultNS applies
+// to namespaced resources without an explicit metadata.namespace.
+func (c *Cluster) ApplyYAML(src string, defaultNS string) ([]ApplyResult, error) {
+	docs, err := yamlx.ParseAll([]byte(src))
+	if err != nil {
+		return nil, fmt.Errorf("error parsing YAML: %w", err)
+	}
+	var results []ApplyResult
+	for _, doc := range docs {
+		if doc == nil || doc.Kind == yamlx.NullKind {
+			continue
+		}
+		res, err := c.Apply(doc, defaultNS)
+		if err != nil {
+			return results, err
+		}
+		results = append(results, res)
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("error: no objects passed to apply")
+	}
+	return results, nil
+}
+
+// Apply validates and stores a single manifest, then runs the
+// controllers that materialize derived objects (pods, endpoints).
+func (c *Cluster) Apply(doc *yamlx.Node, defaultNS string) (ApplyResult, error) {
+	if err := ValidateManifest(doc); err != nil {
+		return ApplyResult{}, err
+	}
+	kind := doc.Get("kind").ScalarString()
+	meta := doc.Get("metadata")
+	name := meta.Get("name").ScalarString()
+	ns := defaultNS
+	if ns == "" {
+		ns = "default"
+	}
+	if nsNode := meta.Get("namespace"); nsNode != nil && nsNode.ScalarString() != "" {
+		ns = nsNode.ScalarString()
+	}
+	if !namespaced(kind) {
+		ns = ""
+	} else if !c.namespaces[ns] {
+		return ApplyResult{}, fmt.Errorf("namespaces %q not found", ns)
+	}
+
+	if kindKey(kind) == "namespace" {
+		created := !c.namespaces[name]
+		c.namespaces[name] = true
+		c.bucket(kind)[nsName("", name)] = &Object{
+			Manifest: doc.Clone(), Kind: kind, Name: name, CreatedAt: c.now,
+		}
+		return ApplyResult{Kind: kind, Name: name, Created: created}, nil
+	}
+
+	bucket := c.bucket(kind)
+	key := nsName(ns, name)
+	_, existed := bucket[key]
+	obj := &Object{
+		Manifest:  doc.Clone(),
+		Kind:      kind,
+		Name:      name,
+		Namespace: ns,
+		CreatedAt: c.now,
+	}
+	bucket[key] = obj
+	c.runControllers(obj)
+	return ApplyResult{Kind: kind, Name: name, Namespace: ns, Created: !existed}, nil
+}
+
+// DeleteYAML deletes every resource named in a manifest, mimicking
+// "kubectl delete -f".
+func (c *Cluster) DeleteYAML(src string, defaultNS string) ([]string, error) {
+	docs, err := yamlx.ParseAll([]byte(src))
+	if err != nil {
+		return nil, fmt.Errorf("error parsing YAML: %w", err)
+	}
+	var out []string
+	for _, doc := range docs {
+		if doc == nil || doc.Kind == yamlx.NullKind {
+			continue
+		}
+		kind := doc.Get("kind").ScalarString()
+		name := doc.Path("metadata", "name").ScalarString()
+		ns := defaultNS
+		if v := doc.Path("metadata", "namespace"); v != nil {
+			ns = v.ScalarString()
+		}
+		if err := c.Delete(kind, ns, name); err != nil {
+			return out, err
+		}
+		out = append(out, fmt.Sprintf("%s %q deleted", strings.ToLower(kind), name))
+	}
+	return out, nil
+}
+
+// Delete removes one resource and any objects it owns.
+func (c *Cluster) Delete(kind, ns, name string) error {
+	if kindKey(kind) == "namespace" {
+		return c.DeleteNamespace(name)
+	}
+	if !namespaced(kind) {
+		ns = ""
+	} else if ns == "" {
+		ns = "default"
+	}
+	bucket := c.bucket(kind)
+	key := nsName(ns, name)
+	if _, ok := bucket[key]; !ok {
+		return fmt.Errorf("%s %q not found", strings.ToLower(kind), name)
+	}
+	delete(bucket, key)
+	// Cascade to owned objects (pods of a deployment, etc.).
+	for _, b := range c.objects {
+		for k, o := range b {
+			if o.OwnerKind == kindKey(kind) && o.OwnerName == name && o.Namespace == ns {
+				delete(b, k)
+			}
+		}
+	}
+	return nil
+}
+
+// GetByName fetches one resource with live status populated.
+func (c *Cluster) GetByName(kind, ns, name string) (*yamlx.Node, bool) {
+	if !namespaced(kind) {
+		ns = ""
+	} else if ns == "" {
+		ns = "default"
+	}
+	obj, ok := c.bucket(kind)[nsName(ns, name)]
+	if !ok {
+		return nil, false
+	}
+	return c.withStatus(obj), true
+}
+
+// List returns resources of a kind in a namespace (all namespaces when
+// ns is "*"), filtered by an equality label selector like "app=web"
+// (empty selector matches all), sorted by name.
+func (c *Cluster) List(kind, ns, selector string) []*yamlx.Node {
+	sel := parseSelector(selector)
+	var objs []*Object
+	for _, obj := range c.bucket(kind) {
+		if ns != "*" && namespaced(kind) {
+			effNS := ns
+			if effNS == "" {
+				effNS = "default"
+			}
+			if obj.Namespace != effNS {
+				continue
+			}
+		}
+		if !matchesSelector(obj.Manifest, sel) {
+			continue
+		}
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Name < objs[j].Name })
+	out := make([]*yamlx.Node, len(objs))
+	for i, o := range objs {
+		out[i] = c.withStatus(o)
+	}
+	return out
+}
+
+// ListNode wraps List results in a {apiVersion, kind: List, items: []}
+// node, the shape kubectl presents to JSONPath queries.
+func (c *Cluster) ListNode(kind, ns, selector string) *yamlx.Node {
+	items := yamlx.Seq()
+	for _, n := range c.List(kind, ns, selector) {
+		items.Append(n)
+	}
+	list := yamlx.Map()
+	list.Set("apiVersion", yamlx.String("v1"))
+	list.Set("kind", yamlx.String("List"))
+	list.Set("items", items)
+	return list
+}
+
+func parseSelector(s string) map[string]string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	sel := make(map[string]string)
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) == 2 {
+			sel[kv[0]] = strings.Trim(kv[1], "\"'")
+		}
+	}
+	return sel
+}
+
+func matchesSelector(manifest *yamlx.Node, sel map[string]string) bool {
+	if len(sel) == 0 {
+		return true
+	}
+	labels := manifest.Path("metadata", "labels")
+	for k, v := range sel {
+		lv := labels.Get(k)
+		if lv == nil || lv.ScalarString() != v {
+			return false
+		}
+	}
+	return true
+}
+
+// labelsOf returns a resource's metadata.labels as a map.
+func labelsOf(manifest *yamlx.Node) map[string]string {
+	out := map[string]string{}
+	labels := manifest.Path("metadata", "labels")
+	if labels == nil || labels.Kind != yamlx.MapKind {
+		return out
+	}
+	for _, e := range labels.Entries {
+		out[e.Key] = e.Value.ScalarString()
+	}
+	return out
+}

@@ -1,0 +1,341 @@
+package kubesim
+
+import (
+	"fmt"
+	"strings"
+
+	"cloudeval/internal/yamlx"
+)
+
+// runControllers materializes the derived state a freshly applied object
+// implies: workloads spawn pods, services acquire cluster IPs and node
+// ports. Derived objects carry their owner so deletes cascade and
+// re-applies replace.
+func (c *Cluster) runControllers(obj *Object) {
+	switch kindKey(obj.Kind) {
+	case "pod":
+		c.schedulePod(obj)
+	case "deployment", "replicaset", "statefulset":
+		c.reapOwnedPods(obj)
+		replicas := int64(1)
+		if r, ok := obj.Manifest.Path("spec", "replicas").AsInt(); ok {
+			replicas = r
+		}
+		c.spawnPods(obj, int(replicas))
+	case "daemonset":
+		c.reapOwnedPods(obj)
+		// A single-node cluster: one pod per daemonset.
+		c.spawnPods(obj, 1)
+	case "job":
+		c.reapOwnedPods(obj)
+		obj.DoneAt = c.now.Add(JobCompleteTime)
+		c.spawnPods(obj, 1)
+	case "service":
+		c.initService(obj)
+	}
+}
+
+// reapOwnedPods deletes pods owned by obj, for idempotent re-applies.
+func (c *Cluster) reapOwnedPods(owner *Object) {
+	bucket := c.bucket("pod")
+	for k, p := range bucket {
+		if p.OwnerKind == kindKey(owner.Kind) && p.OwnerName == owner.Name && p.Namespace == owner.Namespace {
+			delete(bucket, k)
+		}
+	}
+}
+
+// spawnPods creates n pods from the workload's pod template.
+func (c *Cluster) spawnPods(owner *Object, n int) {
+	template := owner.Manifest.Path("spec", "template")
+	if template == nil {
+		return
+	}
+	hash := shortHash(owner.Name)
+	for i := 0; i < n; i++ {
+		pod := yamlx.Map()
+		pod.Set("apiVersion", yamlx.String("v1"))
+		pod.Set("kind", yamlx.String("Pod"))
+		meta := yamlx.Map()
+		podName := fmt.Sprintf("%s-%s-%d", owner.Name, hash, i)
+		if kindKey(owner.Kind) == "statefulset" {
+			podName = fmt.Sprintf("%s-%d", owner.Name, i)
+		}
+		meta.Set("name", yamlx.String(podName))
+		meta.Set("namespace", yamlx.String(owner.Namespace))
+		if lbl := template.Path("metadata", "labels"); lbl != nil {
+			meta.Set("labels", lbl.Clone())
+		}
+		pod.Set("metadata", meta)
+		if spec := template.Get("spec"); spec != nil {
+			pod.Set("spec", spec.Clone())
+		}
+		p := &Object{
+			Manifest:  pod,
+			Kind:      "Pod",
+			Name:      podName,
+			Namespace: owner.Namespace,
+			CreatedAt: c.now,
+			OwnerKind: kindKey(owner.Kind),
+			OwnerName: owner.Name,
+		}
+		c.bucket("pod")[nsName(owner.Namespace, podName)] = p
+		c.schedulePod(p)
+	}
+}
+
+// schedulePod assigns IPs and the readiness timestamp, or marks the pod
+// failed when its images cannot be pulled.
+func (c *Cluster) schedulePod(p *Object) {
+	p.PodIP = fmt.Sprintf("10.244.0.%d", c.nextPodIP)
+	c.nextPodIP++
+	if reason, bad := badImage(p.Manifest); bad {
+		p.Failed = true
+		p.FailMsg = reason
+		c.Event("Failed to pull image for pod %s/%s: %s", p.Namespace, p.Name, reason)
+		return
+	}
+	p.ReadyAt = p.CreatedAt.Add(PodReadyDelay)
+}
+
+func badImage(pod *yamlx.Node) (string, bool) {
+	containers := pod.Path("spec", "containers")
+	if containers == nil || containers.Kind != yamlx.SeqKind || len(containers.Items) == 0 {
+		return "no containers in pod spec", true
+	}
+	for _, ct := range containers.Items {
+		img := ct.Get("image")
+		if img == nil || img.ScalarString() == "" {
+			return "container has no image", true
+		}
+		s := img.ScalarString()
+		if strings.ContainsAny(s, " \t") || strings.Contains(s, "://") {
+			return fmt.Sprintf("invalid image reference %q", s), true
+		}
+	}
+	return "", false
+}
+
+// initService assigns a cluster IP and node ports once, mutating the
+// stored manifest so repeated gets are stable.
+func (c *Cluster) initService(svc *Object) {
+	spec := svc.Manifest.Get("spec")
+	if spec == nil {
+		spec = yamlx.Map()
+		svc.Manifest.Set("spec", spec)
+	}
+	if spec.Get("clusterIP") == nil {
+		c.nextPodIP++
+		spec.Set("clusterIP", yamlx.String(fmt.Sprintf("10.96.0.%d", c.nextPodIP)))
+	}
+	typ := spec.Get("type").ScalarString()
+	if typ == "NodePort" || typ == "LoadBalancer" {
+		ports := spec.Get("ports")
+		if ports != nil && ports.Kind == yamlx.SeqKind {
+			for _, p := range ports.Items {
+				if p.Get("nodePort") == nil {
+					p.Set("nodePort", yamlx.Integer(int64(c.nextPort)))
+					c.nextPort++
+				}
+			}
+		}
+	}
+}
+
+// withStatus clones the stored manifest and fills in the live status
+// fields a kubectl user would see at the current virtual time.
+func (c *Cluster) withStatus(obj *Object) *yamlx.Node {
+	n := obj.Manifest.Clone()
+	meta := n.Get("metadata")
+	if meta == nil {
+		meta = yamlx.Map()
+		n.Set("metadata", meta)
+	}
+	if meta.Get("namespace") == nil && namespaced(obj.Kind) {
+		meta.Set("namespace", yamlx.String(obj.Namespace))
+	}
+	if meta.Get("creationTimestamp") == nil {
+		meta.Set("creationTimestamp", yamlx.String(obj.CreatedAt.Format("2006-01-02T15:04:05Z")))
+	}
+	switch kindKey(obj.Kind) {
+	case "pod":
+		n.Set("status", c.podStatus(obj))
+	case "deployment", "replicaset", "statefulset":
+		n.Set("status", c.workloadStatus(obj, "Available"))
+	case "daemonset":
+		n.Set("status", c.daemonSetStatus(obj))
+	case "job":
+		n.Set("status", c.jobStatus(obj))
+	case "service":
+		n.Set("status", c.serviceStatus(obj))
+	case "ingress":
+		n.Set("status", c.ingressStatus(obj))
+	}
+	return n
+}
+
+func boolStatus(b bool) *yamlx.Node {
+	if b {
+		return yamlx.String("True")
+	}
+	return yamlx.String("False")
+}
+
+func condition(condType string, status bool) *yamlx.Node {
+	m := yamlx.Map()
+	m.Set("type", yamlx.String(condType))
+	m.Set("status", boolStatus(status))
+	return m
+}
+
+// PodReady reports whether a pod object is Ready at the current time.
+func (c *Cluster) PodReady(obj *Object) bool {
+	return !obj.Failed && !obj.ReadyAt.IsZero() && !c.now.Before(obj.ReadyAt)
+}
+
+func (c *Cluster) podStatus(obj *Object) *yamlx.Node {
+	st := yamlx.Map()
+	ready := c.PodReady(obj)
+	switch {
+	case obj.Failed:
+		st.Set("phase", yamlx.String("Pending"))
+		st.Set("reason", yamlx.String("ErrImagePull"))
+		st.Set("message", yamlx.String(obj.FailMsg))
+	case ready:
+		st.Set("phase", yamlx.String("Running"))
+	default:
+		st.Set("phase", yamlx.String("Pending"))
+	}
+	st.Set("hostIP", yamlx.String(NodeIP))
+	st.Set("podIP", yamlx.String(obj.PodIP))
+	conds := yamlx.Seq(
+		condition("Initialized", !obj.Failed),
+		condition("Ready", ready),
+		condition("ContainersReady", ready),
+		condition("PodScheduled", true),
+	)
+	st.Set("conditions", conds)
+	ctStatuses := yamlx.Seq()
+	if containers := obj.Manifest.Path("spec", "containers"); containers != nil {
+		for _, ct := range containers.Items {
+			cs := yamlx.Map()
+			cs.Set("name", ct.Get("name").Clone())
+			cs.Set("image", ct.Get("image").Clone())
+			cs.Set("ready", yamlx.Boolean(ready))
+			restarts := yamlx.Integer(0)
+			cs.Set("restartCount", restarts)
+			ctStatuses.Append(cs)
+		}
+	}
+	st.Set("containerStatuses", ctStatuses)
+	return st
+}
+
+func (c *Cluster) workloadStatus(obj *Object, condType string) *yamlx.Node {
+	desired := int64(1)
+	if r, ok := obj.Manifest.Path("spec", "replicas").AsInt(); ok {
+		desired = r
+	}
+	ready := int64(0)
+	for _, p := range c.ownedPods(obj) {
+		if c.PodReady(p) {
+			ready++
+		}
+	}
+	st := yamlx.Map()
+	st.Set("replicas", yamlx.Integer(desired))
+	st.Set("readyReplicas", yamlx.Integer(ready))
+	st.Set("availableReplicas", yamlx.Integer(ready))
+	st.Set("updatedReplicas", yamlx.Integer(desired))
+	allReady := ready >= desired && desired > 0
+	st.Set("conditions", yamlx.Seq(
+		condition(condType, allReady),
+		condition("Progressing", true),
+		condition("Ready", allReady),
+	))
+	return st
+}
+
+func (c *Cluster) daemonSetStatus(obj *Object) *yamlx.Node {
+	ready := int64(0)
+	for _, p := range c.ownedPods(obj) {
+		if c.PodReady(p) {
+			ready++
+		}
+	}
+	st := yamlx.Map()
+	st.Set("desiredNumberScheduled", yamlx.Integer(1))
+	st.Set("currentNumberScheduled", yamlx.Integer(1))
+	st.Set("numberReady", yamlx.Integer(ready))
+	st.Set("conditions", yamlx.Seq(condition("Ready", ready >= 1)))
+	return st
+}
+
+func (c *Cluster) jobStatus(obj *Object) *yamlx.Node {
+	done := !obj.DoneAt.IsZero() && !c.now.Before(obj.DoneAt)
+	st := yamlx.Map()
+	if done {
+		st.Set("succeeded", yamlx.Integer(1))
+		st.Set("completionTime", yamlx.String(obj.DoneAt.Format("2006-01-02T15:04:05Z")))
+	} else {
+		st.Set("active", yamlx.Integer(1))
+	}
+	st.Set("conditions", yamlx.Seq(condition("Complete", done)))
+	return st
+}
+
+func (c *Cluster) serviceStatus(obj *Object) *yamlx.Node {
+	st := yamlx.Map()
+	lb := yamlx.Map()
+	typ := obj.Manifest.Path("spec", "type").ScalarString()
+	if typ == "LoadBalancer" && !c.now.Before(obj.CreatedAt.Add(LBProvisionTime)) {
+		ing := yamlx.Map()
+		ing.Set("ip", yamlx.String(NodeIP))
+		lb.Set("ingress", yamlx.Seq(ing))
+	}
+	st.Set("loadBalancer", lb)
+	return st
+}
+
+func (c *Cluster) ingressStatus(obj *Object) *yamlx.Node {
+	st := yamlx.Map()
+	lb := yamlx.Map()
+	if !c.now.Before(obj.CreatedAt.Add(LBProvisionTime)) {
+		ing := yamlx.Map()
+		ing.Set("ip", yamlx.String(NodeIP))
+		lb.Set("ingress", yamlx.Seq(ing))
+	}
+	st.Set("loadBalancer", lb)
+	return st
+}
+
+// ownedPods lists pod objects owned by a workload.
+func (c *Cluster) ownedPods(owner *Object) []*Object {
+	var out []*Object
+	for _, p := range c.bucket("pod") {
+		if p.OwnerKind == kindKey(owner.Kind) && p.OwnerName == owner.Name && p.Namespace == owner.Namespace {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// shortHash derives a stable 6-character suffix from a name, like the
+// hashes in real pod names.
+func shortHash(s string) string {
+	const alphabet = "bcdfghjklmnpqrstvwxz2456789"
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	var out [6]byte
+	for i := range out {
+		out[i] = alphabet[h%uint32(len(alphabet))]
+		h /= uint32(len(alphabet))
+		if h == 0 {
+			h = 7 + uint32(i)*31
+		}
+	}
+	return string(out[:])
+}

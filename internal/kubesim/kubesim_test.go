@@ -1,0 +1,527 @@
+package kubesim
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cloudeval/internal/jsonpath"
+)
+
+const nginxDeployment = `apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: nginx-deployment
+spec:
+  replicas: 3
+  selector:
+    matchLabels:
+      app: nginx
+  template:
+    metadata:
+      labels:
+        app: nginx
+    spec:
+      containers:
+      - name: nginx-container
+        image: nginx:latest
+        ports:
+        - containerPort: 80
+`
+
+const nginxLBService = `apiVersion: v1
+kind: Service
+metadata:
+  name: nginx-service
+spec:
+  selector:
+    app: nginx
+  ports:
+  - name: http
+    port: 80
+    targetPort: 80
+  type: LoadBalancer
+`
+
+const registryDaemonSet = `apiVersion: apps/v1
+kind: DaemonSet
+metadata:
+  name: kube-registry-proxy
+spec:
+  selector:
+    matchLabels:
+      app: kube-registry
+  template:
+    metadata:
+      labels:
+        app: kube-registry
+    spec:
+      containers:
+      - name: kube-registry-proxy
+        image: nginx:latest
+        env:
+        - name: REGISTRY_HOST
+          value: kube-registry.svc.cluster.local
+        - name: REGISTRY_PORT
+          value: "5000"
+        resources:
+          limits:
+            cpu: 100m
+            memory: 50Mi
+        ports:
+        - name: registry
+          containerPort: 80
+          hostPort: 5000
+`
+
+func TestApplyDeploymentCreatesPods(t *testing.T) {
+	c := NewCluster()
+	res, err := c.ApplyYAML(nginxDeployment, "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || !res[0].Created {
+		t.Fatalf("apply results = %+v", res)
+	}
+	pods := c.List("pods", "default", "app=nginx")
+	if len(pods) != 3 {
+		t.Fatalf("got %d pods, want 3", len(pods))
+	}
+	// Not ready yet: no time has passed.
+	for _, p := range pods {
+		if HasCondition(p, "Ready") {
+			t.Error("pod should not be Ready at t=0")
+		}
+	}
+	c.AdvanceTime(PodReadyDelay)
+	for _, p := range c.List("pods", "default", "app=nginx") {
+		if !HasCondition(p, "Ready") {
+			t.Error("pod should be Ready after the readiness delay")
+		}
+	}
+}
+
+func TestWaitForPodsReady(t *testing.T) {
+	c := NewCluster()
+	if _, err := c.ApplyYAML(nginxDeployment, "default"); err != nil {
+		t.Fatal(err)
+	}
+	start := c.Now()
+	err := c.WaitFor(WaitOptions{Kind: "pod", Namespace: "default", Selector: "app=nginx", Condition: "Ready", Timeout: 60 * time.Second})
+	if err != nil {
+		t.Fatalf("wait failed: %v", err)
+	}
+	if elapsed := c.Now().Sub(start); elapsed > 10*time.Second {
+		t.Errorf("wait advanced %v of virtual time, want about %v", elapsed, PodReadyDelay)
+	}
+}
+
+func TestWaitTimesOut(t *testing.T) {
+	c := NewCluster()
+	err := c.WaitFor(WaitOptions{Kind: "pod", Selector: "app=missing", Condition: "Ready", Timeout: 5 * time.Second})
+	if err == nil {
+		t.Fatal("wait on nothing should error")
+	}
+	if !strings.Contains(err.Error(), "no matching resources") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDeploymentAvailableCondition(t *testing.T) {
+	c := NewCluster()
+	if _, err := c.ApplyYAML(nginxDeployment, "default"); err != nil {
+		t.Fatal(err)
+	}
+	err := c.WaitFor(WaitOptions{Kind: "deployment", Namespace: "default", All: true, Condition: "available", Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatalf("deployment never became available: %v", err)
+	}
+}
+
+func TestServiceEndpointsAndURL(t *testing.T) {
+	c := NewCluster()
+	if _, err := c.ApplyYAML(nginxDeployment, "default"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ApplyYAML(nginxLBService, "default"); err != nil {
+		t.Fatal(err)
+	}
+	c.AdvanceTime(10 * time.Second)
+	url, err := c.ServiceURL("default", "nginx-service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(url, "http://"+NodeIP+":3") {
+		t.Errorf("url = %q", url)
+	}
+	svc, _ := c.bucket("service")[nsName("default", "nginx-service")]
+	if got := len(c.ServiceEndpoints(svc)); got != 3 {
+		t.Errorf("endpoints = %d, want 3", got)
+	}
+	// LB answers on its service port at the node IP.
+	code, body, ok := c.HTTPProbe(NodeIP, 80)
+	if !ok || code != 200 {
+		t.Errorf("probe = %d %v", code, ok)
+	}
+	if !strings.Contains(body, "nginx") {
+		t.Errorf("body = %q", body)
+	}
+}
+
+func TestServiceWithoutEndpointsIs503(t *testing.T) {
+	c := NewCluster()
+	if _, err := c.ApplyYAML(nginxLBService, "default"); err != nil {
+		t.Fatal(err)
+	}
+	c.AdvanceTime(10 * time.Second)
+	code, _, ok := c.HTTPProbe(NodeIP, 80)
+	if !ok || code != 503 {
+		t.Errorf("probe with no endpoints = %d %v, want 503", code, ok)
+	}
+}
+
+func TestDaemonSetHostPortProbe(t *testing.T) {
+	c := NewCluster()
+	if _, err := c.ApplyYAML(registryDaemonSet, "default"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitFor(WaitOptions{Kind: "pod", Namespace: "default", Selector: "app=kube-registry", Condition: "Ready", Timeout: 60 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	pods := c.List("pods", "default", "app=kube-registry")
+	if len(pods) != 1 {
+		t.Fatalf("daemonset pods = %d, want 1 on single-node cluster", len(pods))
+	}
+	hostIP, err := jsonpath.Eval(pods[0], "{.status.hostIP}")
+	if err != nil || hostIP != NodeIP {
+		t.Fatalf("hostIP = %q, %v", hostIP, err)
+	}
+	code, _, ok := c.HTTPProbe(hostIP, 5000)
+	if !ok || code != 200 {
+		t.Errorf("hostPort probe = %d %v, want 200", code, ok)
+	}
+	if _, _, ok := c.HTTPProbe(hostIP, 5001); ok {
+		t.Error("probe on unexposed port should refuse")
+	}
+}
+
+func TestJSONPathOverListNode(t *testing.T) {
+	c := NewCluster()
+	if _, err := c.ApplyYAML(registryDaemonSet, "default"); err != nil {
+		t.Fatal(err)
+	}
+	c.AdvanceTime(5 * time.Second)
+	list := c.ListNode("pods", "default", "app=kube-registry")
+	envNames, err := jsonpath.Eval(list, "{.items[0].spec.containers[0].env[*].name}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if envNames != "REGISTRY_HOST REGISTRY_PORT" {
+		t.Errorf("env names = %q", envNames)
+	}
+	cpu, _ := jsonpath.Eval(list, "{.items[0].spec.containers[0].resources.limits.cpu}")
+	if cpu != "100m" {
+		t.Errorf("cpu = %q", cpu)
+	}
+}
+
+func TestNamespaces(t *testing.T) {
+	c := NewCluster()
+	if err := c.CreateNamespace("development"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateNamespace("development"); err == nil {
+		t.Error("duplicate namespace should error")
+	}
+	rb := `apiVersion: rbac.authorization.k8s.io/v1
+kind: RoleBinding
+metadata:
+  name: read-secrets
+  namespace: development
+subjects:
+- kind: User
+  name: dave
+  apiGroup: rbac.authorization.k8s.io
+roleRef:
+  kind: ClusterRole
+  name: secret-reader
+  apiGroup: rbac.authorization.k8s.io
+`
+	if _, err := c.ApplyYAML(rb, "default"); err != nil {
+		t.Fatal(err)
+	}
+	n, ok := c.GetByName("rolebinding", "development", "read-secrets")
+	if !ok {
+		t.Fatal("rolebinding not stored in its namespace")
+	}
+	subj, _ := jsonpath.Eval(n, "{.subjects[0].name}")
+	if subj != "dave" {
+		t.Errorf("subject = %q", subj)
+	}
+	// Applying into a namespace that does not exist fails.
+	c2 := NewCluster()
+	if _, err := c2.ApplyYAML(rb, "default"); err == nil {
+		t.Error("apply into missing namespace should fail")
+	}
+}
+
+func TestDeleteCascades(t *testing.T) {
+	c := NewCluster()
+	if _, err := c.ApplyYAML(nginxDeployment, "default"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete("deployment", "default", "nginx-deployment"); err != nil {
+		t.Fatal(err)
+	}
+	if pods := c.List("pods", "default", ""); len(pods) != 0 {
+		t.Errorf("pods after delete = %d, want 0", len(pods))
+	}
+}
+
+func TestReapplyReplacesPods(t *testing.T) {
+	c := NewCluster()
+	if _, err := c.ApplyYAML(nginxDeployment, "default"); err != nil {
+		t.Fatal(err)
+	}
+	scaled := strings.Replace(nginxDeployment, "replicas: 3", "replicas: 2", 1)
+	res, err := c.ApplyYAML(scaled, "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Created {
+		t.Error("re-apply should report configured, not created")
+	}
+	if pods := c.List("pods", "default", "app=nginx"); len(pods) != 2 {
+		t.Errorf("pods after scale down = %d, want 2", len(pods))
+	}
+}
+
+func TestJobCompletes(t *testing.T) {
+	c := NewCluster()
+	job := `apiVersion: batch/v1
+kind: Job
+metadata:
+  name: pi
+spec:
+  template:
+    spec:
+      containers:
+      - name: pi
+        image: perl:5.34.0
+      restartPolicy: Never
+`
+	if _, err := c.ApplyYAML(job, "default"); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := c.GetByName("job", "default", "pi")
+	if HasCondition(n, "Complete") {
+		t.Error("job complete at t=0")
+	}
+	if err := c.WaitFor(WaitOptions{Kind: "job", Namespace: "default", Names: []string{"pi"}, Condition: "complete", Timeout: 30 * time.Second}); err != nil {
+		t.Fatalf("job never completed: %v", err)
+	}
+	n, _ = c.GetByName("job", "default", "pi")
+	succeeded, _ := jsonpath.Eval(n, "{.status.succeeded}")
+	if succeeded != "1" {
+		t.Errorf("succeeded = %q", succeeded)
+	}
+}
+
+func TestBadImageNeverReady(t *testing.T) {
+	c := NewCluster()
+	pod := `apiVersion: v1
+kind: Pod
+metadata:
+  name: broken
+spec:
+  containers:
+  - name: app
+    image: "not a valid image"
+`
+	if _, err := c.ApplyYAML(pod, "default"); err != nil {
+		t.Fatal(err)
+	}
+	err := c.WaitFor(WaitOptions{Kind: "pod", Namespace: "default", Names: []string{"broken"}, Condition: "Ready", Timeout: 10 * time.Second})
+	if err == nil {
+		t.Error("pod with bad image should never become Ready")
+	}
+	n, _ := c.GetByName("pod", "default", "broken")
+	phase, _ := jsonpath.Eval(n, "{.status.phase}")
+	if phase != "Pending" {
+		t.Errorf("phase = %q", phase)
+	}
+}
+
+func TestValidateIngressStrictDecoding(t *testing.T) {
+	c := NewCluster()
+	legacy := `apiVersion: networking.k8s.io/v1
+kind: Ingress
+metadata:
+  name: test-ingress
+spec:
+  rules:
+  - http:
+      paths:
+      - path: /
+        backend:
+          serviceName: test-app
+          servicePort: 5000
+`
+	_, err := c.ApplyYAML(legacy, "default")
+	if err == nil || !strings.Contains(err.Error(), "strict decoding error") {
+		t.Fatalf("legacy ingress error = %v", err)
+	}
+	fixed := `apiVersion: networking.k8s.io/v1
+kind: Ingress
+metadata:
+  name: minimal-ingress
+  annotations:
+    nginx.ingress.kubernetes.io/rewrite-target: /
+spec:
+  rules:
+  - http:
+      paths:
+      - path: /
+        pathType: Prefix
+        backend:
+          service:
+            name: test-app
+            port:
+              number: 5000
+`
+	if _, err := c.ApplyYAML(fixed, "default"); err != nil {
+		t.Fatalf("fixed ingress rejected: %v", err)
+	}
+	out, err := c.Describe("ingress", "default", "minimal-ingress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "test-app:5000") {
+		t.Errorf("describe missing backend:\n%s", out)
+	}
+}
+
+func TestValidateWorkloadSelectorMismatch(t *testing.T) {
+	c := NewCluster()
+	bad := strings.Replace(nginxDeployment, "app: nginx\n  template", "app: other\n  template", 1)
+	if _, err := c.ApplyYAML(bad, "default"); err == nil {
+		t.Error("selector/template mismatch should be rejected")
+	}
+}
+
+func TestValidateMissingKind(t *testing.T) {
+	c := NewCluster()
+	if _, err := c.ApplyYAML("metadata:\n  name: x\n", "default"); err == nil {
+		t.Error("manifest without kind should fail")
+	}
+	if _, err := c.ApplyYAML("kind: Pod\nmetadata:\n  name: x\n", "default"); err == nil {
+		t.Error("manifest without apiVersion should fail")
+	}
+	if _, err := c.ApplyYAML("apiVersion: v1\nkind: Pod\nmetadata: {}\n", "default"); err == nil {
+		t.Error("manifest without name should fail")
+	}
+}
+
+func TestValidateWrongAPIVersion(t *testing.T) {
+	c := NewCluster()
+	old := strings.Replace(nginxDeployment, "apps/v1", "extensions/v1beta1", 1)
+	_, err := c.ApplyYAML(old, "default")
+	if err == nil || !strings.Contains(err.Error(), "no matches for kind") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestValidateEnvNumberValue(t *testing.T) {
+	c := NewCluster()
+	pod := `apiVersion: v1
+kind: Pod
+metadata:
+  name: envpod
+spec:
+  containers:
+  - name: app
+    image: nginx
+    env:
+    - name: PORT
+      value: 5000
+`
+	if _, err := c.ApplyYAML(pod, "default"); err == nil {
+		t.Error("unquoted numeric env value must fail strict decoding")
+	}
+	quoted := strings.Replace(pod, "value: 5000", `value: "5000"`, 1)
+	if _, err := c.ApplyYAML(quoted, "default"); err != nil {
+		t.Errorf("quoted env value rejected: %v", err)
+	}
+}
+
+func TestKindAliases(t *testing.T) {
+	for _, alias := range []string{"pod", "pods", "po", "Pod", "PODS"} {
+		if kindKey(alias) != "pod" {
+			t.Errorf("kindKey(%q) = %q", alias, kindKey(alias))
+		}
+	}
+	for _, alias := range []string{"svc", "service", "services", "Service"} {
+		if kindKey(alias) != "service" {
+			t.Errorf("kindKey(%q) = %q", alias, kindKey(alias))
+		}
+	}
+	if kindKey("ingress") != "ingress" || kindKey("ing") != "ingress" {
+		t.Error("ingress alias broken")
+	}
+	if kindKey("deploy") != "deployment" || kindKey("deployments") != "deployment" {
+		t.Error("deployment alias broken")
+	}
+}
+
+func TestDescribeService(t *testing.T) {
+	c := NewCluster()
+	if _, err := c.ApplyYAML(nginxDeployment, "default"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ApplyYAML(nginxLBService, "default"); err != nil {
+		t.Fatal(err)
+	}
+	c.AdvanceTime(10 * time.Second)
+	out, err := c.Describe("svc", "default", "nginx-service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Type:             LoadBalancer", "Selector:         app=nginx", "LoadBalancer Ingress"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("describe missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStatefulSetPodNames(t *testing.T) {
+	c := NewCluster()
+	sts := `apiVersion: apps/v1
+kind: StatefulSet
+metadata:
+  name: web
+spec:
+  replicas: 2
+  selector:
+    matchLabels:
+      app: web
+  template:
+    metadata:
+      labels:
+        app: web
+    spec:
+      containers:
+      - name: nginx
+        image: nginx
+`
+	if _, err := c.ApplyYAML(sts, "default"); err != nil {
+		t.Fatal(err)
+	}
+	pods := c.List("pod", "default", "app=web")
+	if len(pods) != 2 {
+		t.Fatalf("pods = %d", len(pods))
+	}
+	name0, _ := jsonpath.Eval(pods[0], "{.metadata.name}")
+	if name0 != "web-0" {
+		t.Errorf("statefulset pod name = %q, want web-0", name0)
+	}
+}

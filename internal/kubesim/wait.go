@@ -1,0 +1,85 @@
+package kubesim
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cloudeval/internal/yamlx"
+)
+
+// WaitOptions mirror the flags of "kubectl wait".
+type WaitOptions struct {
+	Kind      string
+	Namespace string
+	Names     []string // explicit resource names; empty means selector/all
+	Selector  string   // -l app=web
+	All       bool     // --all
+	Condition string   // condition name from --for=condition=X
+	Timeout   time.Duration
+}
+
+// WaitFor advances the virtual clock until every targeted resource
+// reports the condition with status True, or the timeout elapses. Like
+// kubectl, it errors when no resources match or the condition never
+// becomes true.
+func (c *Cluster) WaitFor(opts WaitOptions) error {
+	if opts.Timeout <= 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	deadline := c.now.Add(opts.Timeout)
+	const step = 500 * time.Millisecond
+	for {
+		targets := c.waitTargets(opts)
+		if len(targets) == 0 {
+			if len(opts.Names) > 0 {
+				return fmt.Errorf("error: %s %q not found", kindKey(opts.Kind), strings.Join(opts.Names, ", "))
+			}
+			return fmt.Errorf("error: no matching resources found")
+		}
+		if allConditionsTrue(targets, opts.Condition) {
+			return nil
+		}
+		if !c.now.Before(deadline) {
+			return fmt.Errorf("error: timed out waiting for the condition on %s", kindKey(opts.Kind))
+		}
+		c.AdvanceTime(step)
+	}
+}
+
+func (c *Cluster) waitTargets(opts WaitOptions) []*yamlx.Node {
+	if len(opts.Names) > 0 {
+		var out []*yamlx.Node
+		for _, name := range opts.Names {
+			if n, ok := c.GetByName(opts.Kind, opts.Namespace, name); ok {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+	return c.List(opts.Kind, opts.Namespace, opts.Selector)
+}
+
+func allConditionsTrue(nodes []*yamlx.Node, condType string) bool {
+	for _, n := range nodes {
+		if !HasCondition(n, condType) {
+			return false
+		}
+	}
+	return true
+}
+
+// HasCondition reports whether a resource's status.conditions include
+// the given type (case-insensitive) with status "True".
+func HasCondition(n *yamlx.Node, condType string) bool {
+	conds := n.Path("status", "conditions")
+	if conds == nil || conds.Kind != yamlx.SeqKind {
+		return false
+	}
+	for _, cd := range conds.Items {
+		if strings.EqualFold(cd.Get("type").ScalarString(), condType) {
+			return strings.EqualFold(cd.Get("status").ScalarString(), "True")
+		}
+	}
+	return false
+}

@@ -1,0 +1,483 @@
+package llm
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"strings"
+
+	"cloudeval/internal/dataset"
+	"cloudeval/internal/yamlmatch"
+	"cloudeval/internal/yamlx"
+)
+
+// GenOptions controls one generation.
+type GenOptions struct {
+	// Sample selects an independent sample stream (pass@k). Sample 0 at
+	// Temperature 0 is the model's greedy answer.
+	Sample int
+	// Temperature > 0 lets samples differ; 0 pins every sample to the
+	// greedy answer.
+	Temperature float64
+	// Shots is the number of few-shot examples in the prompt (0–3).
+	Shots int
+}
+
+// Generate produces the model's raw response text for a problem. The
+// response typically wraps YAML in the model's characteristic dressing;
+// run Postprocess to extract clean YAML.
+func (m Model) Generate(p dataset.Problem, opts GenOptions) string {
+	rng := m.rng(p, opts, true)
+	latent := m.rng(p, opts, false)
+	cat := m.drawCategory(p, opts, rng, latent)
+	// Functional mistakes (which fields are wrong) are a property of the
+	// problem, not the sample: real models get the same thing wrong on
+	// every retry. Textual presentation still varies per sample.
+	answer := m.emit(cat, p, latent, rng)
+	return wrap(m.Profile.Wrap, answer, cat, rng)
+}
+
+// rng derives a deterministic stream. With perSample, the stream varies
+// by sample index (at temperature > 0), shot count and question
+// variant; otherwise it depends only on (model, base problem) — the
+// problem's latent stream. Competence is a property of the model and
+// the task: rephrasing the question (simplified/translated) or adding
+// few-shot examples shifts the success odds through the profile
+// factors, it does not re-roll every problem. That is what keeps
+// Tables 5-6's deltas small and pass@k gains bounded, as in the paper.
+func (m Model) rng(p dataset.Problem, opts GenOptions, perSample bool) *rand.Rand {
+	h := fnv.New64a()
+	sample, shots := opts.Sample, opts.Shots
+	variant := string(p.Variant)
+	id := p.ID
+	if opts.Temperature == 0 {
+		sample = 0
+	}
+	if !perSample {
+		sample, shots, variant = 0, 0, ""
+		id = strings.TrimSuffix(strings.TrimSuffix(id, "-s"), "-t")
+	}
+	// The stream tag keeps the two streams distinct even when all other
+	// components coincide; without it the category draw and the cosmetic
+	// draws would correlate perfectly.
+	tag := "latent"
+	if perSample {
+		tag = "sample"
+	}
+	fmt.Fprintf(h, "%s|%s|%s|%s|%d|%d", tag, m.Name, id, variant, shots, sample)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// Difficulty scores a problem in [0,1]: Envoy hardest, then by solution
+// length, echoing the paper's Figure 6 analysis.
+func Difficulty(p dataset.Problem) float64 {
+	base := 0.0
+	switch p.Category {
+	case dataset.Envoy:
+		base = 0.55
+	case dataset.Istio:
+		base = 0.25
+	}
+	lines := p.SolutionLines()
+	var lengthTerm float64
+	switch {
+	case lines < 15:
+		lengthTerm = 0.15
+	case lines < 30:
+		lengthTerm = 0.35
+	default:
+		lengthTerm = 0.50
+	}
+	d := base + lengthTerm
+	if d > 1 {
+		d = 1
+	}
+	return d
+}
+
+// drawCategory samples the Figure 7 failure category for this response.
+func (m Model) drawCategory(p dataset.Problem, opts GenOptions, rng, latent *rand.Rand) int {
+	w := m.Profile.CatWeights
+	// Difficulty moves success odds down; the lost mass lands on
+	// "plausible but wrong" (category 5) and "incomplete" (category 3).
+	// Easy problems never boost success above the base rate.
+	d := Difficulty(p)
+	excess := d - 0.2
+	if excess < 0 {
+		excess = 0
+	}
+	factor := math.Exp(-m.Profile.DifficultySlope * excess)
+	// Variant sensitivity (Table 5).
+	switch p.Variant {
+	case dataset.Simplified:
+		factor *= m.Profile.SimplifiedFactor
+	case dataset.Translated:
+		factor *= m.Profile.TranslatedFactor
+	}
+	// Few-shot sensitivity (Table 6).
+	if opts.Shots > 0 && opts.Shots < len(m.Profile.ShotFactors) {
+		if f := m.Profile.ShotFactors[opts.Shots]; f > 0 {
+			factor *= f
+		}
+	}
+	p6 := w[5] * factor
+	if p6 > 0.98 {
+		p6 = 0.98
+	}
+	lost := w[5] - p6
+	w[5] = p6
+	w[4] += lost * 0.7
+	w[2] += lost * 0.3
+	total := 0.0
+	for _, v := range w {
+		total += v
+	}
+	// Draw against a per-problem latent position u: the same problem
+	// lands in the same region of the category distribution on every
+	// sample, so failures correlate across samples the way real models'
+	// do. Temperature adds a small per-sample jitter around u; only
+	// problems near a category boundary flip, which is what bounds the
+	// pass@k gains to the paper's 30-40% rather than 1-(1-p)^k.
+	u := latent.Float64()
+	if opts.Temperature > 0 {
+		u += m.Profile.SampleSigma * opts.Temperature * rng.NormFloat64()
+		// Reflect into [0,1) to preserve the marginal distribution.
+		u = math.Abs(u)
+		if u >= 2 {
+			u = math.Mod(u, 2)
+		}
+		if u >= 1 {
+			u = 2 - u - 1e-12
+		}
+	}
+	x := u * total
+	for i, v := range w {
+		if x < v {
+			return i + 1
+		}
+		x -= v
+	}
+	return 6
+}
+
+// emit renders the answer text for a category. Functional content draws
+// from the latent (per-problem) stream; cosmetic variation draws from
+// the per-sample stream.
+func (m Model) emit(cat int, p dataset.Problem, latent, rng *rand.Rand) string {
+	clean := yamlmatch.StripLabels(p.ReferenceYAML)
+	switch cat {
+	case 1: // empty or under three lines
+		options := []string{"", "apiVersion: v1", "I cannot help with that.", "yaml"}
+		return options[rng.Intn(len(options))]
+	case 2: // longer prose without a kind field
+		return "To accomplish this task you would configure the resource with the appropriate\n" +
+			"settings for your cluster. First create the object, then verify it with kubectl.\n" +
+			"The most important settings are the selector and the labels, which must agree.\n" +
+			"Afterwards, check the status and repeat as needed until everything is healthy.\n"
+	case 3: // contains kind but the YAML is cut off / broken
+		return truncateYAML(clean, rng)
+	case 4: // valid YAML, wrong kind
+		if p.Category == dataset.Envoy {
+			// Envoy configs have no kind; a confused answer of the
+			// "wrong flavor" is a functionally wrong config instead.
+			return corruptYAML(clean, p, latent)
+		}
+		return wrongKind(clean, p, latent)
+	case 5: // valid YAML, right kind, functionally wrong
+		return corruptYAML(clean, p, latent)
+	default: // correct
+		if rng.Float64() < m.Profile.NoiseWhenCorrect {
+			return harmlessNoise(clean, p, rng)
+		}
+		return clean
+	}
+}
+
+// truncateYAML cuts the reference somewhere after the kind line and may
+// break indentation, producing category 3 answers.
+func truncateYAML(clean string, rng *rand.Rand) string {
+	lines := strings.Split(strings.TrimRight(clean, "\n"), "\n")
+	if len(lines) < 4 {
+		return clean[:len(clean)/2]
+	}
+	maxCut := len(lines) - 2
+	if maxCut < 4 {
+		maxCut = 4
+	}
+	cut := 3 + rng.Intn(maxCut-3)
+	if cut > len(lines) {
+		cut = len(lines)
+	}
+	out := lines[:cut]
+	// Leave a dangling flow value so the document is unparsable.
+	out = append(out, "  spec: [unterminated")
+	return strings.Join(out, "\n") + "\n"
+}
+
+// wrongKind swaps the resource kind for a plausible but wrong one.
+func wrongKind(clean string, p dataset.Problem, rng *rand.Rand) string {
+	alternatives := []string{"Pod", "Deployment", "Service", "ConfigMap", "ReplicaSet"}
+	doc, err := yamlx.ParseString(clean)
+	if err != nil || doc.Kind != yamlx.MapKind {
+		return clean
+	}
+	cur := doc.Get("kind").ScalarString()
+	alt := alternatives[rng.Intn(len(alternatives))]
+	for alt == cur {
+		alt = alternatives[rng.Intn(len(alternatives))]
+	}
+	doc.Set("kind", yamlx.String(alt))
+	return yamlx.MarshalString(doc)
+}
+
+// corruptYAML perturbs functional leaves of the reference: numeric
+// values drift, strings get mangled, or a required subtree is dropped.
+// The result stays valid YAML with the right kind but fails the unit
+// test: corruption is biased toward leaves whose values the unit-test
+// script actually asserts on, which is what "plausible but wrong"
+// answers get wrong in practice.
+func corruptYAML(clean string, p dataset.Problem, rng *rand.Rand) string {
+	docs, err := yamlx.ParseAll([]byte(clean))
+	if err != nil {
+		return clean
+	}
+	// Collect scalar leaves that the unit test observes.
+	type leafRef struct {
+		parent *yamlx.Node
+		key    string
+		idx    int // sequence position, -1 for map entries
+	}
+	var tested []leafRef
+	var visit func(n *yamlx.Node)
+	visit = func(n *yamlx.Node) {
+		if n == nil {
+			return
+		}
+		switch n.Kind {
+		case yamlx.MapKind:
+			for i := range n.Entries {
+				e := &n.Entries[i]
+				if e.Key == "kind" || e.Key == "apiVersion" {
+					continue
+				}
+				if e.Value.IsScalar() {
+					v := e.Value.ScalarString()
+					if v != "" && strings.Contains(p.UnitTest, v) {
+						tested = append(tested, leafRef{parent: n, key: e.Key, idx: -1})
+					}
+					continue
+				}
+				visit(e.Value)
+			}
+		case yamlx.SeqKind:
+			for i, it := range n.Items {
+				if it.IsScalar() {
+					v := it.ScalarString()
+					if v != "" && strings.Contains(p.UnitTest, v) {
+						tested = append(tested, leafRef{parent: n, idx: i})
+					}
+					continue
+				}
+				visit(it)
+			}
+		}
+	}
+	for _, d := range docs {
+		visit(d)
+	}
+	// Corrupt most tested leaves (at least one), then a random leaf or
+	// two for texture.
+	mutated := 0
+	for i, l := range tested {
+		if i > 0 && rng.Float64() > 0.8 {
+			continue
+		}
+		if l.idx >= 0 {
+			l.parent.Items[l.idx] = mutateScalar(l.parent.Items[l.idx], rng)
+		} else {
+			cur := l.parent.Get(l.key)
+			l.parent.Set(l.key, mutateScalar(cur, rng))
+		}
+		mutated++
+	}
+	if mutated == 0 {
+		// Nothing observable found: break the document structurally by
+		// dropping the spec subtree of the first document.
+		if len(docs) > 0 && docs[0].Kind == yamlx.MapKind {
+			docs[0].Delete("spec")
+			docs[0].Delete("data")
+			docs[0].Delete("subjects")
+		}
+	}
+	edits := 1 + rng.Intn(2)
+	for i := 0; i < edits; i++ {
+		doc := docs[rng.Intn(len(docs))]
+		corruptNode(doc, rng, 0)
+	}
+	return string(yamlx.MarshalAll(docs))
+}
+
+func corruptNode(n *yamlx.Node, rng *rand.Rand, depth int) bool {
+	if n == nil {
+		return false
+	}
+	switch n.Kind {
+	case yamlx.MapKind:
+		if len(n.Entries) == 0 {
+			return false
+		}
+		idx := rng.Intn(len(n.Entries))
+		e := &n.Entries[idx]
+		// Never corrupt kind/apiVersion here (that is category 4's job).
+		if e.Key == "kind" || e.Key == "apiVersion" {
+			idx = (idx + 1) % len(n.Entries)
+			e = &n.Entries[idx]
+			if e.Key == "kind" || e.Key == "apiVersion" {
+				return false
+			}
+		}
+		if e.Value.IsScalar() {
+			e.Value = mutateScalar(e.Value, rng)
+			return true
+		}
+		if depth >= 2 && rng.Float64() < 0.25 {
+			// Drop an entire subtree.
+			n.Entries = append(n.Entries[:idx], n.Entries[idx+1:]...)
+			return true
+		}
+		return corruptNode(e.Value, rng, depth+1)
+	case yamlx.SeqKind:
+		if len(n.Items) == 0 {
+			return false
+		}
+		idx := rng.Intn(len(n.Items))
+		if n.Items[idx].IsScalar() {
+			n.Items[idx] = mutateScalar(n.Items[idx], rng)
+			return true
+		}
+		return corruptNode(n.Items[idx], rng, depth+1)
+	default:
+		return false
+	}
+}
+
+func mutateScalar(v *yamlx.Node, rng *rand.Rand) *yamlx.Node {
+	switch v.Kind {
+	case yamlx.IntKind:
+		delta := int64(1 + rng.Intn(9))
+		if rng.Intn(2) == 0 && v.Int > delta {
+			return yamlx.Integer(v.Int - delta)
+		}
+		return yamlx.Integer(v.Int + delta)
+	case yamlx.BoolKind:
+		return yamlx.Boolean(!v.Bool)
+	case yamlx.StringKind:
+		s := v.Str
+		// Mangle the middle so substring assertions fail too.
+		if len(s) > 3 {
+			mid := 1 + rng.Intn(len(s)-2)
+			c := byte('x')
+			if s[mid] == 'x' {
+				c = 'q'
+			}
+			return yamlx.String(s[:mid] + string(c) + s[mid+1:])
+		}
+		return yamlx.String(s + "x")
+	default:
+		return yamlx.String("changed")
+	}
+}
+
+// harmlessNoise rewrites the reference without changing semantics the
+// unit test observes: map keys reorder, wildcard-labeled names change,
+// set-labeled values pick another allowed member. Text metrics drop;
+// KV-wildcard and unit tests stay at 1.
+func harmlessNoise(clean string, p dataset.Problem, rng *rand.Rand) string {
+	labeled, err := yamlx.ParseAll([]byte(p.ReferenceYAML))
+	if err != nil {
+		return clean
+	}
+	for _, doc := range labeled {
+		applyHarmless(doc, rng)
+	}
+	out := yamlmatch.StripLabels(string(yamlx.MarshalAll(labeled)))
+	if textEqual(out, clean) {
+		// Noise is supposed to be visible: rotate the trailing top-level
+		// entries of the first document (YAML-legal, semantics intact).
+		doc := labeled[0]
+		if doc.Kind == yamlx.MapKind && len(doc.Entries) >= 3 {
+			tail := doc.Entries[1:]
+			rotated := append([]yamlx.Entry{tail[len(tail)-1]}, tail[:len(tail)-1]...)
+			doc.Entries = append(doc.Entries[:1], rotated...)
+			out = yamlmatch.StripLabels(string(yamlx.MarshalAll(labeled)))
+		}
+	}
+	return out
+}
+
+func textEqual(a, b string) bool {
+	return strings.TrimSpace(a) == strings.TrimSpace(b)
+}
+
+func applyHarmless(n *yamlx.Node, rng *rand.Rand) {
+	if n == nil {
+		return
+	}
+	switch n.Kind {
+	case yamlx.MapKind:
+		// Shuffle top-level-entry order occasionally (YAML-legal).
+		if len(n.Entries) > 1 && rng.Float64() < 0.4 {
+			i, j := rng.Intn(len(n.Entries)), rng.Intn(len(n.Entries))
+			if n.Entries[i].Key != "apiVersion" && n.Entries[j].Key != "apiVersion" {
+				n.Entries[i], n.Entries[j] = n.Entries[j], n.Entries[i]
+			}
+		}
+		for _, e := range n.Entries {
+			if e.Value.IsScalar() {
+				label := yamlmatch.ParseLabel(e.Value.Comment)
+				switch label.Kind {
+				case yamlmatch.WildcardLabel:
+					if rng.Float64() < 0.85 {
+						e.Value.Str = "alt-" + e.Value.ScalarString()
+						e.Value.Kind = yamlx.StringKind
+					}
+				case yamlmatch.SetLabel:
+					if len(label.Values) > 0 && rng.Float64() < 0.85 {
+						pickVal := label.Values[rng.Intn(len(label.Values))]
+						e.Value.Str = pickVal
+						e.Value.Kind = yamlx.StringKind
+					}
+				}
+				e.Value.Comment = ""
+			} else {
+				applyHarmless(e.Value, rng)
+			}
+		}
+	case yamlx.SeqKind:
+		for _, it := range n.Items {
+			applyHarmless(it, rng)
+		}
+	}
+}
+
+// wrap dresses an answer in the model's response style.
+func wrap(style WrapStyle, answer string, cat int, rng *rand.Rand) string {
+	if cat <= 2 {
+		return answer // degenerate answers are returned bare
+	}
+	switch style {
+	case WrapMarkdown:
+		return "Sure! Here's the configuration you asked for:\n```yaml\n" + answer + "```\nLet me know if you need changes.\n"
+	case WrapHere:
+		return "Here is the YAML file that satisfies the requirements:\n" + answer
+	case WrapCodeTags:
+		return "<code>\n" + answer + "</code>\n"
+	case WrapLatex:
+		return "\\begin{code}\n" + answer + "\\end{code}\n"
+	case WrapSolution:
+		return "START SOLUTION\n" + answer + "END SOLUTION\n"
+	default:
+		return answer
+	}
+}

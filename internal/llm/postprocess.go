@@ -1,0 +1,81 @@
+package llm
+
+import "strings"
+
+// Postprocess extracts clean YAML from a raw model response, applying
+// the policies of §3.1 in order:
+//
+//  1. remove content before a line containing the keyword "Here";
+//  2. remove content before the first line starting with "apiVersion:"
+//     (Kubernetes) or "static_resources:" (Envoy);
+//  3. extract text enclosed by ``` fences, <code></code>,
+//     \begin{code}\end{code}, or START SOLUTION / END SOLUTION.
+func Postprocess(response string) string {
+	out := response
+	// Policy 3 first when explicit delimiters exist: they are the
+	// strongest signal, and once a fenced block is extracted the other
+	// policies must not trim it further (a document may legally put
+	// "kind:" before "apiVersion:").
+	if extracted, ok := extractDelimited(out); ok {
+		return strings.TrimSpace(extracted) + "\n"
+	}
+	// Policy 1: strip everything before the last preamble line
+	// containing "Here".
+	lines := strings.Split(out, "\n")
+	for i, ln := range lines {
+		if strings.Contains(ln, "Here") && i+1 < len(lines) {
+			candidate := strings.Join(lines[i+1:], "\n")
+			if looksLikeYAMLStart(candidate) {
+				out = candidate
+			}
+			break
+		}
+	}
+	// Policy 2: cut to the first apiVersion:/static_resources: line.
+	lines = strings.Split(out, "\n")
+	for i, ln := range lines {
+		t := strings.TrimSpace(ln)
+		if strings.HasPrefix(t, "apiVersion:") || strings.HasPrefix(t, "static_resources:") {
+			out = strings.Join(lines[i:], "\n")
+			break
+		}
+	}
+	return strings.TrimSpace(out) + "\n"
+}
+
+type delimiter struct{ open, close string }
+
+var delimiters = []delimiter{
+	{"```yaml", "```"},
+	{"```YAML", "```"},
+	{"```", "```"},
+	{"<code>", "</code>"},
+	{`\begin{code}`, `\end{code}`},
+	{"START SOLUTION", "END SOLUTION"},
+}
+
+func extractDelimited(s string) (string, bool) {
+	for _, d := range delimiters {
+		start := strings.Index(s, d.open)
+		if start < 0 {
+			continue
+		}
+		rest := s[start+len(d.open):]
+		end := strings.Index(rest, d.close)
+		if end < 0 {
+			// Unclosed fence: take everything after it.
+			return strings.TrimLeft(rest, "\n"), true
+		}
+		return strings.Trim(rest[:end], "\n") + "\n", true
+	}
+	return "", false
+}
+
+func looksLikeYAMLStart(s string) bool {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return false
+	}
+	first := strings.SplitN(t, "\n", 2)[0]
+	return strings.Contains(first, ":") || strings.HasPrefix(first, "-") || strings.HasPrefix(first, "```")
+}

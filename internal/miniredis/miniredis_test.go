@@ -1,0 +1,179 @@
+package miniredis
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func startServer(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	srv := NewServer()
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return srv, cli
+}
+
+func TestPingSetGet(t *testing.T) {
+	_, c := startServer(t)
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set("k", "value with spaces\nand newlines"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := c.Get("k")
+	if err != nil || !ok || v != "value with spaces\nand newlines" {
+		t.Fatalf("get = %q %v %v", v, ok, err)
+	}
+	_, ok, err = c.Get("missing")
+	if err != nil || ok {
+		t.Fatalf("missing key: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestListsAndBlockingPop(t *testing.T) {
+	_, c := startServer(t)
+	if err := c.RPush("q", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.LLen("q")
+	if err != nil || n != 2 {
+		t.Fatalf("llen = %d %v", n, err)
+	}
+	// BRPOP takes from the tail.
+	_, v, ok, err := c.BRPop(time.Second, "q")
+	if err != nil || !ok || v != "b" {
+		t.Fatalf("brpop = %q %v %v", v, ok, err)
+	}
+	// Blocking path: a second client pushes after a delay.
+	c2, err := Dial(c.conn.RemoteAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		c2.LPush("q2", "wake")
+	}()
+	start := time.Now()
+	_, v, ok, err = c.BRPop(2*time.Second, "q2")
+	if err != nil || !ok || v != "wake" {
+		t.Fatalf("blocking brpop = %q %v %v", v, ok, err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("brpop took too long after push")
+	}
+	// Timeout path.
+	_, _, ok, err = c.BRPop(100*time.Millisecond, "empty")
+	if err != nil || ok {
+		t.Fatalf("timeout brpop: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestHashes(t *testing.T) {
+	_, c := startServer(t)
+	if err := c.HSet("job:1", "status", "done", "score", "1"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.HGetAll("job:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["status"] != "done" || m["score"] != "1" {
+		t.Fatalf("hgetall = %v", m)
+	}
+}
+
+func TestIncrAndKeys(t *testing.T) {
+	_, c := startServer(t)
+	for i := 1; i <= 3; i++ {
+		n, err := c.Incr("counter")
+		if err != nil || n != i {
+			t.Fatalf("incr = %d %v", n, err)
+		}
+	}
+	c.Set("job:1", "x")
+	c.Set("job:2", "y")
+	c.Set("other", "z")
+	keys, err := c.Keys("job:*")
+	if err != nil || len(keys) != 2 {
+		t.Fatalf("keys = %v %v", keys, err)
+	}
+}
+
+func TestConcurrentWorkersDrainQueue(t *testing.T) {
+	srv, producer := startServer(t)
+	_ = srv
+	const jobs = 200
+	for i := 0; i < jobs; i++ {
+		if err := producer.LPush("jobs", fmt.Sprintf("job-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cli, err := Dial(producer.conn.RemoteAddr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cli.Close()
+			for {
+				_, v, ok, err := cli.BRPop(200*time.Millisecond, "jobs")
+				if err != nil || !ok {
+					return
+				}
+				mu.Lock()
+				if seen[v] {
+					t.Errorf("job %s delivered twice", v)
+				}
+				seen[v] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != jobs {
+		t.Fatalf("drained %d jobs, want %d", len(seen), jobs)
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	_, c := startServer(t)
+	c.Set("temp", "v")
+	if _, err := c.Do("EXPIRE", "temp", "1"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Do("TTL", "temp")
+	if err != nil || v.(int) < 0 || v.(int) > 1 {
+		t.Fatalf("ttl = %v %v", v, err)
+	}
+	if _, err := c.Do("TTL", "absent"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	_, c := startServer(t)
+	if _, err := c.Do("NOSUCHCMD"); err == nil {
+		t.Error("unknown command should error")
+	}
+	if _, err := c.Do("GET"); err == nil {
+		t.Error("arity error should surface")
+	}
+}

@@ -1,0 +1,73 @@
+package prompt
+
+import (
+	"strings"
+	"testing"
+
+	"cloudeval/internal/dataset"
+	"cloudeval/internal/yamlx"
+)
+
+func TestBuildZeroShot(t *testing.T) {
+	p := dataset.Generate()[0]
+	out := Build(p, 0)
+	if !strings.HasPrefix(out, "You are an expert engineer in cloud native development.") {
+		t.Error("prompt must start with the Appendix B template")
+	}
+	if !strings.Contains(out, p.Question) {
+		t.Error("prompt must contain the question")
+	}
+	if strings.Contains(out, "Example question") {
+		t.Error("zero-shot prompt must not include examples")
+	}
+}
+
+func TestBuildFewShot(t *testing.T) {
+	p := dataset.Generate()[0]
+	for shots := 1; shots <= 3; shots++ {
+		out := Build(p, shots)
+		for i := 1; i <= shots; i++ {
+			if !strings.Contains(out, "Example question #"+string(rune('0'+i))) {
+				t.Errorf("%d-shot prompt missing example %d", shots, i)
+			}
+		}
+		if strings.Contains(out, "Example question #"+string(rune('0'+shots+1))) {
+			t.Errorf("%d-shot prompt includes too many examples", shots)
+		}
+	}
+	// Requesting more shots than available clamps.
+	if out := Build(p, 99); !strings.Contains(out, "Example question #3") {
+		t.Error("over-requesting shots should clamp to the available three")
+	}
+}
+
+func TestBuildIncludesContext(t *testing.T) {
+	var withCtx dataset.Problem
+	for _, p := range dataset.Generate() {
+		if p.HasContext() {
+			withCtx = p
+			break
+		}
+	}
+	out := Build(withCtx, 0)
+	if !strings.Contains(out, withCtx.ContextYAML) {
+		t.Error("context YAML missing from prompt")
+	}
+	if !strings.Contains(out, "```") {
+		t.Error("context should be fenced")
+	}
+}
+
+func TestShotAnswersAreValidYAML(t *testing.T) {
+	for i, s := range DefaultShots {
+		if _, err := yamlx.ParseAll([]byte(s.Answer)); err != nil {
+			t.Errorf("shot %d answer does not parse: %v", i, err)
+		}
+		if strings.TrimSpace(s.Question) == "" {
+			t.Errorf("shot %d has no question", i)
+		}
+	}
+	if len(DefaultShots) != 3 {
+		t.Errorf("paper uses 3 shots, have %d", len(DefaultShots))
+	}
+}

@@ -1,0 +1,102 @@
+package registry
+
+import (
+	"testing"
+	"time"
+
+	"cloudeval/internal/dataset"
+)
+
+func TestImagesForExtractsContainers(t *testing.T) {
+	for _, p := range dataset.Generate() {
+		imgs := ImagesFor(p)
+		if len(imgs) == 0 {
+			t.Errorf("%s: no images derived", p.ID)
+		}
+		switch p.Category {
+		case dataset.Envoy:
+			if !contains(imgs, "envoyproxy/envoy:v1.27") {
+				t.Errorf("%s: envoy problems need the envoy image: %v", p.ID, imgs)
+			}
+		case dataset.Kubernetes:
+			if !contains(imgs, "registry.k8s.io/pause:3.9") {
+				t.Errorf("%s: k8s problems pull the pause image: %v", p.ID, imgs)
+			}
+		}
+	}
+}
+
+func contains(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSizeMBFallback(t *testing.T) {
+	if SizeMB("nginx:latest") != 67 {
+		t.Error("catalog lookup broken")
+	}
+	if SizeMB("unknown/image:tag") != DefaultImageMB {
+		t.Error("fallback size broken")
+	}
+}
+
+func TestLinkSerializesTransfers(t *testing.T) {
+	l := NewLink(100)          // 100 Mbps -> 12.5 MB/s
+	end1 := l.Transfer(0, 125) // 10 s
+	if end1 != 10*time.Second {
+		t.Errorf("first transfer end = %v", end1)
+	}
+	// A transfer requested at t=0 while the link is busy queues.
+	end2 := l.Transfer(0, 125)
+	if end2 != 20*time.Second {
+		t.Errorf("queued transfer end = %v", end2)
+	}
+	// A transfer requested later starts then.
+	end3 := l.Transfer(30*time.Second, 125)
+	if end3 != 40*time.Second {
+		t.Errorf("later transfer end = %v", end3)
+	}
+	if l.TotalMB() != 375 {
+		t.Errorf("traffic = %v", l.TotalMB())
+	}
+	l.Reset()
+	if l.TotalMB() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestPullThroughCacheHitsAndMisses(t *testing.T) {
+	wan := NewLink(100)
+	lan := NewLink(1000)
+	c := NewPullThroughCache(wan, lan)
+	end1 := c.Pull("nginx:latest", 0)
+	if c.Misses != 1 || c.Hits != 0 {
+		t.Fatalf("after first pull: hits=%d misses=%d", c.Hits, c.Misses)
+	}
+	end2 := c.Pull("nginx:latest", end1)
+	if c.Hits != 1 {
+		t.Fatalf("second pull should hit: hits=%d", c.Hits)
+	}
+	// LAN transfers are an order of magnitude faster.
+	if end2-end1 >= end1 {
+		t.Errorf("cached pull (%v) should be much faster than cold pull (%v)", end2-end1, end1)
+	}
+	// The WAN only carried the image once.
+	if wan.TotalMB() != SizeMB("nginx:latest") {
+		t.Errorf("wan traffic = %v", wan.TotalMB())
+	}
+}
+
+func TestDirectPullerAlwaysWAN(t *testing.T) {
+	wan := NewLink(100)
+	d := &DirectPuller{WAN: wan}
+	d.Pull("redis:7", 0)
+	d.Pull("redis:7", 0)
+	if wan.TotalMB() != 2*SizeMB("redis:7") {
+		t.Errorf("direct pulls must both cross the WAN: %v MB", wan.TotalMB())
+	}
+}

@@ -1,0 +1,49 @@
+// Package related renders Table 7: the comparison of CloudEval-YAML to
+// other code-generation benchmarks, transcribed from §5.
+package related
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Benchmark is one comparison row.
+type Benchmark struct {
+	Name       string
+	Domain     string
+	EvalMetric string
+	Problems   string
+	DataSource string
+	Languages  string
+}
+
+// Table7 is the survey of §5.
+var Table7 = []Benchmark{
+	{"HumanEval", "Python algorithm", "Unit tests", "164", "Hand-written", "EN"},
+	{"MBPP", "Basic Python", "Unit tests", "974", "Hand-verified", "EN"},
+	{"WikiSQL", "SQL query", "Execution Accuracy", "88k", "Hand-annotated", "EN"},
+	{"CodeApex", "C++ algorithm", "Unit tests", "476", "Online judge system", "EN, ZH"},
+	{"MCoNaLa", "Python", "-", "896", "StackOverflow", "EN, ES, JA, RU"},
+	{"Lyra", "Python w/ embed. SQL", "Code exec./AST", "2000", "GitHub", "EN, ZH"},
+	{"APPS", "Python", "Unit tests", "10k", "Codeforces, Kattis", "EN"},
+	{"CoNaLa", "Python, Java", "-", "2879", "StackOverflow", "EN"},
+	{"Django", "Python Django", "Human study", "19k", "Django codebase", "EN"},
+	{"Shellcode_IA32", "Assembly", "-", "3200", "shell-storm, Exploit", "EN"},
+	{"CodeXGLUE", "Python, Java", "-", "645k", "Various sources", "EN"},
+	{"CONCODE", "Java classes", "-", "100k", "GitHub repositories", "EN"},
+	{"DS-1000", "Python data science", "Unit tests", "1000", "StackOverflow", "EN"},
+	{"Ansible", "YAML for Ansible", "K-V match", "112k", "GitHub, GitLab", "EN"},
+	{"CloudEval-YAML", "YAML for Cloud apps", "Unit tests, K-V wildcard", "1011", "Hand-written (337/1011)", "EN, ZH"},
+}
+
+// Format renders the table.
+func Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %-22s %-26s %-9s %-24s %s\n",
+		"Dataset", "Problem Domain", "Special Eval. Metric", "Problems", "Data Source", "Languages")
+	for _, r := range Table7 {
+		fmt.Fprintf(&b, "%-16s %-22s %-26s %-9s %-24s %s\n",
+			r.Name, r.Domain, r.EvalMetric, r.Problems, r.DataSource, r.Languages)
+	}
+	return b.String()
+}

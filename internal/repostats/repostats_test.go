@@ -1,0 +1,58 @@
+package repostats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSurveySize(t *testing.T) {
+	if len(Table8) != 100 {
+		t.Fatalf("survey covers %d repos, want 100", len(Table8))
+	}
+}
+
+func TestNinetyOfHundredClaim(t *testing.T) {
+	// The paper's headline: 90 of the top 100 use more than 10 YAML
+	// files (counting repos at 10 or above; OpenCV sits exactly at 10).
+	if got := CountAtLeast(Table8, 10); got != 90 {
+		t.Errorf("repos with 10+ YAML files = %d, want 90", got)
+	}
+	if got := CountMoreThan(Table8, 100); got >= 50 {
+		t.Errorf("repos with >100 YAML files = %d, expected a minority", got)
+	}
+}
+
+func TestIsYAMLPath(t *testing.T) {
+	cases := map[string]bool{
+		"config/app.yaml":  true,
+		"deploy/chart.YML": true,
+		"a/b/c.yml":        true,
+		"main.go":          false,
+		"yaml/readme.md":   false,
+		"values.yaml.bak":  false,
+		"weird.yaml":       true,
+	}
+	for path, want := range cases {
+		if got := IsYAMLPath(path); got != want {
+			t.Errorf("IsYAMLPath(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func TestScanMatchesSurvey(t *testing.T) {
+	for _, r := range Table8[:20] {
+		total, yaml := ScanTree(SyntheticTree(r))
+		if total != r.TotalFiles || yaml != r.YAMLFiles {
+			t.Errorf("%s: scan = %d/%d files, survey says %d/%d", r.Name, yaml, total, r.YAMLFiles, r.TotalFiles)
+		}
+	}
+}
+
+func TestFormatTable8(t *testing.T) {
+	out := FormatTable8(Table8)
+	for _, want := range []string{"GitLab", "Kubernetes", "90/100 have 10+"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 8 missing %q:\n%s", want, out)
+		}
+	}
+}

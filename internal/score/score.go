@@ -1,0 +1,181 @@
+// Package score computes the benchmark's six performance metrics (§3.2)
+// for generated answers — BLEU, edit distance, exact match (text
+// level); key-value exact and key-value wildcard match (YAML-aware);
+// unit test (function level) — and aggregates them into the Table 4
+// model ranking.
+package score
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cloudeval/internal/dataset"
+	"cloudeval/internal/llm"
+	"cloudeval/internal/textmetrics"
+	"cloudeval/internal/unittest"
+	"cloudeval/internal/yamlmatch"
+)
+
+// ProblemScore is one (model, problem) evaluation.
+type ProblemScore struct {
+	ProblemID string
+	Model     string
+	Variant   dataset.Variant
+
+	// Answer is the post-processed YAML extracted from the response.
+	Answer string
+
+	BLEU       float64
+	EditDist   float64
+	ExactMatch float64
+	KVExact    float64
+	KVWildcard float64
+	UnitTest   float64
+}
+
+// Metrics lists the six metric names in presentation order.
+var Metrics = []string{"bleu", "edit_distance", "exact_match", "kv_exact", "kv_wildcard", "unit_test"}
+
+// Metric extracts a named metric value.
+func (s ProblemScore) Metric(name string) float64 {
+	switch name {
+	case "bleu":
+		return s.BLEU
+	case "edit_distance":
+		return s.EditDist
+	case "exact_match":
+		return s.ExactMatch
+	case "kv_exact":
+		return s.KVExact
+	case "kv_wildcard":
+		return s.KVWildcard
+	case "unit_test":
+		return s.UnitTest
+	}
+	return 0
+}
+
+// ScoreAnswer computes all six metrics for a clean answer against a
+// problem. The unit test runs in a fresh simulated environment.
+func ScoreAnswer(p dataset.Problem, answer string) ProblemScore {
+	cleanRef := yamlmatch.StripLabels(p.ReferenceYAML)
+	s := ProblemScore{
+		ProblemID:  p.ID,
+		Variant:    p.Variant,
+		Answer:     answer,
+		BLEU:       textmetrics.BLEU(answer, cleanRef),
+		EditDist:   textmetrics.EditDistanceScore(answer, cleanRef),
+		ExactMatch: textmetrics.ExactMatch(answer, cleanRef),
+		KVExact:    yamlmatch.KVExactMatch(answer, cleanRef),
+		KVWildcard: yamlmatch.KVWildcardMatch(answer, p.ReferenceYAML),
+	}
+	s.UnitTest = unittest.Run(p, answer).Score()
+	return s
+}
+
+// EvaluateModel runs a model over a problem set with the given
+// generation options, scoring every answer.
+func EvaluateModel(m llm.Model, problems []dataset.Problem, opts llm.GenOptions) []ProblemScore {
+	out := make([]ProblemScore, 0, len(problems))
+	for _, p := range problems {
+		if m.EnglishOnly && p.Variant == dataset.Translated {
+			continue
+		}
+		raw := m.Generate(p, opts)
+		answer := llm.Postprocess(raw)
+		s := ScoreAnswer(p, answer)
+		s.Model = m.Name
+		out = append(out, s)
+	}
+	return out
+}
+
+// ModelAggregate is one Table 4 row.
+type ModelAggregate struct {
+	Model      string
+	Size       string
+	OpenSource bool
+	Count      int
+
+	BLEU       float64
+	EditDist   float64
+	ExactMatch float64
+	KVExact    float64
+	KVWildcard float64
+	UnitTest   float64
+}
+
+// Metric extracts a named aggregate value.
+func (a ModelAggregate) Metric(name string) float64 {
+	switch name {
+	case "bleu":
+		return a.BLEU
+	case "edit_distance":
+		return a.EditDist
+	case "exact_match":
+		return a.ExactMatch
+	case "kv_exact":
+		return a.KVExact
+	case "kv_wildcard":
+		return a.KVWildcard
+	case "unit_test":
+		return a.UnitTest
+	}
+	return 0
+}
+
+// Aggregate averages per-problem scores into a model row.
+func Aggregate(m llm.Model, scores []ProblemScore) ModelAggregate {
+	agg := ModelAggregate{Model: m.Name, Size: m.Size, OpenSource: m.OpenSource, Count: len(scores)}
+	if len(scores) == 0 {
+		return agg
+	}
+	for _, s := range scores {
+		agg.BLEU += s.BLEU
+		agg.EditDist += s.EditDist
+		agg.ExactMatch += s.ExactMatch
+		agg.KVExact += s.KVExact
+		agg.KVWildcard += s.KVWildcard
+		agg.UnitTest += s.UnitTest
+	}
+	n := float64(len(scores))
+	agg.BLEU /= n
+	agg.EditDist /= n
+	agg.ExactMatch /= n
+	agg.KVExact /= n
+	agg.KVWildcard /= n
+	agg.UnitTest /= n
+	return agg
+}
+
+// Benchmark runs the full zero-shot benchmark: every model over every
+// problem, returning rows sorted by unit-test score (Table 4) plus the
+// raw per-problem scores for downstream analysis.
+func Benchmark(models []llm.Model, problems []dataset.Problem) ([]ModelAggregate, map[string][]ProblemScore) {
+	rows := make([]ModelAggregate, 0, len(models))
+	raw := make(map[string][]ProblemScore, len(models))
+	for _, m := range models {
+		scores := EvaluateModel(m, problems, llm.GenOptions{})
+		raw[m.Name] = scores
+		rows = append(rows, Aggregate(m, scores))
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].UnitTest > rows[j].UnitTest })
+	return rows, raw
+}
+
+// FormatTable4 renders rows in the paper's Table 4 layout.
+func FormatTable4(rows []ModelAggregate) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-24s %-5s %-5s %8s %8s %8s %9s %9s %9s\n",
+		"Rank", "Model", "Size", "Open", "BLEU", "EditDist", "Exact", "KV-Exact", "KV-Wild", "UnitTest")
+	for i, r := range rows {
+		open := "N"
+		if r.OpenSource {
+			open = "Y"
+		}
+		fmt.Fprintf(&b, "%-4d %-24s %-5s %-5s %8.3f %8.3f %8.3f %9.3f %9.3f %9.3f\n",
+			i+1, r.Model, r.Size, open, r.BLEU, r.EditDist, r.ExactMatch, r.KVExact, r.KVWildcard, r.UnitTest)
+	}
+	return b.String()
+}

@@ -1,0 +1,534 @@
+package shell
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// registerCoreBuiltins installs the coreutils-flavored commands every
+// unit test script can rely on.
+func registerCoreBuiltins(in *Interp) {
+	b := in.Builtins
+	b["echo"] = builtinEcho
+	b["printf"] = builtinPrintf
+	b["cat"] = builtinCat
+	b["grep"] = builtinGrep
+	b["sleep"] = builtinSleep
+	b["true"] = func(*Interp, *IO, []string) int { return 0 }
+	b["false"] = func(*Interp, *IO, []string) int { return 1 }
+	b[":"] = func(*Interp, *IO, []string) int { return 0 }
+	b["exit"] = builtinExit
+	b["test"] = builtinTest
+	b["wc"] = builtinWC
+	b["sort"] = builtinSort
+	b["head"] = builtinHead
+	b["tail"] = builtinTail
+	b["tr"] = builtinTr
+	b["cut"] = builtinCut
+	b["timeout"] = builtinTimeout
+	b["export"] = builtinExport
+	b["set"] = func(*Interp, *IO, []string) int { return 0 }
+	b["unset"] = func(in *Interp, _ *IO, args []string) int {
+		for _, a := range args {
+			delete(in.Env, a)
+		}
+		return 0
+	}
+	b["rm"] = func(in *Interp, _ *IO, args []string) int {
+		for _, a := range args {
+			if !strings.HasPrefix(a, "-") {
+				delete(in.FS, a)
+			}
+		}
+		return 0
+	}
+	b["tee"] = builtinTee
+	b["seq"] = builtinSeq
+	b["basename"] = func(_ *Interp, io *IO, args []string) int {
+		if len(args) > 0 {
+			parts := strings.Split(args[0], "/")
+			fmt.Fprintln(io.Out, parts[len(parts)-1])
+		}
+		return 0
+	}
+}
+
+func builtinEcho(_ *Interp, io *IO, args []string) int {
+	newline := true
+	interpret := false
+	for len(args) > 0 {
+		if args[0] == "-n" {
+			newline = false
+			args = args[1:]
+		} else if args[0] == "-e" {
+			interpret = true
+			args = args[1:]
+		} else {
+			break
+		}
+	}
+	out := strings.Join(args, " ")
+	if interpret {
+		out = strings.NewReplacer(`\n`, "\n", `\t`, "\t", `\\`, `\`).Replace(out)
+	}
+	io.Out.WriteString(out)
+	if newline {
+		io.Out.WriteString("\n")
+	}
+	return 0
+}
+
+func builtinPrintf(_ *Interp, io *IO, args []string) int {
+	if len(args) == 0 {
+		return 1
+	}
+	format := strings.NewReplacer(`\n`, "\n", `\t`, "\t").Replace(args[0])
+	rest := make([]any, len(args)-1)
+	for i, a := range args[1:] {
+		rest[i] = a
+	}
+	fmt.Fprintf(io.Out, format, rest...)
+	return 0
+}
+
+func builtinCat(in *Interp, io *IO, args []string) int {
+	if len(args) == 0 {
+		io.Out.WriteString(io.In)
+		return 0
+	}
+	code := 0
+	for _, f := range args {
+		if f == "-" {
+			io.Out.WriteString(io.In)
+			continue
+		}
+		content, ok := in.FS[f]
+		if !ok {
+			fmt.Fprintf(io.Err, "cat: %s: No such file or directory\n", f)
+			code = 1
+			continue
+		}
+		io.Out.WriteString(content)
+	}
+	return code
+}
+
+func builtinGrep(in *Interp, io *IO, args []string) int {
+	quiet, invert, count, ignoreCase, only := false, false, false, false, false
+	var pattern string
+	var files []string
+	havePattern := false
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "-q":
+			quiet = true
+		case a == "-v":
+			invert = true
+		case a == "-c":
+			count = true
+		case a == "-i":
+			ignoreCase = true
+		case a == "-o":
+			only = true
+		case a == "-E" || a == "-e":
+			if a == "-e" && i+1 < len(args) {
+				pattern = args[i+1]
+				havePattern = true
+				i++
+			}
+		case a == "-m":
+			i++ // max-count: with our small outputs, safely ignored
+		case strings.HasPrefix(a, "-"):
+			// Unknown flag: ignore, matching the forgiving scripts.
+		case !havePattern:
+			pattern = a
+			havePattern = true
+		default:
+			files = append(files, a)
+		}
+	}
+	if !havePattern {
+		fmt.Fprintln(io.Err, "usage: grep [-qvcio] pattern [file...]")
+		return 2
+	}
+	matcher := compileGrep(pattern, ignoreCase)
+	var input string
+	if len(files) == 0 {
+		input = io.In
+	} else {
+		var sb strings.Builder
+		for _, f := range files {
+			content, ok := in.FS[f]
+			if !ok {
+				fmt.Fprintf(io.Err, "grep: %s: No such file or directory\n", f)
+				return 2
+			}
+			sb.WriteString(content)
+			if !strings.HasSuffix(content, "\n") {
+				sb.WriteString("\n")
+			}
+		}
+		input = sb.String()
+	}
+	matched := 0
+	for _, line := range strings.Split(strings.TrimSuffix(input, "\n"), "\n") {
+		hit := matcher.match(line)
+		if invert {
+			hit = !hit
+		}
+		if !hit {
+			continue
+		}
+		matched++
+		if quiet || count {
+			continue
+		}
+		if only && !invert {
+			for _, m := range matcher.findAll(line) {
+				fmt.Fprintln(io.Out, m)
+			}
+		} else {
+			fmt.Fprintln(io.Out, line)
+		}
+	}
+	if count {
+		fmt.Fprintln(io.Out, matched)
+	}
+	if matched > 0 {
+		return 0
+	}
+	return 1
+}
+
+type grepMatcher struct {
+	re      *regexp.Regexp
+	literal string
+	fold    bool
+}
+
+func compileGrep(pattern string, ignoreCase bool) grepMatcher {
+	p := pattern
+	if ignoreCase {
+		p = "(?i)" + p
+	}
+	if re, err := regexp.Compile(p); err == nil {
+		return grepMatcher{re: re}
+	}
+	return grepMatcher{literal: pattern, fold: ignoreCase}
+}
+
+func (g grepMatcher) match(line string) bool {
+	if g.re != nil {
+		return g.re.MatchString(line)
+	}
+	if g.fold {
+		return strings.Contains(strings.ToLower(line), strings.ToLower(g.literal))
+	}
+	return strings.Contains(line, g.literal)
+}
+
+func (g grepMatcher) findAll(line string) []string {
+	if g.re != nil {
+		return g.re.FindAllString(line, -1)
+	}
+	if g.match(line) {
+		return []string{g.literal}
+	}
+	return nil
+}
+
+func builtinSleep(in *Interp, io *IO, args []string) int {
+	if len(args) == 0 {
+		return 0
+	}
+	d, err := parseDuration(args[0])
+	if err != nil {
+		fmt.Fprintf(io.Err, "sleep: invalid time interval %q\n", args[0])
+		return 1
+	}
+	in.Advance(d)
+	return 0
+}
+
+// parseDuration accepts bash sleep/timeout formats: "15", "0.5", "8s",
+// "2m", "1h".
+func parseDuration(s string) (time.Duration, error) {
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return time.Duration(f * float64(time.Second)), nil
+	}
+	return time.ParseDuration(s)
+}
+
+func builtinExit(in *Interp, io *IO, args []string) int {
+	code := in.LastExit()
+	if len(args) > 0 {
+		if v, err := strconv.Atoi(args[0]); err == nil {
+			code = v
+		}
+	}
+	in.Exit(code)
+	return code
+}
+
+func builtinTest(in *Interp, io *IO, args []string) int {
+	ok, err := in.evalCondExpanded(args)
+	if err != nil {
+		fmt.Fprintf(io.Err, "test: %v\n", err)
+		return 2
+	}
+	if ok {
+		return 0
+	}
+	return 1
+}
+
+func builtinWC(in *Interp, io *IO, args []string) int {
+	lines := false
+	var files []string
+	for _, a := range args {
+		if a == "-l" {
+			lines = true
+		} else if !strings.HasPrefix(a, "-") {
+			files = append(files, a)
+		}
+	}
+	input := io.In
+	if len(files) > 0 {
+		input = in.FS[files[0]]
+	}
+	n := 0
+	if input != "" {
+		n = strings.Count(input, "\n")
+		if !strings.HasSuffix(input, "\n") {
+			n++
+		}
+	}
+	if lines {
+		fmt.Fprintln(io.Out, n)
+	} else {
+		words := len(strings.Fields(input))
+		fmt.Fprintf(io.Out, "%d %d %d\n", n, words, len(input))
+	}
+	return 0
+}
+
+func builtinSort(in *Interp, io *IO, args []string) int {
+	reverse := false
+	var files []string
+	for _, a := range args {
+		if a == "-r" {
+			reverse = true
+		} else if !strings.HasPrefix(a, "-") {
+			files = append(files, a)
+		}
+	}
+	input := io.In
+	if len(files) > 0 {
+		input = in.FS[files[0]]
+	}
+	lines := strings.Split(strings.TrimSuffix(input, "\n"), "\n")
+	sort.Strings(lines)
+	if reverse {
+		for i, j := 0, len(lines)-1; i < j; i, j = i+1, j-1 {
+			lines[i], lines[j] = lines[j], lines[i]
+		}
+	}
+	for _, ln := range lines {
+		fmt.Fprintln(io.Out, ln)
+	}
+	return 0
+}
+
+func headTailCount(args []string) (int, []string) {
+	n := 10
+	var files []string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "-n" && i+1 < len(args):
+			if v, err := strconv.Atoi(args[i+1]); err == nil {
+				n = v
+			}
+			i++
+		case strings.HasPrefix(a, "-n"):
+			if v, err := strconv.Atoi(a[2:]); err == nil {
+				n = v
+			}
+		case strings.HasPrefix(a, "-"):
+			if v, err := strconv.Atoi(a[1:]); err == nil {
+				n = v
+			}
+		default:
+			files = append(files, a)
+		}
+	}
+	return n, files
+}
+
+func builtinHead(in *Interp, io *IO, args []string) int {
+	n, files := headTailCount(args)
+	input := io.In
+	if len(files) > 0 {
+		input = in.FS[files[0]]
+	}
+	lines := strings.Split(strings.TrimSuffix(input, "\n"), "\n")
+	if n < len(lines) {
+		lines = lines[:n]
+	}
+	for _, ln := range lines {
+		fmt.Fprintln(io.Out, ln)
+	}
+	return 0
+}
+
+func builtinTail(in *Interp, io *IO, args []string) int {
+	n, files := headTailCount(args)
+	input := io.In
+	if len(files) > 0 {
+		input = in.FS[files[0]]
+	}
+	lines := strings.Split(strings.TrimSuffix(input, "\n"), "\n")
+	if n < len(lines) {
+		lines = lines[len(lines)-n:]
+	}
+	for _, ln := range lines {
+		fmt.Fprintln(io.Out, ln)
+	}
+	return 0
+}
+
+func builtinTr(_ *Interp, io *IO, args []string) int {
+	if len(args) == 2 && args[0] == "-d" {
+		out := io.In
+		for _, c := range args[1] {
+			out = strings.ReplaceAll(out, string(c), "")
+		}
+		io.Out.WriteString(out)
+		return 0
+	}
+	if len(args) == 2 {
+		from, to := args[0], args[1]
+		out := io.In
+		for i := 0; i < len(from) && i < len(to); i++ {
+			out = strings.ReplaceAll(out, string(from[i]), string(to[i]))
+		}
+		io.Out.WriteString(out)
+		return 0
+	}
+	io.Out.WriteString(io.In)
+	return 0
+}
+
+func builtinCut(_ *Interp, io *IO, args []string) int {
+	delim := "\t"
+	field := 1
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case strings.HasPrefix(a, "-d"):
+			if a == "-d" && i+1 < len(args) {
+				delim = args[i+1]
+				i++
+			} else {
+				delim = strings.Trim(a[2:], "'\"")
+			}
+		case strings.HasPrefix(a, "-f"):
+			spec := a[2:]
+			if spec == "" && i+1 < len(args) {
+				spec = args[i+1]
+				i++
+			}
+			if v, err := strconv.Atoi(spec); err == nil {
+				field = v
+			}
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(io.In, "\n"), "\n") {
+		parts := strings.Split(line, delim)
+		if field-1 < len(parts) {
+			fmt.Fprintln(io.Out, parts[field-1])
+		} else {
+			fmt.Fprintln(io.Out, line)
+		}
+	}
+	return 0
+}
+
+func builtinTimeout(in *Interp, io *IO, args []string) int {
+	// timeout [-s SIGNAL] DURATION command args...
+	i := 0
+	for i < len(args) && strings.HasPrefix(args[i], "-") {
+		if args[i] == "-s" {
+			i++ // signal name
+		}
+		i++
+	}
+	if i >= len(args) {
+		fmt.Fprintln(io.Err, "timeout: missing duration")
+		return 125
+	}
+	d, err := parseDuration(args[i])
+	if err != nil {
+		fmt.Fprintf(io.Err, "timeout: invalid duration %q\n", args[i])
+		return 125
+	}
+	i++
+	if i >= len(args) {
+		fmt.Fprintln(io.Err, "timeout: missing command")
+		return 125
+	}
+	in.Advance(d)
+	return in.invoke(args[i:], io)
+}
+
+func builtinExport(in *Interp, io *IO, args []string) int {
+	for _, a := range args {
+		if name, val, ok := splitAssign(a); ok {
+			in.Env[name] = val
+		}
+	}
+	return 0
+}
+
+func builtinTee(in *Interp, io *IO, args []string) int {
+	appendMode := false
+	var files []string
+	for _, a := range args {
+		if a == "-a" {
+			appendMode = true
+		} else {
+			files = append(files, a)
+		}
+	}
+	io.Out.WriteString(io.In)
+	for _, f := range files {
+		if appendMode {
+			in.FS[f] += io.In
+		} else {
+			in.FS[f] = io.In
+		}
+	}
+	return 0
+}
+
+func builtinSeq(_ *Interp, io *IO, args []string) int {
+	lo, hi := 1, 0
+	switch len(args) {
+	case 1:
+		hi, _ = strconv.Atoi(args[0])
+	case 2:
+		lo, _ = strconv.Atoi(args[0])
+		hi, _ = strconv.Atoi(args[1])
+	default:
+		return 1
+	}
+	for i := lo; i <= hi; i++ {
+		fmt.Fprintln(io.Out, i)
+	}
+	return 0
+}

@@ -1,0 +1,223 @@
+package shell
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// evalCond evaluates a [[ ... ]] or [ ... ] condition given the raw
+// (unexpanded) operand words. Patterns on the right side of == and !=
+// are glob-matched with quoted segments literal, bash style; "test"/[
+// mode compares literally.
+func (in *Interp) evalCond(words []string, patterns bool) (bool, error) {
+	c := &condParser{in: in, words: words, patterns: patterns}
+	v, err := c.parseOr()
+	if err != nil {
+		return false, err
+	}
+	if c.pos != len(c.words) {
+		return false, fmt.Errorf("condition: unexpected %q", c.words[c.pos])
+	}
+	return v, nil
+}
+
+type condParser struct {
+	in       *Interp
+	words    []string
+	pos      int
+	patterns bool
+}
+
+func (c *condParser) peek() (string, bool) {
+	if c.pos >= len(c.words) {
+		return "", false
+	}
+	return c.words[c.pos], true
+}
+
+func (c *condParser) parseOr() (bool, error) {
+	v, err := c.parseAnd()
+	if err != nil {
+		return false, err
+	}
+	for {
+		w, ok := c.peek()
+		if !ok || w != "||" && w != "-o" {
+			return v, nil
+		}
+		c.pos++
+		r, err := c.parseAnd()
+		if err != nil {
+			return false, err
+		}
+		v = v || r
+	}
+}
+
+func (c *condParser) parseAnd() (bool, error) {
+	v, err := c.parseNot()
+	if err != nil {
+		return false, err
+	}
+	for {
+		w, ok := c.peek()
+		if !ok || w != "&&" && w != "-a" {
+			return v, nil
+		}
+		c.pos++
+		r, err := c.parseNot()
+		if err != nil {
+			return false, err
+		}
+		v = v && r
+	}
+}
+
+func (c *condParser) parseNot() (bool, error) {
+	if w, ok := c.peek(); ok && w == "!" {
+		c.pos++
+		v, err := c.parseNot()
+		return !v, err
+	}
+	return c.parsePrimary()
+}
+
+var unaryOps = map[string]bool{
+	"-z": true, "-n": true, "-e": true, "-f": true, "-d": true, "-s": true,
+}
+
+var binaryOps = map[string]bool{
+	"==": true, "=": true, "!=": true, "=~": true, "<": true, ">": true,
+	"-eq": true, "-ne": true, "-gt": true, "-ge": true, "-lt": true, "-le": true,
+}
+
+func (c *condParser) parsePrimary() (bool, error) {
+	w, ok := c.peek()
+	if !ok {
+		return false, fmt.Errorf("condition: unexpected end")
+	}
+	if w == "(" {
+		c.pos++
+		v, err := c.parseOr()
+		if err != nil {
+			return false, err
+		}
+		if nw, ok := c.peek(); !ok || nw != ")" {
+			return false, fmt.Errorf("condition: missing )")
+		}
+		c.pos++
+		return v, nil
+	}
+	if unaryOps[w] {
+		c.pos++
+		operand, ok := c.peek()
+		if !ok {
+			return false, fmt.Errorf("condition: %s needs an operand", w)
+		}
+		c.pos++
+		val, err := c.in.expandOne(operand)
+		if err != nil {
+			return false, err
+		}
+		switch w {
+		case "-z":
+			return val == "", nil
+		case "-n":
+			return val != "", nil
+		case "-e", "-f":
+			_, exists := c.in.FS[val]
+			return exists, nil
+		case "-d":
+			return false, nil // no directories in the virtual FS
+		case "-s":
+			content, exists := c.in.FS[val]
+			return exists && len(content) > 0, nil
+		}
+	}
+	// word [binop word]
+	lhsRaw := w
+	c.pos++
+	opWord, ok := c.peek()
+	if !ok || !binaryOps[opWord] {
+		// Bare word: true when non-empty.
+		val, err := c.in.expandOne(lhsRaw)
+		return val != "", err
+	}
+	c.pos++
+	rhsRaw, ok := c.peek()
+	if !ok {
+		return false, fmt.Errorf("condition: %s needs a right operand", opWord)
+	}
+	c.pos++
+	lhs, err := c.in.expandOne(lhsRaw)
+	if err != nil {
+		return false, err
+	}
+	switch opWord {
+	case "==", "=", "!=":
+		var matched bool
+		if c.patterns {
+			pat, err := c.in.expandPattern(rhsRaw)
+			if err != nil {
+				return false, err
+			}
+			matched = globMatch(pat, lhs)
+		} else {
+			rhs, err := c.in.expandOne(rhsRaw)
+			if err != nil {
+				return false, err
+			}
+			matched = lhs == rhs
+		}
+		if opWord == "!=" {
+			return !matched, nil
+		}
+		return matched, nil
+	case "=~":
+		rhs, err := c.in.expandOne(rhsRaw)
+		if err != nil {
+			return false, err
+		}
+		re, err := regexp.Compile(rhs)
+		if err != nil {
+			return false, fmt.Errorf("condition: bad regexp %q: %w", rhs, err)
+		}
+		return re.MatchString(lhs), nil
+	case "<", ">":
+		rhs, err := c.in.expandOne(rhsRaw)
+		if err != nil {
+			return false, err
+		}
+		if opWord == "<" {
+			return lhs < rhs, nil
+		}
+		return lhs > rhs, nil
+	default: // numeric comparisons
+		rhs, err := c.in.expandOne(rhsRaw)
+		if err != nil {
+			return false, err
+		}
+		ln, err1 := strconv.ParseInt(strings.TrimSpace(lhs), 10, 64)
+		rn, err2 := strconv.ParseInt(strings.TrimSpace(rhs), 10, 64)
+		if err1 != nil || err2 != nil {
+			return false, fmt.Errorf("condition: integer expression expected: %q %s %q", lhs, opWord, rhs)
+		}
+		switch opWord {
+		case "-eq":
+			return ln == rn, nil
+		case "-ne":
+			return ln != rn, nil
+		case "-gt":
+			return ln > rn, nil
+		case "-ge":
+			return ln >= rn, nil
+		case "-lt":
+			return ln < rn, nil
+		case "-le":
+			return ln <= rn, nil
+		}
+	}
+	return false, fmt.Errorf("condition: unsupported operator %q", opWord)
+}

@@ -1,0 +1,151 @@
+package textmetrics
+
+// SequenceMatcher is a from-scratch port of the core algorithm of
+// Python's difflib.SequenceMatcher (without the junk/popularity
+// heuristics): it recursively finds the longest matching block and
+// emits equal/replace/delete/insert opcodes.
+type SequenceMatcher struct {
+	a, b   []string
+	b2j    map[string][]int
+	opcode []OpCode
+}
+
+// OpTag labels an opcode region.
+type OpTag int
+
+// Opcode tags, mirroring difflib's "equal", "replace", "delete", "insert".
+const (
+	OpEqual OpTag = iota
+	OpReplace
+	OpDelete
+	OpInsert
+)
+
+func (t OpTag) String() string {
+	switch t {
+	case OpEqual:
+		return "equal"
+	case OpReplace:
+		return "replace"
+	case OpDelete:
+		return "delete"
+	case OpInsert:
+		return "insert"
+	}
+	return "?"
+}
+
+// OpCode describes how a[AStart:AEnd] maps onto b[BStart:BEnd].
+type OpCode struct {
+	Tag          OpTag
+	AStart, AEnd int
+	BStart, BEnd int
+}
+
+// NewSequenceMatcher prepares a matcher comparing a to b.
+func NewSequenceMatcher(a, b []string) *SequenceMatcher {
+	m := &SequenceMatcher{a: a, b: b, b2j: make(map[string][]int)}
+	for j, s := range b {
+		m.b2j[s] = append(m.b2j[s], j)
+	}
+	return m
+}
+
+type match struct{ a, b, size int }
+
+// findLongestMatch finds the longest matching block within
+// a[alo:ahi] and b[blo:bhi].
+func (m *SequenceMatcher) findLongestMatch(alo, ahi, blo, bhi int) match {
+	best := match{alo, blo, 0}
+	// j2len[j] = length of longest match ending at a[i-1], b[j-1].
+	j2len := make(map[int]int)
+	for i := alo; i < ahi; i++ {
+		newj2len := make(map[int]int)
+		for _, j := range m.b2j[m.a[i]] {
+			if j < blo {
+				continue
+			}
+			if j >= bhi {
+				break
+			}
+			k := j2len[j-1] + 1
+			newj2len[j] = k
+			if k > best.size {
+				best = match{i - k + 1, j - k + 1, k}
+			}
+		}
+		j2len = newj2len
+	}
+	return best
+}
+
+func (m *SequenceMatcher) matchingBlocks() []match {
+	type q struct{ alo, ahi, blo, bhi int }
+	queue := []q{{0, len(m.a), 0, len(m.b)}}
+	var matched []match
+	for len(queue) > 0 {
+		cur := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		mt := m.findLongestMatch(cur.alo, cur.ahi, cur.blo, cur.bhi)
+		if mt.size == 0 {
+			continue
+		}
+		matched = append(matched, mt)
+		if cur.alo < mt.a && cur.blo < mt.b {
+			queue = append(queue, q{cur.alo, mt.a, cur.blo, mt.b})
+		}
+		if mt.a+mt.size < cur.ahi && mt.b+mt.size < cur.bhi {
+			queue = append(queue, q{mt.a + mt.size, cur.ahi, mt.b + mt.size, cur.bhi})
+		}
+	}
+	sortMatches(matched)
+	// Merge adjacent blocks.
+	var merged []match
+	for _, mt := range matched {
+		if n := len(merged); n > 0 && merged[n-1].a+merged[n-1].size == mt.a && merged[n-1].b+merged[n-1].size == mt.b {
+			merged[n-1].size += mt.size
+			continue
+		}
+		merged = append(merged, mt)
+	}
+	merged = append(merged, match{len(m.a), len(m.b), 0})
+	return merged
+}
+
+func sortMatches(ms []match) {
+	// Insertion sort by (a, b): block lists are short.
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && (ms[j].a < ms[j-1].a || ms[j].a == ms[j-1].a && ms[j].b < ms[j-1].b); j-- {
+			ms[j], ms[j-1] = ms[j-1], ms[j]
+		}
+	}
+}
+
+// OpCodes returns the edit script as difflib-style opcodes.
+func (m *SequenceMatcher) OpCodes() []OpCode {
+	if m.opcode != nil {
+		return m.opcode
+	}
+	var ops []OpCode
+	ai, bj := 0, 0
+	for _, mt := range m.matchingBlocks() {
+		tag := OpTag(-1)
+		switch {
+		case ai < mt.a && bj < mt.b:
+			tag = OpReplace
+		case ai < mt.a:
+			tag = OpDelete
+		case bj < mt.b:
+			tag = OpInsert
+		}
+		if tag >= 0 {
+			ops = append(ops, OpCode{tag, ai, mt.a, bj, mt.b})
+		}
+		ai, bj = mt.a+mt.size, mt.b+mt.size
+		if mt.size > 0 {
+			ops = append(ops, OpCode{OpEqual, mt.a, ai, mt.b, bj})
+		}
+	}
+	m.opcode = ops
+	return ops
+}

@@ -1,0 +1,54 @@
+// Package unittest executes a problem's bash unit-test script against a
+// candidate YAML answer inside a fresh simulated environment, the
+// function-level scoring backend of CloudEval-YAML (§3.2).
+package unittest
+
+import (
+	"strings"
+	"time"
+
+	"cloudeval/internal/dataset"
+	"cloudeval/internal/k8scmd"
+)
+
+// Result captures one unit-test execution.
+type Result struct {
+	Passed   bool
+	Output   string
+	ExitCode int
+	// VirtualTime is how much simulated wall-clock the script consumed
+	// (waits, sleeps, timeouts). The evalcluster package charges this
+	// against worker time when reproducing Figure 5.
+	VirtualTime time.Duration
+	// Err reports script-level failures (parse errors); a failing test
+	// is not an error.
+	Err error
+}
+
+// Run executes the problem's unit test with answerYAML installed as
+// labeled_code.yaml. Success means the script printed a line containing
+// "unit_test_passed" (some problems use prefixed markers such as
+// cn1000_unit_test_passed, as in the paper's Figure 1).
+func Run(p dataset.Problem, answerYAML string) Result {
+	env := k8scmd.NewEnv()
+	env.Shell.FS["labeled_code.yaml"] = answerYAML
+	start := env.Cluster.Now()
+	res, err := env.Shell.Run(p.UnitTest)
+	if err != nil {
+		return Result{Err: err}
+	}
+	return Result{
+		Passed:      strings.Contains(res.Stdout, "unit_test_passed"),
+		Output:      res.Stdout,
+		ExitCode:    res.ExitCode,
+		VirtualTime: env.Cluster.Now().Sub(start),
+	}
+}
+
+// Score converts a Result into the paper's 0/1 unit test score.
+func (r Result) Score() float64 {
+	if r.Passed {
+		return 1
+	}
+	return 0
+}

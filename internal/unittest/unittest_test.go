@@ -1,0 +1,110 @@
+package unittest
+
+import (
+	"strings"
+	"testing"
+
+	"cloudeval/internal/dataset"
+	"cloudeval/internal/yamlmatch"
+)
+
+// TestEveryReferencePassesItsUnitTest is the corpus's core invariant:
+// each of the 337 reference answers must pass its own unit test inside
+// the simulated environment, exactly as the paper verified its dataset
+// against real clusters.
+func TestEveryReferencePassesItsUnitTest(t *testing.T) {
+	for _, p := range dataset.Generate() {
+		p := p
+		t.Run(p.ID, func(t *testing.T) {
+			clean := yamlmatch.StripLabels(p.ReferenceYAML)
+			res := Run(p, clean)
+			if res.Err != nil {
+				t.Fatalf("script error: %v", res.Err)
+			}
+			if !res.Passed {
+				t.Fatalf("reference failed its unit test (exit %d):\n--- output ---\n%s\n--- reference ---\n%s\n--- test ---\n%s",
+					res.ExitCode, res.Output, clean, p.UnitTest)
+			}
+		})
+	}
+}
+
+// TestEmptyAnswersFail ensures the tests discriminate: an empty answer
+// must never pass.
+func TestEmptyAnswersFail(t *testing.T) {
+	for _, p := range dataset.Generate() {
+		if res := Run(p, ""); res.Passed {
+			t.Errorf("%s: empty answer passed the unit test", p.ID)
+		}
+	}
+}
+
+// TestGarbageAnswersFail ensures syntactically broken YAML never passes.
+func TestGarbageAnswersFail(t *testing.T) {
+	ps := dataset.Generate()
+	for i := 0; i < len(ps); i += 7 { // sample for speed
+		p := ps[i]
+		if res := Run(p, "this is { not yaml ::"); res.Passed {
+			t.Errorf("%s: garbage answer passed", p.ID)
+		}
+	}
+}
+
+// TestWrongKindFails checks that answers of the wrong resource kind are
+// rejected by the functional tests.
+func TestWrongKindFails(t *testing.T) {
+	wrong := `apiVersion: v1
+kind: ConfigMap
+metadata:
+  name: decoy
+data:
+  k: v
+`
+	ps := dataset.Generate()
+	for i := 0; i < len(ps); i += 11 {
+		p := ps[i]
+		if p.Subcategory == "others" {
+			continue // some others problems are themselves ConfigMaps
+		}
+		if res := Run(p, wrong); res.Passed {
+			t.Errorf("%s: wrong-kind answer passed:\n%s", p.ID, res.Output)
+		}
+	}
+}
+
+// TestVirtualTimeIsTracked verifies scripts consume virtual, not real,
+// time.
+func TestVirtualTimeIsTracked(t *testing.T) {
+	ps := dataset.Generate()
+	var sawTime bool
+	for _, p := range ps[:40] {
+		res := Run(p, yamlmatch.StripLabels(p.ReferenceYAML))
+		if res.VirtualTime > 0 {
+			sawTime = true
+			break
+		}
+	}
+	if !sawTime {
+		t.Error("no unit test consumed virtual time; waits are not wired to the clock")
+	}
+}
+
+func TestScoreMapping(t *testing.T) {
+	if (Result{Passed: true}).Score() != 1 || (Result{}).Score() != 0 {
+		t.Error("Score mapping broken")
+	}
+}
+
+func TestPassMarkerVariants(t *testing.T) {
+	p := dataset.Problem{UnitTest: `echo cn1000_unit_test_passed`}
+	if !Run(p, "").Passed {
+		t.Error("prefixed pass markers must be accepted")
+	}
+	p2 := dataset.Problem{UnitTest: `echo nothing here`}
+	if Run(p2, "").Passed {
+		t.Error("scripts without the marker must fail")
+	}
+	if !strings.Contains(Run(p, "").Output, "cn1000") {
+		t.Error("output should be captured")
+	}
+}

@@ -1,0 +1,265 @@
+package yamlmatch
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cloudeval/internal/yamlx"
+)
+
+const labeledDaemonSet = `apiVersion: apps/v1
+kind: DaemonSet
+metadata:
+  name: kube-registry-proxy-modified # *
+spec:
+  selector:
+    matchLabels:
+      app: kube-registry-modified
+  template:
+    metadata:
+      labels:
+        app: kube-registry-modified
+    spec:
+      containers:
+      - name: kube-registry-proxy-modified # *
+        image: nginx:latest
+        resources:
+          limits:
+            cpu: 100m
+            memory: 50Mi
+        env:
+        - name: REGISTRY_HOST
+          value: kube-registry-modified.svc.cluster.local
+        - name: REGISTRY_PORT
+          value: "5000"
+        ports:
+        - name: registry # *
+          containerPort: 80
+          hostPort: 5000
+`
+
+func TestParseLabel(t *testing.T) {
+	cases := []struct {
+		comment string
+		kind    LabelKind
+		values  []string
+	}{
+		{"*", WildcardLabel, nil},
+		{"", ExactLabel, nil},
+		{"just a note", ExactLabel, nil},
+		{"v in [2, 3, 4]", SetLabel, []string{"2", "3", "4"}},
+		{"v in ['20.04', '22.04']", SetLabel, []string{"20.04", "22.04"}},
+	}
+	for _, c := range cases {
+		l := ParseLabel(c.comment)
+		if l.Kind != c.kind {
+			t.Errorf("ParseLabel(%q).Kind = %v, want %v", c.comment, l.Kind, c.kind)
+		}
+		if !reflect.DeepEqual(l.Values, c.values) {
+			t.Errorf("ParseLabel(%q).Values = %v, want %v", c.comment, l.Values, c.values)
+		}
+	}
+}
+
+func TestLabelMatch(t *testing.T) {
+	if !(Label{Kind: WildcardLabel}).Match("anything", "ref") {
+		t.Error("wildcard should match anything")
+	}
+	set := Label{Kind: SetLabel, Values: []string{"20.04", "22.04"}}
+	if !set.Match("20.04", "22.04") || set.Match("18.04", "22.04") {
+		t.Error("set label misbehaves")
+	}
+	exact := Label{}
+	if !exact.Match("x", "x") || exact.Match("x", "y") {
+		t.Error("exact label misbehaves")
+	}
+}
+
+func TestKVExactMatchOrderInsensitive(t *testing.T) {
+	a := "kind: Service\nmetadata:\n  name: svc\n"
+	b := "metadata:\n  name: svc\nkind: Service\n"
+	if KVExactMatch(a, b) != 1 {
+		t.Error("key order should not matter")
+	}
+	c := "kind: Service\nmetadata:\n  name: other\n"
+	if KVExactMatch(a, c) != 0 {
+		t.Error("different values must not match")
+	}
+}
+
+func TestKVExactMatchUnparsable(t *testing.T) {
+	if KVExactMatch("{{{{", "kind: Pod") != 0 {
+		t.Error("unparsable generated YAML scores 0")
+	}
+}
+
+func TestKVExactMatchMultiDoc(t *testing.T) {
+	two := "kind: Service\n---\nkind: Deployment\n"
+	if KVExactMatch(two, two) != 1 {
+		t.Error("identical multi-doc should match")
+	}
+	if KVExactMatch(two, "kind: Service\n") != 0 {
+		t.Error("doc count mismatch must fail")
+	}
+}
+
+func TestKVWildcardPerfect(t *testing.T) {
+	if got := KVWildcardMatch(StripLabels(labeledDaemonSet), labeledDaemonSet); got != 1 {
+		t.Errorf("reference against itself = %v, want 1", got)
+	}
+}
+
+func TestKVWildcardHonorsWildcardLabel(t *testing.T) {
+	gen := strings.ReplaceAll(StripLabels(labeledDaemonSet), "kube-registry-proxy-modified", "my-own-name")
+	got := KVWildcardMatch(gen, labeledDaemonSet)
+	if got != 1 {
+		t.Errorf("wildcard-labeled names changed = %v, want 1", got)
+	}
+}
+
+func TestKVWildcardPenalizesExactFields(t *testing.T) {
+	gen := strings.ReplaceAll(StripLabels(labeledDaemonSet), "nginx:latest", "httpd:latest")
+	got := KVWildcardMatch(gen, labeledDaemonSet)
+	if got >= 1 || got < 0.8 {
+		t.Errorf("one wrong leaf of ~13 = %v, want just below 1", got)
+	}
+}
+
+func TestKVWildcardSetLabel(t *testing.T) {
+	ref := "image: ubuntu:22.04 # v in ['ubuntu:20.04', 'ubuntu:22.04']\n"
+	if got := KVWildcardMatch("image: ubuntu:20.04\n", ref); got != 1 {
+		t.Errorf("in-set value = %v, want 1", got)
+	}
+	if got := KVWildcardMatch("image: ubuntu:18.04\n", ref); got != 0 {
+		t.Errorf("out-of-set value = %v, want 0", got)
+	}
+}
+
+func TestKVWildcardMissingAndExtra(t *testing.T) {
+	ref := "a: 1\nb: 2\n"
+	// Missing one leaf: intersection 1, union 2.
+	if got := KVWildcardMatch("a: 1\n", ref); got != 0.5 {
+		t.Errorf("missing leaf = %v, want 0.5", got)
+	}
+	// Extra leaf: intersection 2, union 3.
+	if got := KVWildcardMatch("a: 1\nb: 2\nc: 3\n", ref); got < 0.66 || got > 0.67 {
+		t.Errorf("extra leaf = %v, want 2/3", got)
+	}
+}
+
+func TestKVWildcardUnparsableGen(t *testing.T) {
+	if KVWildcardMatch(":::{bad", "a: 1\n") != 0 {
+		t.Error("unparsable generated YAML scores 0")
+	}
+}
+
+func TestFlattenPaths(t *testing.T) {
+	n, err := yamlx.ParseString("spec:\n  containers:\n  - name: web\n    ports:\n    - containerPort: 80\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := Flatten(n)
+	want := map[string]string{
+		"spec.containers[0].name":                   "web",
+		"spec.containers[0].ports[0].containerPort": "80",
+	}
+	if len(leaves) != len(want) {
+		t.Fatalf("got %d leaves: %+v", len(leaves), leaves)
+	}
+	for _, l := range leaves {
+		if want[l.Path] != l.Value {
+			t.Errorf("leaf %q = %q, want %q", l.Path, l.Value, want[l.Path])
+		}
+	}
+}
+
+func TestFlattenEmptyContainers(t *testing.T) {
+	n, _ := yamlx.ParseString("a: {}\nb: []\n")
+	leaves := Flatten(n)
+	if len(leaves) != 2 {
+		t.Fatalf("got %d leaves, want 2 structural leaves", len(leaves))
+	}
+}
+
+func TestStripLabels(t *testing.T) {
+	out := StripLabels(labeledDaemonSet)
+	if strings.Contains(out, "# *") {
+		t.Error("wildcard labels should be stripped")
+	}
+	// Plain comments and quoted hashes survive.
+	src := "a: 1 # keep me\nb: \"x # y\"\n"
+	if got := StripLabels(src); got != src {
+		t.Errorf("non-label content changed: %q", got)
+	}
+	// The stripped text must still parse identically.
+	n1, err1 := yamlx.ParseString(labeledDaemonSet)
+	n2, err2 := yamlx.ParseString(out)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if !yamlx.Equal(n1, n2) {
+		t.Error("StripLabels altered semantics")
+	}
+}
+
+func randomYAMLPair(r *rand.Rand) (string, string) {
+	keys := []string{"a", "b", "c", "d", "e"}
+	build := func() string {
+		var sb strings.Builder
+		for _, k := range keys {
+			if r.Intn(3) == 0 {
+				continue
+			}
+			sb.WriteString(k)
+			sb.WriteString(": ")
+			sb.WriteString([]string{"1", "2", "x", "y"}[r.Intn(4)])
+			sb.WriteString("\n")
+		}
+		return sb.String()
+	}
+	return build(), build()
+}
+
+func TestPropertyWildcardBounds(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 400,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			g, ref := randomYAMLPair(r)
+			vals[0] = reflect.ValueOf(g)
+			vals[1] = reflect.ValueOf(ref)
+		},
+	}
+	prop := func(gen, ref string) bool {
+		s := KVWildcardMatch(gen, ref)
+		if s < 0 || s > 1 {
+			return false
+		}
+		// Self-match is always 1; exact match implies wildcard match 1.
+		if KVExactMatch(gen, ref) == 1 && s != 1 {
+			return false
+		}
+		return KVWildcardMatch(ref, ref) == 1
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyExactImpliesWildcard(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			g, _ := randomYAMLPair(r)
+			vals[0] = reflect.ValueOf(g)
+		},
+	}
+	prop := func(doc string) bool {
+		return KVExactMatch(doc, doc) == 1 && KVWildcardMatch(doc, doc) == 1
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

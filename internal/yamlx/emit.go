@@ -1,0 +1,233 @@
+package yamlx
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Marshal renders a node as block-style YAML with two-space indentation.
+// Comments attached to scalar values are emitted as trailing comments so
+// labeled reference files round-trip.
+func Marshal(n *Node) []byte {
+	var b strings.Builder
+	emitBlock(&b, n, 0, true)
+	out := b.String()
+	if out != "" && !strings.HasSuffix(out, "\n") {
+		out += "\n"
+	}
+	return []byte(out)
+}
+
+// MarshalString is Marshal returning a string.
+func MarshalString(n *Node) string { return string(Marshal(n)) }
+
+// MarshalAll renders multiple documents separated by "---".
+func MarshalAll(docs []*Node) []byte {
+	var parts []string
+	for _, d := range docs {
+		parts = append(parts, string(Marshal(d)))
+	}
+	return []byte(strings.Join(parts, "---\n"))
+}
+
+// MarshalFlow renders a node in single-line flow style: {a: 1, b: [2]}.
+func MarshalFlow(n *Node) []byte {
+	var b strings.Builder
+	emitFlow(&b, n)
+	return []byte(b.String())
+}
+
+func emitBlock(b *strings.Builder, n *Node, indent int, topLevel bool) {
+	if n == nil {
+		return
+	}
+	pad := strings.Repeat("  ", indent)
+	switch n.Kind {
+	case MapKind:
+		if len(n.Entries) == 0 {
+			b.WriteString(pad + "{}\n")
+			return
+		}
+		for _, e := range n.Entries {
+			v := e.Value
+			switch {
+			case v == nil || v.Kind == NullKind:
+				b.WriteString(pad + emitKey(e.Key) + ":" + commentSuffix(v) + "\n")
+			case v.Kind == MapKind && len(v.Entries) > 0:
+				b.WriteString(pad + emitKey(e.Key) + ":\n")
+				emitBlock(b, v, indent+1, false)
+			case v.Kind == SeqKind && len(v.Items) > 0:
+				b.WriteString(pad + emitKey(e.Key) + ":\n")
+				emitBlock(b, v, indent, false)
+			case v.Kind == StringKind && strings.Contains(v.Str, "\n"):
+				emitLiteral(b, pad, e.Key, v)
+			default:
+				b.WriteString(pad + emitKey(e.Key) + ": " + scalarLiteral(v) + commentSuffix(v) + "\n")
+			}
+		}
+	case SeqKind:
+		if len(n.Items) == 0 {
+			b.WriteString(pad + "[]\n")
+			return
+		}
+		for _, it := range n.Items {
+			switch {
+			case it == nil || it.Kind == NullKind:
+				b.WriteString(pad + "-\n")
+			case it.Kind == MapKind && len(it.Entries) > 0:
+				emitSeqMapItem(b, it, indent)
+			case it.Kind == SeqKind && len(it.Items) > 0:
+				b.WriteString(pad + "-\n")
+				emitBlock(b, it, indent+1, false)
+			default:
+				b.WriteString(pad + "- " + scalarLiteral(it) + commentSuffix(it) + "\n")
+			}
+		}
+	default:
+		b.WriteString(pad + scalarLiteral(n) + commentSuffix(n) + "\n")
+	}
+}
+
+// emitSeqMapItem writes "- key: value" with subsequent entries aligned
+// under the first key.
+func emitSeqMapItem(b *strings.Builder, m *Node, indent int) {
+	pad := strings.Repeat("  ", indent)
+	for i, e := range m.Entries {
+		prefix := pad + "  "
+		if i == 0 {
+			prefix = pad + "- "
+		}
+		v := e.Value
+		switch {
+		case v == nil || v.Kind == NullKind:
+			b.WriteString(prefix + emitKey(e.Key) + ":" + commentSuffix(v) + "\n")
+		case v.Kind == MapKind && len(v.Entries) > 0:
+			b.WriteString(prefix + emitKey(e.Key) + ":\n")
+			emitBlock(b, v, indent+2, false)
+		case v.Kind == SeqKind && len(v.Items) > 0:
+			b.WriteString(prefix + emitKey(e.Key) + ":\n")
+			emitBlock(b, v, indent+1, false)
+		case v.Kind == StringKind && strings.Contains(v.Str, "\n"):
+			emitLiteral(b, prefix[:len(prefix)-2]+"  ", e.Key, v)
+		default:
+			b.WriteString(prefix + emitKey(e.Key) + ": " + scalarLiteral(v) + commentSuffix(v) + "\n")
+		}
+	}
+}
+
+func emitLiteral(b *strings.Builder, pad, key string, v *Node) {
+	text := v.Str
+	chomp := ""
+	if !strings.HasSuffix(text, "\n") {
+		chomp = "-"
+	}
+	b.WriteString(pad + emitKey(key) + ": |" + chomp + "\n")
+	for _, ln := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		if ln == "" {
+			b.WriteString("\n")
+			continue
+		}
+		b.WriteString(pad + "  " + ln + "\n")
+	}
+}
+
+func commentSuffix(n *Node) string {
+	if n == nil || n.Comment == "" {
+		return ""
+	}
+	return " # " + n.Comment
+}
+
+func emitKey(k string) string {
+	if needsQuoting(k) {
+		return strconv.Quote(k)
+	}
+	return k
+}
+
+func scalarLiteral(n *Node) string {
+	switch n.Kind {
+	case NullKind:
+		return "null"
+	case BoolKind, IntKind, FloatKind:
+		return n.ScalarString()
+	case StringKind:
+		if n.Quoted || needsQuoting(n.Str) || inferredKindChanges(n.Str) {
+			return strconv.Quote(n.Str)
+		}
+		return n.Str
+	case MapKind, SeqKind:
+		return string(MarshalFlow(n))
+	}
+	return ""
+}
+
+// inferredKindChanges reports whether the bare string would re-parse as a
+// different scalar type and therefore must be quoted to stay a string.
+func inferredKindChanges(s string) bool {
+	if s == "" {
+		return true
+	}
+	return inferScalar(s).Kind != StringKind
+}
+
+func needsQuoting(s string) bool {
+	if s == "" {
+		return true
+	}
+	if strings.ContainsAny(s, "\n\"'") {
+		return true
+	}
+	if strings.HasPrefix(s, " ") || strings.HasSuffix(s, " ") {
+		return true
+	}
+	switch s[0] {
+	case '[', '{', ']', '}', '#', '&', '*', '!', '|', '>', '%', '@', '`', '-', '?':
+		// A leading dash is fine when not followed by a space.
+		if s[0] == '-' && len(s) > 1 && s[1] != ' ' {
+			break
+		}
+		return true
+	}
+	// "key: value"-looking strings need quotes.
+	if i := strings.Index(s, ": "); i >= 0 {
+		return true
+	}
+	if strings.HasSuffix(s, ":") {
+		return true
+	}
+	if strings.Contains(s, " #") {
+		return true
+	}
+	return false
+}
+
+func emitFlow(b *strings.Builder, n *Node) {
+	if n == nil {
+		b.WriteString("null")
+		return
+	}
+	switch n.Kind {
+	case MapKind:
+		b.WriteString("{")
+		for i, e := range n.Entries {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(emitKey(e.Key) + ": ")
+			emitFlow(b, e.Value)
+		}
+		b.WriteString("}")
+	case SeqKind:
+		b.WriteString("[")
+		for i, it := range n.Items {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			emitFlow(b, it)
+		}
+		b.WriteString("]")
+	default:
+		b.WriteString(scalarLiteral(n))
+	}
+}
