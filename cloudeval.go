@@ -2,8 +2,9 @@
 // reproduction: a hand-written 1011-problem dataset for cloud
 // configuration generation, a six-metric scoring pipeline (text-level,
 // YAML-aware and function-level via simulated Kubernetes/Envoy
-// clusters), a scalable evaluation-cluster model, and the paper's full
-// evaluation study over a twelve-model zoo.
+// clusters), a unified parallel evaluation engine with in-process and
+// distributed executors, and the paper's full evaluation study over a
+// twelve-model zoo.
 //
 // Quick start:
 //
@@ -16,13 +17,14 @@
 //	result := cloudeval.RunUnitTest(p, myYAML)
 //	fmt.Println(result.Passed)
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-versus-measured record of every table and figure.
+// See DESIGN.md for the system inventory, the engine architecture and
+// the index mapping experiment IDs to the paper's tables and figures.
 package cloudeval
 
 import (
 	"cloudeval/internal/core"
 	"cloudeval/internal/dataset"
+	"cloudeval/internal/engine"
 	"cloudeval/internal/llm"
 	"cloudeval/internal/score"
 	"cloudeval/internal/unittest"
@@ -32,6 +34,13 @@ import (
 // Benchmark is a configured CloudEval-YAML instance; see core.Benchmark
 // for the full method set (Table1..Table9, Figure5..Figure9, ZeroShot).
 type Benchmark = core.Benchmark
+
+// Engine is the parallel evaluation engine every campaign submits
+// through: a work-stealing scheduler over a pluggable executor (the
+// in-process pool by default, the distributed evalcluster path via
+// cmd/evalnode) with answer memoization. Benchmark.Engine exposes a
+// benchmark's engine; see DESIGN.md §2.
+type Engine = engine.Engine
 
 // Problem is one benchmark entry: question, optional YAML context,
 // labeled reference answer and bash unit test.

@@ -7,8 +7,11 @@
 //	evalnode master -addr 127.0.0.1:6399 -model gpt-4 -limit 50
 //
 // The master generates answers with the named simulated model for the
-// first -limit problems, submits them, waits for results, and prints
-// the pass rate.
+// first -limit problems and submits them through the evaluation engine
+// backed by the cluster executor: the same work-stealing scheduler that
+// powers in-process campaigns keeps -inflight jobs on the wire, dedups
+// repeated answers through the engine cache, and streams results as
+// workers report them.
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"time"
 
 	"cloudeval/internal/dataset"
+	"cloudeval/internal/engine"
 	"cloudeval/internal/evalcluster"
 	"cloudeval/internal/llm"
 	"cloudeval/internal/miniredis"
@@ -70,7 +74,8 @@ func runMaster(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:6399", "redis address")
 	modelName := fs.String("model", "gpt-4", "model to evaluate")
 	limit := fs.Int("limit", 50, "number of problems to submit")
-	timeout := fs.Duration("timeout", 5*time.Minute, "result collection timeout")
+	inflight := fs.Int("inflight", 16, "jobs kept in flight on the cluster")
+	timeout := fs.Duration("timeout", 5*time.Minute, "per-job result timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -82,31 +87,61 @@ func runMaster(args []string) error {
 	if *limit > 0 && *limit < len(problems) {
 		problems = problems[:*limit]
 	}
-	master, err := evalcluster.NewMaster(*addr)
+
+	exec, err := evalcluster.NewClusterExecutor(*addr, *timeout)
 	if err != nil {
 		return err
 	}
-	defer master.Close()
-	for _, p := range problems {
-		answer := llm.Postprocess(model.Generate(p, llm.GenOptions{}))
-		if _, err := master.Submit(p.ID, answer); err != nil {
-			return err
+	eng := engine.New(engine.WithExecutor(exec), engine.WithWorkers(*inflight))
+	defer eng.Close()
+
+	index := make(map[string]dataset.Problem, len(problems))
+	jobs := make([]engine.Job, len(problems))
+	for i, p := range problems {
+		index[p.ID] = p
+		jobs[i] = engine.Job{
+			ID:        fmt.Sprintf("job-%d", i+1),
+			ProblemID: p.ID,
+			Answer:    llm.Postprocess(model.Generate(p, llm.GenOptions{})),
 		}
 	}
-	fmt.Printf("submitted %d jobs for %s; waiting for workers...\n", len(problems), model.Name)
-	results, err := master.Collect(len(problems), *timeout)
-	if err != nil {
-		return err
-	}
-	passed := 0
+	fmt.Printf("dispatching %d jobs for %s (%d in flight); waiting for workers...\n",
+		len(jobs), model.Name, eng.Workers())
+	done := 0
+	results := eng.Run(jobs, index, func(r engine.Result) {
+		done++
+		if done%10 == 0 || done == len(jobs) {
+			fmt.Printf("  %d/%d results in\n", done, len(jobs))
+		}
+	})
+	passed, errored := 0, 0
 	for _, r := range results {
 		if r.Passed {
 			passed++
 		}
+		if r.Error != "" {
+			errored++
+		}
 	}
-	fmt.Printf("%s: %d/%d unit tests passed (%.3f)\n",
-		model.Name, passed, len(results), float64(passed)/float64(len(results)))
+	stats := eng.Stats()
+	fmt.Printf("%s: %d/%d unit tests passed (%.3f); %d executed remotely, %d cache hits\n",
+		model.Name, passed, len(results), float64(passed)/float64(len(results)),
+		stats.Executed, stats.CacheHits)
+	if errored > 0 {
+		// Distinguish an outage from a model scoring zero: jobs that
+		// never ran (no workers, store down) are an error, not a score.
+		return fmt.Errorf("%d/%d jobs did not execute (first: %s)", errored, len(results), firstError(results))
+	}
 	return nil
+}
+
+func firstError(results []engine.Result) string {
+	for _, r := range results {
+		if r.Error != "" {
+			return r.Error
+		}
+	}
+	return ""
 }
 
 func runWorker(args []string) error {

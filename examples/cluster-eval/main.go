@@ -1,6 +1,8 @@
 // cluster-eval runs the distributed evaluation platform for real: an
-// in-process Redis-compatible server, a master that submits one model's
-// answers, and four workers draining the queue over TCP — then contrasts
+// in-process Redis-compatible server, four workers draining the queue
+// over TCP, and the evaluation engine dispatching one model's answers
+// through the cluster executor — the same scheduler and job type the
+// in-process campaigns use, pointed at real sockets. It then contrasts
 // the measured parallelism with the Figure 5 discrete-event model.
 //
 // Run: go run ./examples/cluster-eval
@@ -12,6 +14,7 @@ import (
 	"time"
 
 	"cloudeval/internal/dataset"
+	"cloudeval/internal/engine"
 	"cloudeval/internal/evalcluster"
 	"cloudeval/internal/llm"
 	"cloudeval/internal/miniredis"
@@ -29,20 +32,27 @@ func main() {
 	problems := dataset.Generate()[:80]
 	model, _ := llm.ByName("gpt-4")
 
-	master, err := evalcluster.NewMaster(addr)
+	// The master side is just an engine with the cluster executor:
+	// identical jobs, scheduler and cache as the in-process path.
+	exec, err := evalcluster.NewClusterExecutor(addr, time.Minute)
 	if err != nil {
 		panic(err)
 	}
-	defer master.Close()
-	for _, p := range problems {
-		answer := llm.Postprocess(model.Generate(p, llm.GenOptions{}))
-		if _, err := master.Submit(p.ID, answer); err != nil {
-			panic(err)
+	const workers = 4
+	eng := engine.New(engine.WithExecutor(exec), engine.WithWorkers(2*workers))
+	defer eng.Close()
+
+	index := make(map[string]dataset.Problem, len(problems))
+	jobs := make([]engine.Job, len(problems))
+	for i, p := range problems {
+		index[p.ID] = p
+		jobs[i] = engine.Job{
+			ID:        fmt.Sprintf("job-%d", i+1),
+			ProblemID: p.ID,
+			Answer:    llm.Postprocess(model.Generate(p, llm.GenOptions{})),
 		}
 	}
-	fmt.Printf("submitted %d jobs for %s\n", len(problems), model.Name)
 
-	const workers = 4
 	var wg sync.WaitGroup
 	counts := make([]int, workers)
 	for i := 0; i < workers; i++ {
@@ -59,26 +69,27 @@ func main() {
 		}(i, w)
 	}
 
-	results, err := master.Collect(len(problems), time.Minute)
-	if err != nil {
-		panic(err)
-	}
+	fmt.Printf("dispatching %d jobs for %s over TCP\n", len(jobs), model.Name)
+	results := eng.Run(jobs, index, nil)
 	wg.Wait()
+
 	passed := 0
 	for _, r := range results {
 		if r.Passed {
 			passed++
 		}
 	}
-	fmt.Printf("results: %d/%d unit tests passed\n", passed, len(results))
+	stats := eng.Stats()
+	fmt.Printf("results: %d/%d unit tests passed (%d remote executions, %d cache hits)\n",
+		passed, len(results), stats.Executed, stats.CacheHits)
 	for i, n := range counts {
 		fmt.Printf("  worker-%d processed %d jobs\n", i, n)
 	}
 
 	// Compare with the Figure 5 analytic model for the same workload.
-	jobs := evalcluster.JobsFromProblems(problems)
+	simJobs := evalcluster.JobsFromProblems(problems)
 	for _, w := range []int{1, 4} {
-		r := evalcluster.Simulate(jobs, evalcluster.DefaultSimConfig(w, true))
+		r := evalcluster.Simulate(simJobs, evalcluster.DefaultSimConfig(w, true))
 		fmt.Printf("Figure-5 model: %d worker(s), shared cache -> %.2f h of campaign time\n",
 			w, r.Total.Hours())
 	}

@@ -1,0 +1,3 @@
+module cloudeval
+
+go 1.22

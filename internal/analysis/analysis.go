@@ -10,9 +10,9 @@ import (
 	"strings"
 
 	"cloudeval/internal/dataset"
+	"cloudeval/internal/engine"
 	"cloudeval/internal/llm"
 	"cloudeval/internal/score"
-	"cloudeval/internal/unittest"
 	"cloudeval/internal/yamlx"
 )
 
@@ -202,24 +202,33 @@ func FormatTable9(breakdown map[string]map[string]map[string]float64, modelOrder
 	return b.String()
 }
 
-// PassAtK runs multi-sample generation (§4.2): for each problem, up to
-// maxK samples at the given temperature; the problem counts as passed
-// at k when any of the first k samples passes its unit test. Returns
-// pass counts indexed by k-1.
+// PassAtK runs multi-sample generation (§4.2) through the default
+// engine: for each problem, up to maxK samples at the given
+// temperature; the problem counts as passed at k when any of the first
+// k samples passes its unit test. Returns pass counts indexed by k-1.
 func PassAtK(m llm.Model, problems []dataset.Problem, maxK int, temperature float64) []int {
-	firstPass := make([]int, 0, len(problems)) // index of first passing sample, or -1
-	for _, p := range problems {
+	return PassAtKWith(engine.Default(), m, problems, maxK, temperature)
+}
+
+// PassAtKWith schedules the multi-sample study on eng: problems fan out
+// across the pool while each problem's sample loop stays sequential, so
+// the early exit after the first passing sample — the paper's lazy
+// sampling — is preserved and the counts match the serial path exactly.
+func PassAtKWith(eng *engine.Engine, m llm.Model, problems []dataset.Problem, maxK int, temperature float64) []int {
+	firstPass := make([]int, len(problems)) // index of first passing sample, or -1
+	eng.ForEach(len(problems), func(i int) {
+		p := problems[i]
 		idx := -1
 		for k := 0; k < maxK; k++ {
 			raw := m.Generate(p, llm.GenOptions{Sample: k, Temperature: temperature})
 			ans := llm.Postprocess(raw)
-			if unittest.Run(p, ans).Passed {
+			if eng.UnitTest(p, ans).Passed {
 				idx = k
 				break
 			}
 		}
-		firstPass = append(firstPass, idx)
-	}
+		firstPass[i] = idx
+	})
 	out := make([]int, maxK)
 	for k := 1; k <= maxK; k++ {
 		n := 0
@@ -268,9 +277,14 @@ func PassCount(scores []score.ProblemScore) int {
 	return n
 }
 
-// VariantPassCounts computes Table 5: per model, passes on the
-// original, simplified and translated subsets.
+// VariantPassCounts computes Table 5 through the default engine: per
+// model, passes on the original, simplified and translated subsets.
 func VariantPassCounts(m llm.Model, all []dataset.Problem) map[dataset.Variant]int {
+	return VariantPassCountsWith(engine.Default(), m, all)
+}
+
+// VariantPassCountsWith is VariantPassCounts on a caller-owned engine.
+func VariantPassCountsWith(eng *engine.Engine, m llm.Model, all []dataset.Problem) map[dataset.Variant]int {
 	out := map[dataset.Variant]int{}
 	for _, variant := range []dataset.Variant{dataset.Original, dataset.Simplified, dataset.Translated} {
 		if m.EnglishOnly && variant == dataset.Translated {
@@ -283,7 +297,7 @@ func VariantPassCounts(m llm.Model, all []dataset.Problem) map[dataset.Variant]i
 				subset = append(subset, p)
 			}
 		}
-		scores := score.EvaluateModel(m, subset, llm.GenOptions{})
+		scores := score.EvaluateModelWith(eng, m, subset, llm.GenOptions{})
 		out[variant] = PassCount(scores)
 	}
 	return out
@@ -307,12 +321,17 @@ func FormatTable5(counts map[string]map[dataset.Variant]int, order []string) str
 	return b.String()
 }
 
-// FewShotPassCounts computes Table 6: passes on the original subset for
-// 0..maxShots few-shot prompts.
+// FewShotPassCounts computes Table 6 through the default engine: passes
+// on the original subset for 0..maxShots few-shot prompts.
 func FewShotPassCounts(m llm.Model, originals []dataset.Problem, maxShots int) []int {
+	return FewShotPassCountsWith(engine.Default(), m, originals, maxShots)
+}
+
+// FewShotPassCountsWith is FewShotPassCounts on a caller-owned engine.
+func FewShotPassCountsWith(eng *engine.Engine, m llm.Model, originals []dataset.Problem, maxShots int) []int {
 	out := make([]int, maxShots+1)
 	for shots := 0; shots <= maxShots; shots++ {
-		scores := score.EvaluateModel(m, originals, llm.GenOptions{Shots: shots})
+		scores := score.EvaluateModelWith(eng, m, originals, llm.GenOptions{Shots: shots})
 		out[shots] = PassCount(scores)
 	}
 	return out

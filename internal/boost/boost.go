@@ -251,12 +251,26 @@ func (m *Model) SHAP(x []float64) []float64 {
 // MeanAbsSHAP averages |phi| per feature over a set of instances, the
 // global importance of Figure 9(b).
 func (m *Model) MeanAbsSHAP(rows [][]float64) []float64 {
+	return m.meanAbsSHAP(rows, func(n int, fn func(int)) {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+	})
+}
+
+// meanAbsSHAP computes the per-row Shapley evaluations — the dominant
+// cost, 2^5 coalition passes each — through forEach (the engine's
+// scheduler or a serial loop). Each row's vector lands in its own slot
+// before the reduction, so the averages do not depend on schedule.
+func (m *Model) meanAbsSHAP(rows [][]float64, forEach func(int, func(int))) []float64 {
 	out := make([]float64, len(m.Features))
 	if len(rows) == 0 {
 		return out
 	}
-	for _, x := range rows {
-		for j, p := range m.SHAP(x) {
+	perRow := make([][]float64, len(rows))
+	forEach(len(rows), func(i int) { perRow[i] = m.SHAP(rows[i]) })
+	for _, phi := range perRow {
+		for j, p := range phi {
 			out[j] += math.Abs(p)
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"cloudeval/internal/engine"
 	"cloudeval/internal/score"
 )
 
@@ -26,17 +27,26 @@ type LeaveOneOutResult struct {
 	ErrorPercent float64
 }
 
-// LeaveOneModelOut reproduces §4.4's protocol: for each model, train on
-// the other eleven models' scored answers and predict the held-out
-// model's unit-test score.
+// LeaveOneModelOut reproduces §4.4's protocol through the default
+// engine: for each model, train on the other eleven models' scored
+// answers and predict the held-out model's unit-test score.
 func LeaveOneModelOut(raw map[string][]score.ProblemScore, cfg Config) ([]LeaveOneOutResult, error) {
+	return LeaveOneModelOutWith(engine.Default(), raw, cfg)
+}
+
+// LeaveOneModelOutWith fans the twelve independent hold-out trainings
+// out on eng's scheduler; results land in model-name order, so the
+// output is identical to the serial protocol.
+func LeaveOneModelOutWith(eng *engine.Engine, raw map[string][]score.ProblemScore, cfg Config) ([]LeaveOneOutResult, error) {
 	models := make([]string, 0, len(raw))
 	for m := range raw {
 		models = append(models, m)
 	}
 	sort.Strings(models)
-	var out []LeaveOneOutResult
-	for _, held := range models {
+	out := make([]LeaveOneOutResult, len(models))
+	errs := make([]error, len(models))
+	eng.ForEach(len(models), func(i int) {
+		held := models[i]
 		var rows [][]float64
 		var labels []float64
 		for _, m := range models {
@@ -50,7 +60,8 @@ func LeaveOneModelOut(raw map[string][]score.ProblemScore, cfg Config) ([]LeaveO
 		}
 		model, err := Train(rows, labels, FeatureNames, cfg)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		pred, truth := 0.0, 0.0
 		for _, s := range raw[held] {
@@ -64,7 +75,12 @@ func LeaveOneModelOut(raw map[string][]score.ProblemScore, cfg Config) ([]LeaveO
 				errPct = -errPct
 			}
 		}
-		out = append(out, LeaveOneOutResult{Model: held, Predicted: pred, GroundTruth: truth, ErrorPercent: errPct})
+		out[i] = LeaveOneOutResult{Model: held, Predicted: pred, GroundTruth: truth, ErrorPercent: errPct}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].GroundTruth > out[j].GroundTruth })
 	return out, nil
@@ -81,12 +97,25 @@ func FormatFigure9A(results []LeaveOneOutResult) string {
 }
 
 // GlobalImportance trains on all models' scores and reports mean |SHAP|
-// per feature (Figure 9b).
+// per feature (Figure 9b) through the default engine.
 func GlobalImportance(raw map[string][]score.ProblemScore, cfg Config, sample int) (map[string]float64, error) {
+	return GlobalImportanceWith(engine.Default(), raw, cfg, sample)
+}
+
+// GlobalImportanceWith is GlobalImportance with the exact per-instance
+// Shapley evaluations — the dominant cost, 2^5 coalition passes per
+// sampled row — scheduled on eng. Training data is assembled in model-
+// name order so the fitted ensemble is deterministic.
+func GlobalImportanceWith(eng *engine.Engine, raw map[string][]score.ProblemScore, cfg Config, sample int) (map[string]float64, error) {
+	models := make([]string, 0, len(raw))
+	for m := range raw {
+		models = append(models, m)
+	}
+	sort.Strings(models)
 	var rows [][]float64
 	var labels []float64
-	for _, scores := range raw {
-		for _, s := range scores {
+	for _, m := range models {
+		for _, s := range raw[m] {
 			rows = append(rows, FeatureVector(s))
 			labels = append(labels, s.UnitTest)
 		}
@@ -106,7 +135,7 @@ func GlobalImportance(raw map[string][]score.ProblemScore, cfg Config, sample in
 	for i := 0; i < len(rows); i += stride {
 		sampled = append(sampled, rows[i])
 	}
-	imp := model.MeanAbsSHAP(sampled)
+	imp := model.meanAbsSHAP(sampled, eng.ForEach)
 	out := make(map[string]float64, len(FeatureNames))
 	for i, name := range FeatureNames {
 		out[name] = imp[i]

@@ -16,6 +16,7 @@ import (
 	"cloudeval/internal/boost"
 	"cloudeval/internal/cost"
 	"cloudeval/internal/dataset"
+	"cloudeval/internal/engine"
 	"cloudeval/internal/evalcluster"
 	"cloudeval/internal/llm"
 	"cloudeval/internal/related"
@@ -23,7 +24,10 @@ import (
 	"cloudeval/internal/score"
 )
 
-// Benchmark is a configured CloudEval-YAML instance.
+// Benchmark is a configured CloudEval-YAML instance. Every campaign —
+// zero-shot, few-shot, pass@k, failure analysis, predictor training —
+// submits its evaluation jobs through one engine, so the whole paper
+// reproduction shares a scheduler and a memoization cache.
 type Benchmark struct {
 	// Originals are the 337 hand-written problems; Problems is the full
 	// 1011-problem corpus with augmentation.
@@ -31,29 +35,42 @@ type Benchmark struct {
 	Problems  []dataset.Problem
 	Models    []llm.Model
 
+	eng *engine.Engine
+
 	mu       sync.Mutex
 	rows     []score.ModelAggregate
 	rawByMod map[string][]score.ProblemScore
 	jobs     []evalcluster.Job
 }
 
-// New builds the default benchmark: full corpus, twelve-model zoo.
-func New() *Benchmark {
+// New builds the default benchmark: full corpus, twelve-model zoo, the
+// process-wide in-process evaluation engine.
+func New() *Benchmark { return NewWith(engine.Default()) }
+
+// NewWith builds a benchmark that submits every evaluation through eng
+// — e.g. an engine wrapping evalcluster.ClusterExecutor to fan the
+// campaigns out over a real worker fleet.
+func NewWith(eng *engine.Engine) *Benchmark {
 	originals := dataset.Generate()
 	return &Benchmark{
 		Originals: originals,
 		Problems:  augment.ExpandCorpus(originals),
 		Models:    llm.Models,
+		eng:       eng,
 	}
 }
 
+// Engine returns the engine the benchmark's campaigns run on.
+func (b *Benchmark) Engine() *engine.Engine { return b.eng }
+
 // ZeroShot runs (and caches) the Table 4 campaign: every model over the
-// full corpus with all six metrics.
+// full corpus with all six metrics, every (model, problem) pair one
+// engine job.
 func (b *Benchmark) ZeroShot() ([]score.ModelAggregate, map[string][]score.ProblemScore) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.rows == nil {
-		b.rows, b.rawByMod = score.Benchmark(b.Models, b.Problems)
+		b.rows, b.rawByMod = score.BenchmarkWith(b.eng, b.Models, b.Problems)
 	}
 	return b.rows, b.rawByMod
 }
@@ -63,7 +80,7 @@ func (b *Benchmark) Jobs() []evalcluster.Job {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.jobs == nil {
-		b.jobs = evalcluster.JobsFromProblems(b.Problems)
+		b.jobs = evalcluster.JobsFromProblemsWith(b.eng, b.Problems)
 	}
 	return b.jobs
 }
@@ -109,7 +126,7 @@ func (b *Benchmark) Table4() string {
 func (b *Benchmark) Table5() string {
 	counts := map[string]map[dataset.Variant]int{}
 	for _, m := range b.Models {
-		counts[m.Name] = analysis.VariantPassCounts(m, b.Problems)
+		counts[m.Name] = analysis.VariantPassCountsWith(b.eng, m, b.Problems)
 	}
 	return analysis.FormatTable5(counts, b.ModelNames())
 }
@@ -121,7 +138,7 @@ var Table6Models = []string{"gpt-3.5", "llama-2-70b-chat", "llama-2-7b-chat"}
 func (b *Benchmark) Table6() string {
 	counts := map[string][]int{}
 	for _, name := range Table6Models {
-		counts[name] = analysis.FewShotPassCounts(b.model(name), b.Originals, 3)
+		counts[name] = analysis.FewShotPassCountsWith(b.eng, b.model(name), b.Originals, 3)
 	}
 	return analysis.FormatTable6(counts, Table6Models)
 }
@@ -188,7 +205,7 @@ func (b *Benchmark) Figure7() string {
 	byID := analysis.ProblemIndex(b.Originals)
 	counts := map[string][6]int{}
 	for _, name := range Figure7Models {
-		scores := score.EvaluateModel(b.model(name), b.Originals, llm.GenOptions{})
+		scores := score.EvaluateModelWith(b.eng, b.model(name), b.Originals, llm.GenOptions{})
 		counts[name] = analysis.FailureCounts(scores, byID)
 	}
 	return analysis.FormatFigure7(counts, Figure7Models)
@@ -218,7 +235,7 @@ func (b *Benchmark) Figure8(cfg Figure8Config) string {
 		if name == "gpt-4" {
 			k = cfg.GPT4MaxK
 		}
-		series[name] = analysis.PassAtK(b.model(name), b.Originals, k, cfg.Temperature)
+		series[name] = analysis.PassAtKWith(b.eng, b.model(name), b.Originals, k, cfg.Temperature)
 	}
 	return analysis.FormatFigure8(series, Figure8Models)
 }
@@ -227,11 +244,11 @@ func (b *Benchmark) Figure8(cfg Figure8Config) string {
 // predictions and SHAP feature importance.
 func (b *Benchmark) Figure9() string {
 	_, raw := b.ZeroShot()
-	results, err := boost.LeaveOneModelOut(raw, boost.DefaultConfig())
+	results, err := boost.LeaveOneModelOutWith(b.eng, raw, boost.DefaultConfig())
 	if err != nil {
 		return "error: " + err.Error()
 	}
-	imp, err := boost.GlobalImportance(raw, boost.DefaultConfig(), 500)
+	imp, err := boost.GlobalImportanceWith(b.eng, raw, boost.DefaultConfig(), 500)
 	if err != nil {
 		return "error: " + err.Error()
 	}

@@ -1,0 +1,351 @@
+// Package engine is the unified parallel evaluation engine behind the
+// benchmark: every functional evaluation — one candidate answer run
+// against one problem's unit test — becomes a Job, scheduled by a
+// work-stealing parallel-for over a pluggable Executor. Two executors
+// ship: the in-process pool (PoolExecutor, the default) and the
+// evalcluster adapter that drives the same jobs over the master/worker
+// TCP wire protocol. A content-addressed memoization cache — keyed by
+// the digests of the unit-test script and the answer — sits above the
+// executor, so augmented variants and repeated campaigns that share
+// answers never re-run a simulated cluster, and concurrent duplicates
+// collapse into a single execution.
+//
+// Layering: engine sits below score/analysis/core and above
+// dataset/unittest. evalcluster imports engine for the shared Job and
+// Result wire types; engine never imports evalcluster, so the
+// distributed adapter lives there (evalcluster.ClusterExecutor).
+package engine
+
+import (
+	"crypto/sha256"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cloudeval/internal/dataset"
+	"cloudeval/internal/unittest"
+)
+
+// Job is one unit-test execution request: a candidate answer to run
+// against a problem's unit test. It doubles as the JSON wire payload of
+// the evalcluster master/worker protocol, so the in-process and
+// distributed paths share one job type.
+type Job struct {
+	ID        string `json:"id"`
+	ProblemID string `json:"problem_id"`
+	Answer    string `json:"answer"`
+}
+
+// Result is one unit-test outcome, and the matching wire payload a
+// cluster worker reports back. A non-empty Error marks an evaluation
+// that never ran to completion (unknown problem, cluster timeout,
+// submit failure) as opposed to a test that ran and failed.
+type Result struct {
+	ID          string  `json:"id"`
+	ProblemID   string  `json:"problem_id"`
+	Passed      bool    `json:"passed"`
+	Output      string  `json:"output,omitempty"`
+	Error       string  `json:"error,omitempty"`
+	Worker      string  `json:"worker,omitempty"`
+	VirtualSecs float64 `json:"virtual_secs"`
+	CacheHit    bool    `json:"cache_hit,omitempty"`
+}
+
+// Executor runs one unit test somewhere: on the calling goroutine
+// (PoolExecutor) or on a remote worker (evalcluster.ClusterExecutor).
+// Implementations must be safe for concurrent use; the engine calls
+// RunUnitTest from up to Workers goroutines at once.
+type Executor interface {
+	// Name identifies the executor in stats and logs.
+	Name() string
+	// RunUnitTest executes p's unit test against answer and blocks until
+	// the result is in.
+	RunUnitTest(p dataset.Problem, answer string) unittest.Result
+	// Close releases executor resources.
+	Close() error
+}
+
+// PoolExecutor executes unit tests inline on the scheduler's worker
+// goroutines — the default, GOMAXPROCS-parallel path. Each call builds
+// a fresh simulated environment, so concurrent executions share no
+// state.
+type PoolExecutor struct{}
+
+// Name implements Executor.
+func (PoolExecutor) Name() string { return "pool" }
+
+// RunUnitTest implements Executor.
+func (PoolExecutor) RunUnitTest(p dataset.Problem, answer string) unittest.Result {
+	return unittest.Run(p, answer)
+}
+
+// Close implements Executor.
+func (PoolExecutor) Close() error { return nil }
+
+// Stats counts engine activity since construction.
+type Stats struct {
+	// Executed is the number of unit tests that actually ran on the
+	// executor; CacheHits is the number served from memory instead.
+	Executed  int64
+	CacheHits int64
+}
+
+// Engine schedules evaluation jobs over an executor with memoization.
+// The zero value is not usable; construct with New.
+type Engine struct {
+	exec    Executor
+	workers int
+	noCache bool
+
+	mu    sync.Mutex
+	cache map[cacheKey]*cacheEntry
+
+	executed  atomic.Int64
+	cacheHits atomic.Int64
+}
+
+// cacheKey content-addresses one evaluation: a unit-test outcome is a
+// pure function of the test script and the candidate answer (the
+// script sees the answer as labeled_code.yaml and nothing else of the
+// problem), so keying on their digests — rather than the problem ID —
+// both removes ID-aliasing hazards and lets augmented variants that
+// share a script and answer reuse one execution.
+type cacheKey struct {
+	test   [sha256.Size]byte
+	answer [sha256.Size]byte
+}
+
+type cacheEntry struct {
+	done chan struct{}
+	res  unittest.Result
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithExecutor swaps the default in-process pool for another executor
+// (e.g. evalcluster.ClusterExecutor).
+func WithExecutor(exec Executor) Option { return func(e *Engine) { e.exec = exec } }
+
+// WithWorkers sets the scheduler's parallelism (default GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.workers = n
+		}
+	}
+}
+
+// WithoutCache disables answer memoization, forcing every job to
+// execute (useful for benchmarking the raw executor).
+func WithoutCache() Option { return func(e *Engine) { e.noCache = true } }
+
+// New builds an engine. By default it runs jobs on an in-process pool
+// sized to GOMAXPROCS with memoization enabled.
+func New(opts ...Option) *Engine {
+	e := &Engine{
+		exec:    PoolExecutor{},
+		workers: runtime.GOMAXPROCS(0),
+		cache:   make(map[cacheKey]*cacheEntry),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+var (
+	defaultOnce sync.Once
+	defaultEng  *Engine
+)
+
+// Default returns the process-wide engine: in-process pool, shared
+// cache. Serial entry points (score.ScoreAnswer, score.EvaluateModel)
+// route through it so every campaign in a process shares one
+// memoization cache.
+func Default() *Engine {
+	defaultOnce.Do(func() { defaultEng = New() })
+	return defaultEng
+}
+
+// Workers reports the scheduler's parallelism.
+func (e *Engine) Workers() int { return e.workers }
+
+// Executor returns the engine's executor.
+func (e *Engine) Executor() Executor { return e.exec }
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{Executed: e.executed.Load(), CacheHits: e.cacheHits.Load()}
+}
+
+// Close releases the underlying executor.
+func (e *Engine) Close() error { return e.exec.Close() }
+
+// UnitTest executes p's unit test against answer through the executor,
+// serving duplicates from the cache. Concurrent calls with the same
+// (problem, answer) collapse into one execution; the laggards block
+// until the winner's result is in.
+func (e *Engine) UnitTest(p dataset.Problem, answer string) unittest.Result {
+	res, _ := e.unitTest(p, answer)
+	return res
+}
+
+// unitTest is UnitTest plus a report of whether this call was served
+// from the cache.
+func (e *Engine) unitTest(p dataset.Problem, answer string) (unittest.Result, bool) {
+	if e.noCache {
+		e.executed.Add(1)
+		return e.exec.RunUnitTest(p, answer), false
+	}
+	key := cacheKey{test: sha256.Sum256([]byte(p.UnitTest)), answer: sha256.Sum256([]byte(answer))}
+	e.mu.Lock()
+	if ent, ok := e.cache[key]; ok {
+		e.mu.Unlock()
+		<-ent.done
+		e.cacheHits.Add(1)
+		return ent.res, true
+	}
+	ent := &cacheEntry{done: make(chan struct{})}
+	e.cache[key] = ent
+	e.mu.Unlock()
+
+	ent.res = e.exec.RunUnitTest(p, answer)
+	if ent.res.Err != nil {
+		// Transient executor failures (cluster submit errors, per-job
+		// timeouts) must not be frozen in: waiters already parked on
+		// this entry share the error, but future calls re-execute.
+		e.mu.Lock()
+		delete(e.cache, key)
+		e.mu.Unlock()
+	}
+	close(ent.done)
+	e.executed.Add(1)
+	return ent.res, false
+}
+
+// Run executes a batch of jobs, resolving problems by ID, and returns
+// results in job order. onResult, when non-nil, streams each result as
+// it completes (calls are serialized). Unknown problem IDs and
+// executor failures produce a result with Error set rather than
+// aborting, so a poisoned batch still drains — the same contract as a
+// cluster worker.
+func (e *Engine) Run(jobs []Job, problems map[string]dataset.Problem, onResult func(Result)) []Result {
+	out := make([]Result, len(jobs))
+	var cbMu sync.Mutex
+	e.ForEach(len(jobs), func(i int) {
+		job := jobs[i]
+		r := Result{ID: job.ID, ProblemID: job.ProblemID, Worker: e.exec.Name()}
+		if p, ok := problems[job.ProblemID]; ok {
+			res, hit := e.unitTest(p, job.Answer)
+			r.Passed = res.Passed
+			r.VirtualSecs = res.VirtualTime.Seconds()
+			r.CacheHit = hit
+			if !res.Passed {
+				r.Output = res.Output
+			}
+			if res.Err != nil {
+				r.Error = res.Err.Error()
+			}
+		} else {
+			r.Error = "unknown problem " + job.ProblemID
+		}
+		out[i] = r
+		if onResult != nil {
+			cbMu.Lock()
+			onResult(r)
+			cbMu.Unlock()
+		}
+	})
+	return out
+}
+
+// ForEach runs fn(0..n-1) on the engine's worker pool using
+// work-stealing: the index space is split into contiguous per-worker
+// deques; each worker pops from the front of its own deque and, when
+// empty, steals from the back of a victim's. Output written to
+// index-addressed slots is therefore deterministic regardless of
+// schedule. fn must be safe to call concurrently. ForEach returns when
+// every index has run.
+func (e *Engine) ForEach(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	w := e.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	// Contiguous ranges [lo, hi) per worker; owner takes lo, thieves
+	// take hi-1. Each deque has its own lock; tasks here are coarse
+	// (a full simulated-cluster unit test), so lock traffic is noise.
+	type deque struct {
+		mu     sync.Mutex
+		lo, hi int
+	}
+	qs := make([]*deque, w)
+	chunk := n / w
+	extra := n % w
+	start := 0
+	for i := 0; i < w; i++ {
+		size := chunk
+		if i < extra {
+			size++
+		}
+		qs[i] = &deque{lo: start, hi: start + size}
+		start += size
+	}
+
+	popOwn := func(q *deque) (int, bool) {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		if q.lo >= q.hi {
+			return 0, false
+		}
+		i := q.lo
+		q.lo++
+		return i, true
+	}
+	steal := func(q *deque) (int, bool) {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		if q.lo >= q.hi {
+			return 0, false
+		}
+		q.hi--
+		return q.hi, true
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for self := 0; self < w; self++ {
+		go func(self int) {
+			defer wg.Done()
+			own := qs[self]
+			for {
+				if i, ok := popOwn(own); ok {
+					fn(i)
+					continue
+				}
+				stole := false
+				for off := 1; off < w; off++ {
+					victim := qs[(self+off)%w]
+					if i, ok := steal(victim); ok {
+						fn(i)
+						stole = true
+						break
+					}
+				}
+				if !stole {
+					return
+				}
+			}
+		}(self)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,273 @@
+package engine_test
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cloudeval/internal/augment"
+	"cloudeval/internal/dataset"
+	"cloudeval/internal/engine"
+	"cloudeval/internal/evalcluster"
+	"cloudeval/internal/llm"
+	"cloudeval/internal/miniredis"
+	"cloudeval/internal/score"
+	"cloudeval/internal/unittest"
+	"cloudeval/internal/yamlmatch"
+)
+
+// countingExecutor wraps the in-process pool and counts executions, so
+// tests can assert how many unit tests actually ran beneath the cache.
+type countingExecutor struct {
+	engine.PoolExecutor
+	runs atomic.Int64
+}
+
+func (c *countingExecutor) Name() string { return "counting" }
+
+func (c *countingExecutor) RunUnitTest(p dataset.Problem, answer string) unittest.Result {
+	c.runs.Add(1)
+	return c.PoolExecutor.RunUnitTest(p, answer)
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	eng := engine.New(engine.WithWorkers(8))
+	const n = 10000
+	counts := make([]atomic.Int32, n)
+	eng.ForEach(n, func(i int) { counts[i].Add(1) })
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Fatalf("index %d ran %d times", i, got)
+		}
+	}
+}
+
+func TestForEachStealsAcrossWorkers(t *testing.T) {
+	// One worker's chunk is pathologically slow; the others must steal
+	// from it instead of idling, so the wall clock stays far below the
+	// serial sum.
+	eng := engine.New(engine.WithWorkers(4))
+	const n = 64
+	var slowRan atomic.Int32
+	eng.ForEach(n, func(i int) {
+		if i < n/4 { // worker 0's own chunk
+			time.Sleep(2 * time.Millisecond)
+			slowRan.Add(1)
+		}
+	})
+	if slowRan.Load() != n/4 {
+		t.Fatalf("slow chunk ran %d/%d", slowRan.Load(), n/4)
+	}
+}
+
+// TestCacheHitDuplicateAnswers is the memoization contract: a batch
+// with duplicate (problem, answer) pairs executes the unit test exactly
+// once, and every duplicate reports the same outcome with CacheHit set.
+func TestCacheHitDuplicateAnswers(t *testing.T) {
+	p := dataset.Generate()[0]
+	answer := yamlmatch.StripLabels(p.ReferenceYAML)
+	exec := &countingExecutor{}
+	eng := engine.New(engine.WithExecutor(exec), engine.WithWorkers(8))
+
+	const n = 50
+	jobs := make([]engine.Job, n)
+	for i := range jobs {
+		jobs[i] = engine.Job{ID: fmt.Sprintf("dup-%d", i), ProblemID: p.ID, Answer: answer}
+	}
+	index := map[string]dataset.Problem{p.ID: p}
+	results := eng.Run(jobs, index, nil)
+
+	if got := exec.runs.Load(); got != 1 {
+		t.Errorf("duplicate answers executed %d unit tests, want exactly 1", got)
+	}
+	hits := 0
+	for _, r := range results {
+		if !r.Passed {
+			t.Fatalf("%s: reference answer failed: %s", r.ID, r.Output)
+		}
+		if r.CacheHit {
+			hits++
+		}
+	}
+	if hits != n-1 {
+		t.Errorf("cache hits = %d, want %d", hits, n-1)
+	}
+	st := eng.Stats()
+	if st.Executed != 1 || st.CacheHits != int64(n-1) {
+		t.Errorf("stats = %+v, want 1 executed / %d hits", st, n-1)
+	}
+}
+
+func TestCacheDistinguishesProblemsAndAnswers(t *testing.T) {
+	ps := dataset.Generate()[:2]
+	exec := &countingExecutor{}
+	eng := engine.New(engine.WithExecutor(exec), engine.WithWorkers(4))
+	// Same answer text against two problems, plus a second answer
+	// against the first problem: three distinct cache keys.
+	answer := yamlmatch.StripLabels(ps[0].ReferenceYAML)
+	eng.UnitTest(ps[0], answer)
+	eng.UnitTest(ps[1], answer)
+	eng.UnitTest(ps[0], answer+"\n# trailing comment")
+	eng.UnitTest(ps[0], answer) // repeat of the first
+	if got := exec.runs.Load(); got != 3 {
+		t.Errorf("executed %d unit tests, want 3 distinct keys", got)
+	}
+}
+
+func TestRunUnknownProblem(t *testing.T) {
+	eng := engine.New(engine.WithWorkers(2))
+	results := eng.Run([]engine.Job{{ID: "j1", ProblemID: "no-such-problem"}}, nil, nil)
+	if len(results) != 1 || results[0].Passed || results[0].Error == "" {
+		t.Errorf("unknown problem should report an Error, got %+v", results)
+	}
+}
+
+// flakyExecutor fails its first call and succeeds afterwards.
+type flakyExecutor struct {
+	engine.PoolExecutor
+	calls atomic.Int64
+}
+
+func (f *flakyExecutor) RunUnitTest(p dataset.Problem, answer string) unittest.Result {
+	if f.calls.Add(1) == 1 {
+		return unittest.Result{Err: fmt.Errorf("transient outage")}
+	}
+	return f.PoolExecutor.RunUnitTest(p, answer)
+}
+
+// TestErroredResultsNotCached: a transient executor failure must not be
+// frozen into the memoization cache — the next identical call
+// re-executes and succeeds.
+func TestErroredResultsNotCached(t *testing.T) {
+	p := dataset.Generate()[0]
+	answer := yamlmatch.StripLabels(p.ReferenceYAML)
+	exec := &flakyExecutor{}
+	eng := engine.New(engine.WithExecutor(exec), engine.WithWorkers(2))
+	if res := eng.UnitTest(p, answer); res.Err == nil {
+		t.Fatal("first call should surface the transient error")
+	}
+	if res := eng.UnitTest(p, answer); res.Err != nil || !res.Passed {
+		t.Fatalf("second call should re-execute and pass, got %+v", res)
+	}
+	if got := exec.calls.Load(); got != 2 {
+		t.Errorf("executor called %d times, want 2", got)
+	}
+	// And the successful result is cached normally.
+	if res := eng.UnitTest(p, answer); !res.Passed {
+		t.Fatal("third call should hit the cache")
+	}
+	if got := exec.calls.Load(); got != 2 {
+		t.Errorf("executor called %d times after cache hit, want 2", got)
+	}
+}
+
+// TestParallelMatchesSerialTable4 is the determinism contract of the
+// whole refactor: the engine-scheduled campaign must render a Table 4
+// byte-identical to the serial seed loop, and the raw per-problem
+// scores must match exactly.
+func TestParallelMatchesSerialTable4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark in -short mode")
+	}
+	full := augment.ExpandCorpus(dataset.Generate())
+	serialRows, serialRaw := score.BenchmarkSerial(llm.Models, full)
+	eng := engine.New(engine.WithWorkers(4))
+	parRows, parRaw := score.BenchmarkWith(eng, llm.Models, full)
+
+	if serial, parallel := score.FormatTable4(serialRows), score.FormatTable4(parRows); serial != parallel {
+		t.Errorf("Table 4 differs between serial and parallel runs:\n--- serial ---\n%s--- parallel ---\n%s", serial, parallel)
+	}
+	if !reflect.DeepEqual(serialRaw, parRaw) {
+		t.Error("raw per-problem scores differ between serial and parallel runs")
+	}
+	if st := eng.Stats(); st.Executed == 0 {
+		t.Error("engine executed nothing")
+	}
+}
+
+// TestExecutorSwap drives the same jobs through the in-process pool and
+// the evalcluster TCP path and requires identical outcomes: the
+// executor is a pure placement decision.
+func TestExecutorSwap(t *testing.T) {
+	problems := dataset.Generate()[:20]
+	index := make(map[string]dataset.Problem, len(problems))
+	jobs := make([]engine.Job, len(problems))
+	for i, p := range problems {
+		index[p.ID] = p
+		answer := yamlmatch.StripLabels(p.ReferenceYAML)
+		if i%3 == 0 {
+			answer = "not: yaml that passes" // force failures too
+		}
+		jobs[i] = engine.Job{ID: fmt.Sprintf("job-%d", i), ProblemID: p.ID, Answer: answer}
+	}
+
+	poolEng := engine.New(engine.WithWorkers(4))
+	poolResults := poolEng.Run(jobs, index, nil)
+
+	srv := miniredis.NewServer()
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		w, err := evalcluster.NewWorker(addr, fmt.Sprintf("worker-%d", i), problems)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer w.Close()
+			if _, err := w.Run(time.Second); err != nil {
+				t.Errorf("worker: %v", err)
+			}
+		}()
+	}
+	exec, err := evalcluster.NewClusterExecutor(addr, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusterEng := engine.New(engine.WithExecutor(exec), engine.WithWorkers(4))
+	clusterResults := clusterEng.Run(jobs, index, nil)
+	clusterEng.Close()
+	wg.Wait()
+
+	if len(poolResults) != len(clusterResults) {
+		t.Fatalf("result counts differ: %d vs %d", len(poolResults), len(clusterResults))
+	}
+	for i := range poolResults {
+		pr, cr := poolResults[i], clusterResults[i]
+		if pr.ID != cr.ID || pr.ProblemID != cr.ProblemID {
+			t.Fatalf("result %d misrouted: pool %s/%s vs cluster %s/%s", i, pr.ID, pr.ProblemID, cr.ID, cr.ProblemID)
+		}
+		if pr.Passed != cr.Passed {
+			t.Errorf("%s: pool passed=%v, cluster passed=%v (%s)", pr.ID, pr.Passed, cr.Passed, cr.Output)
+		}
+		if pr.VirtualSecs != cr.VirtualSecs {
+			t.Errorf("%s: virtual time differs: %v vs %v", pr.ID, pr.VirtualSecs, cr.VirtualSecs)
+		}
+	}
+}
+
+// TestStreamingCallback checks that Run streams one serialized callback
+// per job.
+func TestStreamingCallback(t *testing.T) {
+	problems := dataset.Generate()[:8]
+	index := make(map[string]dataset.Problem, len(problems))
+	jobs := make([]engine.Job, len(problems))
+	for i, p := range problems {
+		index[p.ID] = p
+		jobs[i] = engine.Job{ID: fmt.Sprintf("job-%d", i), ProblemID: p.ID, Answer: yamlmatch.StripLabels(p.ReferenceYAML)}
+	}
+	eng := engine.New(engine.WithWorkers(4))
+	seen := map[string]bool{}
+	eng.Run(jobs, index, func(r engine.Result) { seen[r.ID] = true })
+	if len(seen) != len(jobs) {
+		t.Errorf("callback saw %d/%d results", len(seen), len(jobs))
+	}
+}

@@ -3,9 +3,11 @@ package evalcluster
 import (
 	"encoding/json"
 	"fmt"
+	"sync"
 	"time"
 
 	"cloudeval/internal/dataset"
+	"cloudeval/internal/engine"
 	"cloudeval/internal/miniredis"
 	"cloudeval/internal/unittest"
 )
@@ -17,26 +19,20 @@ const (
 	jobPrefix   = "cloudeval:job:"
 )
 
-// WireJob is the JSON payload a master enqueues for workers.
-type WireJob struct {
-	ID        string `json:"id"`
-	ProblemID string `json:"problem_id"`
-	Answer    string `json:"answer"`
-}
+// WireJob is the JSON payload a master enqueues for workers — the
+// engine's job type, so the distributed and in-process paths share one
+// schema.
+type WireJob = engine.Job
 
-// WireResult is the JSON payload a worker reports back.
-type WireResult struct {
-	ID          string  `json:"id"`
-	ProblemID   string  `json:"problem_id"`
-	Passed      bool    `json:"passed"`
-	Output      string  `json:"output,omitempty"`
-	Worker      string  `json:"worker"`
-	VirtualSecs float64 `json:"virtual_secs"`
-}
+// WireResult is the JSON payload a worker reports back — the engine's
+// result type.
+type WireResult = engine.Result
 
 // Master dispatches unit-test jobs through the store and collects
-// results.
+// results. It is safe for concurrent use; submissions serialize over
+// one connection.
 type Master struct {
+	mu     sync.Mutex
 	client *miniredis.Client
 	nextID int
 }
@@ -58,23 +54,24 @@ func (m *Master) Close() error { return m.client.Close() }
 
 // Submit enqueues one answer for evaluation and returns the job id.
 func (m *Master) Submit(problemID, answer string) (string, error) {
+	m.mu.Lock()
 	m.nextID++
-	job := WireJob{
-		ID:        fmt.Sprintf("job-%d", m.nextID),
-		ProblemID: problemID,
-		Answer:    answer,
-	}
+	id := fmt.Sprintf("job-%d", m.nextID)
+	m.mu.Unlock()
+	return id, m.SubmitJob(engine.Job{ID: id, ProblemID: problemID, Answer: answer})
+}
+
+// SubmitJob enqueues a fully formed job (the caller owns ID
+// uniqueness).
+func (m *Master) SubmitJob(job engine.Job) error {
 	payload, err := json.Marshal(job)
 	if err != nil {
-		return "", err
+		return err
 	}
 	if err := m.client.HSet(jobPrefix+job.ID, "status", "queued"); err != nil {
-		return "", err
+		return err
 	}
-	if err := m.client.LPush(jobQueue, string(payload)); err != nil {
-		return "", err
-	}
-	return job.ID, nil
+	return m.client.LPush(jobQueue, string(payload))
 }
 
 // Collect blocks for up to timeout gathering n results.

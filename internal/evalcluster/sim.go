@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"cloudeval/internal/dataset"
+	"cloudeval/internal/engine"
 	"cloudeval/internal/registry"
 	"cloudeval/internal/unittest"
 	"cloudeval/internal/yamlmatch"
@@ -78,6 +79,24 @@ func JobsFromProblems(problems []dataset.Problem) []Job {
 			Images:    registry.ImagesFor(p),
 		})
 	}
+	return jobs
+}
+
+// JobsFromProblemsWith is JobsFromProblems with the reference-answer
+// measurement runs scheduled on eng — and memoized there, so campaigns
+// that later evaluate a correct answer (textually the clean reference)
+// reuse these executions for free.
+func JobsFromProblemsWith(eng *engine.Engine, problems []dataset.Problem) []Job {
+	jobs := make([]Job, len(problems))
+	eng.ForEach(len(problems), func(i int) {
+		p := problems[i]
+		res := eng.UnitTest(p, yamlmatch.StripLabels(p.ReferenceYAML))
+		jobs[i] = Job{
+			ProblemID: p.ID,
+			TestTime:  res.VirtualTime,
+			Images:    registry.ImagesFor(p),
+		}
+	})
 	return jobs
 }
 

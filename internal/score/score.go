@@ -9,8 +9,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"cloudeval/internal/dataset"
+	"cloudeval/internal/engine"
 	"cloudeval/internal/llm"
 	"cloudeval/internal/textmetrics"
 	"cloudeval/internal/unittest"
@@ -57,8 +59,60 @@ func (s ProblemScore) Metric(name string) float64 {
 }
 
 // ScoreAnswer computes all six metrics for a clean answer against a
-// problem. The unit test runs in a fresh simulated environment.
+// problem, running the unit test through the process-wide default
+// engine (in-process pool with memoization).
 func ScoreAnswer(p dataset.Problem, answer string) ProblemScore {
+	return ScoreAnswerWith(engine.Default(), p, answer)
+}
+
+// refContext caches the per-reference artifacts every model evaluation
+// recomputed in the serial seed: the label-stripped reference text and
+// its BLEU n-gram statistics. A twelve-model campaign reuses each
+// problem's reference twelve times, so this alone removes a third of
+// the scoring cost. The cache is keyed by the labeled reference text
+// itself — content, not problem ID — so it cannot alias, and variants
+// sharing a reference share one entry. Distinct references are bounded
+// by the corpus, so so is the cache.
+type refContext struct {
+	clean string
+	bleu  *textmetrics.BLEURef
+}
+
+var refCache sync.Map // labeled reference text -> *refContext
+
+func refFor(p dataset.Problem) *refContext {
+	if v, ok := refCache.Load(p.ReferenceYAML); ok {
+		return v.(*refContext)
+	}
+	clean := yamlmatch.StripLabels(p.ReferenceYAML)
+	v, _ := refCache.LoadOrStore(p.ReferenceYAML, &refContext{clean: clean, bleu: textmetrics.NewBLEURef(clean)})
+	return v.(*refContext)
+}
+
+// ScoreAnswerWith computes all six metrics, submitting the unit test —
+// the function-level metric that needs a simulated cluster — through
+// eng. The five text-level and YAML-aware metrics are cheap and run
+// inline against the problem's cached reference context.
+func ScoreAnswerWith(eng *engine.Engine, p dataset.Problem, answer string) ProblemScore {
+	ref := refFor(p)
+	s := ProblemScore{
+		ProblemID:  p.ID,
+		Variant:    p.Variant,
+		Answer:     answer,
+		BLEU:       ref.bleu.Score(answer),
+		EditDist:   textmetrics.EditDistanceScore(answer, ref.clean),
+		ExactMatch: textmetrics.ExactMatch(answer, ref.clean),
+		KVExact:    yamlmatch.KVExactMatch(answer, ref.clean),
+		KVWildcard: yamlmatch.KVWildcardMatch(answer, p.ReferenceYAML),
+	}
+	s.UnitTest = eng.UnitTest(p, answer).Score()
+	return s
+}
+
+// scoreAnswerSerial is the pre-engine path: the unit test runs directly
+// on the calling goroutine with no cache. Kept as the baseline the
+// engine is benchmarked and determinism-tested against.
+func scoreAnswerSerial(p dataset.Problem, answer string) ProblemScore {
 	cleanRef := yamlmatch.StripLabels(p.ReferenceYAML)
 	s := ProblemScore{
 		ProblemID:  p.ID,
@@ -74,17 +128,51 @@ func ScoreAnswer(p dataset.Problem, answer string) ProblemScore {
 	return s
 }
 
-// EvaluateModel runs a model over a problem set with the given
-// generation options, scoring every answer.
-func EvaluateModel(m llm.Model, problems []dataset.Problem, opts llm.GenOptions) []ProblemScore {
-	out := make([]ProblemScore, 0, len(problems))
+// evalProblems filters a model's problem set (English-only APIs skip
+// translated questions).
+func evalProblems(m llm.Model, problems []dataset.Problem) []dataset.Problem {
+	kept := make([]dataset.Problem, 0, len(problems))
 	for _, p := range problems {
 		if m.EnglishOnly && p.Variant == dataset.Translated {
 			continue
 		}
-		raw := m.Generate(p, opts)
-		answer := llm.Postprocess(raw)
-		s := ScoreAnswer(p, answer)
+		kept = append(kept, p)
+	}
+	return kept
+}
+
+// EvaluateModel runs a model over a problem set with the given
+// generation options through the default engine.
+func EvaluateModel(m llm.Model, problems []dataset.Problem, opts llm.GenOptions) []ProblemScore {
+	return EvaluateModelWith(engine.Default(), m, problems, opts)
+}
+
+// EvaluateModelWith turns every kept problem into an evaluation job —
+// generate, post-process, score — and schedules them on eng. Results
+// land in problem order, so the output is byte-identical to the serial
+// path regardless of schedule.
+func EvaluateModelWith(eng *engine.Engine, m llm.Model, problems []dataset.Problem, opts llm.GenOptions) []ProblemScore {
+	kept := evalProblems(m, problems)
+	out := make([]ProblemScore, len(kept))
+	eng.ForEach(len(kept), func(i int) {
+		p := kept[i]
+		answer := llm.Postprocess(m.Generate(p, opts))
+		s := ScoreAnswerWith(eng, p, answer)
+		s.Model = m.Name
+		out[i] = s
+	})
+	return out
+}
+
+// EvaluateModelSerial is the pre-engine loop: one problem at a time on
+// the calling goroutine, no cache. The baseline for
+// BenchmarkZeroShotEngine and the determinism tests.
+func EvaluateModelSerial(m llm.Model, problems []dataset.Problem, opts llm.GenOptions) []ProblemScore {
+	kept := evalProblems(m, problems)
+	out := make([]ProblemScore, 0, len(kept))
+	for _, p := range kept {
+		answer := llm.Postprocess(m.Generate(p, opts))
+		s := scoreAnswerSerial(p, answer)
 		s.Model = m.Name
 		out = append(out, s)
 	}
@@ -149,14 +237,64 @@ func Aggregate(m llm.Model, scores []ProblemScore) ModelAggregate {
 	return agg
 }
 
-// Benchmark runs the full zero-shot benchmark: every model over every
-// problem, returning rows sorted by unit-test score (Table 4) plus the
-// raw per-problem scores for downstream analysis.
+// Benchmark runs the full zero-shot benchmark through the default
+// engine: every model over every problem, returning rows sorted by
+// unit-test score (Table 4) plus the raw per-problem scores for
+// downstream analysis.
 func Benchmark(models []llm.Model, problems []dataset.Problem) ([]ModelAggregate, map[string][]ProblemScore) {
+	return BenchmarkWith(engine.Default(), models, problems)
+}
+
+// BenchmarkWith flattens the campaign into one job per (model, problem)
+// pair and schedules the whole matrix on eng at once, so a slow model
+// cannot leave workers idle while another still has problems queued.
+// Scores are written to pair-indexed slots and regrouped afterwards:
+// the rows and raw map are byte-identical to BenchmarkSerial's.
+func BenchmarkWith(eng *engine.Engine, models []llm.Model, problems []dataset.Problem) ([]ModelAggregate, map[string][]ProblemScore) {
+	type pair struct {
+		model   int
+		problem dataset.Problem
+	}
+	var pairs []pair
+	counts := make([]int, len(models))
+	for mi, m := range models {
+		kept := evalProblems(m, problems)
+		counts[mi] = len(kept)
+		for _, p := range kept {
+			pairs = append(pairs, pair{model: mi, problem: p})
+		}
+	}
+	scores := make([]ProblemScore, len(pairs))
+	eng.ForEach(len(pairs), func(i int) {
+		pr := pairs[i]
+		m := models[pr.model]
+		answer := llm.Postprocess(m.Generate(pr.problem, llm.GenOptions{}))
+		s := ScoreAnswerWith(eng, pr.problem, answer)
+		s.Model = m.Name
+		scores[i] = s
+	})
+
+	rows := make([]ModelAggregate, 0, len(models))
+	raw := make(map[string][]ProblemScore, len(models))
+	offset := 0
+	for mi, m := range models {
+		modelScores := scores[offset : offset+counts[mi] : offset+counts[mi]]
+		offset += counts[mi]
+		raw[m.Name] = modelScores
+		rows = append(rows, Aggregate(m, modelScores))
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].UnitTest > rows[j].UnitTest })
+	return rows, raw
+}
+
+// BenchmarkSerial is the pre-engine campaign loop: models evaluated one
+// after another, each problem sequentially, no cache. Kept as the
+// baseline for the engine's determinism and speedup claims.
+func BenchmarkSerial(models []llm.Model, problems []dataset.Problem) ([]ModelAggregate, map[string][]ProblemScore) {
 	rows := make([]ModelAggregate, 0, len(models))
 	raw := make(map[string][]ProblemScore, len(models))
 	for _, m := range models {
-		scores := EvaluateModel(m, problems, llm.GenOptions{})
+		scores := EvaluateModelSerial(m, problems, llm.GenOptions{})
 		raw[m.Name] = scores
 		rows = append(rows, Aggregate(m, scores))
 	}

@@ -2,6 +2,7 @@ package score
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"cloudeval/internal/augment"
@@ -126,21 +127,8 @@ func TestFormatTable4(t *testing.T) {
 	rows := []ModelAggregate{{Model: "gpt-4", Size: "?", UnitTest: 0.5, BLEU: 0.6}}
 	out := FormatTable4(rows)
 	for _, want := range []string{"Rank", "gpt-4", "0.500", "0.600"} {
-		if !contains(out, want) {
+		if !strings.Contains(out, want) {
 			t.Errorf("Table 4 output missing %q:\n%s", want, out)
 		}
 	}
-}
-
-func contains(s, sub string) bool {
-	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
-}
-
-func indexOf(s, sub string) int {
-	for i := 0; i+len(sub) <= len(s); i++ {
-		if s[i:i+len(sub)] == sub {
-			return i
-		}
-	}
-	return -1
 }
