@@ -6,6 +6,7 @@
 package cloudeval_test
 
 import (
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -20,6 +21,7 @@ import (
 	"cloudeval/internal/llm"
 	"cloudeval/internal/repostats"
 	"cloudeval/internal/score"
+	"cloudeval/internal/store"
 	"cloudeval/internal/strategy"
 	"cloudeval/internal/unittest"
 	"cloudeval/internal/yamlmatch"
@@ -138,6 +140,41 @@ func BenchmarkZeroShotEngine(b *testing.B) {
 	b.ReportMetric(gpt4, "gpt4-unit-test")
 	b.ReportMetric(float64(stats.CacheHits), "cache-hits")
 	b.ReportMetric(float64(stats.Executed), "unit-tests-executed")
+}
+
+// BenchmarkZeroShotWarmStore runs the campaign through a fresh engine
+// backed by a warm persistent store — the cross-process replay path.
+// Every iteration reopens the store like a new process would; zero
+// unit tests execute, so this measures the floor a resumed campaign or
+// a CI run with a restored store cache pays.
+func BenchmarkZeroShotWarmStore(b *testing.B) {
+	_, full := fixtures()
+	path := filepath.Join(b.TempDir(), "eval.store")
+	st, err := store.Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	score.BenchmarkWith(engine.New(engine.WithStore(st)), llm.Models, full)
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	var gpt4 float64
+	var stats engine.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := store.Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := engine.New(engine.WithStore(st))
+		rows, _ := score.BenchmarkWith(eng, llm.Models, full)
+		gpt4 = rows[0].UnitTest
+		stats = eng.Stats()
+		st.Close()
+	}
+	b.ReportMetric(gpt4, "gpt4-unit-test")
+	b.ReportMetric(float64(stats.Executed), "unit-tests-executed")
+	b.ReportMetric(float64(stats.StoreHits), "store-hits")
 }
 
 // BenchmarkTable5Augmented measures unit-test passes across original/

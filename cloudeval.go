@@ -27,6 +27,7 @@ import (
 	"cloudeval/internal/engine"
 	"cloudeval/internal/llm"
 	"cloudeval/internal/score"
+	"cloudeval/internal/store"
 	"cloudeval/internal/unittest"
 	"cloudeval/internal/yamlmatch"
 )
@@ -55,10 +56,32 @@ type ProblemScore = score.ProblemScore
 // UnitTestResult is the outcome of one functional evaluation.
 type UnitTestResult = unittest.Result
 
+// Store is the persistent, content-addressed evaluation store: an
+// append-only on-disk log of unit-test results keyed by
+// (unit-test-script digest, answer digest), the second cache tier
+// under the engine. See DESIGN.md §2.5.
+type Store = store.Store
+
 // New builds the default benchmark: the 337 hand-written problems,
 // their simplified and translated variants (1011 total), and the
 // twelve-model zoo of Table 4.
 func New() *Benchmark { return core.New() }
+
+// OpenStore opens (or creates) a persistent evaluation store at path,
+// replaying every intact record and dropping a crash-torn tail.
+func OpenStore(path string) (*Store, error) { return store.Open(path) }
+
+// NewPersistent builds a benchmark whose engine is backed by the
+// persistent store at storePath: unit-test results survive the
+// process, so a repeated campaign executes nothing. The caller owns
+// closing the returned store after the last evaluation.
+func NewPersistent(storePath string) (*Benchmark, *Store, error) {
+	st, err := store.Open(storePath)
+	if err != nil {
+		return nil, nil, err
+	}
+	return core.NewWith(engine.New(engine.WithStore(st))), st, nil
+}
 
 // Dataset returns the 337 original problems.
 func Dataset() []Problem { return dataset.Generate() }

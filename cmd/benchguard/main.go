@@ -1,0 +1,178 @@
+// Command benchguard turns `go test -bench` output into a JSON
+// benchmark artifact and enforces the CI bench-regression gate.
+//
+//	go test -bench 'ZeroShot' -benchtime 1x -run '^$' . | tee bench.txt
+//	benchguard -in bench.txt -out BENCH_$SHA.json -sha $SHA \
+//	    -baseline ci/bench-baseline.json -max-regress 20
+//
+// The artifact records ns/op and every ReportMetric value (cache hit
+// counts, unit-tests-executed, ...) for each benchmark. The gate
+// compares the engine path against the checked-in baseline using the
+// machine-independent ratio engine-ns ÷ serial-ns from the same run:
+// raw ns/op swings with whatever hardware CI lands on, but the engine
+// must stay proportionally ahead of the serial loop it replaced. The
+// gate fails when the current ratio exceeds the baseline ratio by more
+// than -max-regress percent.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one benchmark's measurements.
+type BenchResult struct {
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Artifact is the BENCH_<sha>.json schema; ci/bench-baseline.json uses
+// the same shape.
+type Artifact struct {
+	Sha        string                 `json:"sha"`
+	Benchmarks map[string]BenchResult `json:"benchmarks"`
+	// EngineVsSerial is ZeroShotEngine ns/op divided by ZeroShotSerial
+	// ns/op from the same run — the hardware-independent quantity the
+	// regression gate tracks (lower is better).
+	EngineVsSerial float64 `json:"engine_vs_serial_ns_ratio,omitempty"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkZeroShotSerial-8  1  537016704 ns/op  0.483 gpt4-unit-test
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+
+func parseBench(r io.Reader) (map[string]BenchResult, error) {
+	out := map[string]BenchResult{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		res := BenchResult{Iterations: iters, NsPerOp: ns}
+		// The remainder alternates "value unit" pairs from ReportMetric.
+		fields := strings.Fields(m[4])
+		for i := 0; i+1 < len(fields); i += 2 {
+			if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[fields[i+1]] = v
+			}
+		}
+		out[m[1]] = res
+	}
+	return out, sc.Err()
+}
+
+func ratio(benchmarks map[string]BenchResult) (float64, error) {
+	serial, ok := benchmarks["ZeroShotSerial"]
+	if !ok {
+		return 0, fmt.Errorf("ZeroShotSerial missing from bench output")
+	}
+	eng, ok := benchmarks["ZeroShotEngine"]
+	if !ok {
+		return 0, fmt.Errorf("ZeroShotEngine missing from bench output")
+	}
+	if serial.NsPerOp <= 0 {
+		return 0, fmt.Errorf("ZeroShotSerial ns/op = %v", serial.NsPerOp)
+	}
+	return eng.NsPerOp / serial.NsPerOp, nil
+}
+
+func main() {
+	in := flag.String("in", "", "bench output file (default stdin)")
+	out := flag.String("out", "", "write the JSON artifact here")
+	sha := flag.String("sha", "", "commit sha recorded in the artifact")
+	baselinePath := flag.String("baseline", "", "checked-in baseline artifact to gate against")
+	maxRegress := flag.Float64("max-regress", 20, "fail when the engine/serial ratio regresses more than this percent over baseline (0 disables)")
+	flag.Parse()
+	if err := run(*in, *out, *sha, *baselinePath, *maxRegress); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, out, sha, baselinePath string, maxRegress float64) error {
+	var r io.Reader = os.Stdin
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	benchmarks, err := parseBench(r)
+	if err != nil {
+		return err
+	}
+	if len(benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found")
+	}
+	art := Artifact{Sha: sha, Benchmarks: benchmarks}
+	if rat, err := ratio(benchmarks); err == nil {
+		art.EngineVsSerial = rat
+	}
+
+	if out != "" {
+		data, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("benchguard: wrote %s (%d benchmarks)\n", out, len(benchmarks))
+	}
+
+	if baselinePath == "" || maxRegress <= 0 {
+		return nil
+	}
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var baseline Artifact
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return fmt.Errorf("parse baseline: %w", err)
+	}
+	baseRatio := baseline.EngineVsSerial
+	if baseRatio <= 0 {
+		var err error
+		baseRatio, err = ratio(baseline.Benchmarks)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+	}
+	curRatio, err := ratio(benchmarks)
+	if err != nil {
+		return err
+	}
+	limit := baseRatio * (1 + maxRegress/100)
+	fmt.Printf("benchguard: engine/serial ns ratio %.4f (baseline %.4f, limit %.4f)\n",
+		curRatio, baseRatio, limit)
+	if curRatio > limit {
+		return fmt.Errorf("engine path regressed: ratio %.4f exceeds baseline %.4f by more than %.0f%%",
+			curRatio, baseRatio, maxRegress)
+	}
+	return nil
+}

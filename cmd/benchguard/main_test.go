@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+pkg: cloudeval
+BenchmarkZeroShotSerial-8    	       1	3000000000 ns/op	         0.483 gpt4-unit-test
+BenchmarkZeroShotEngine-8    	       1	 900000000 ns/op	      6675 cache-hits	         0.483 gpt4-unit-test	      5120 unit-tests-executed
+BenchmarkZeroShotWarmStore   	       1	 500000000 ns/op	         0.483 gpt4-unit-test	      5120 store-hits	         0 unit-tests-executed
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(got))
+	}
+	eng := got["ZeroShotEngine"]
+	if eng.NsPerOp != 9e8 || eng.Metrics["cache-hits"] != 6675 || eng.Metrics["unit-tests-executed"] != 5120 {
+		t.Errorf("ZeroShotEngine = %+v", eng)
+	}
+	// GOMAXPROCS suffix is optional (single-core runs omit it).
+	if got["ZeroShotWarmStore"].Metrics["store-hits"] != 5120 {
+		t.Errorf("ZeroShotWarmStore = %+v", got["ZeroShotWarmStore"])
+	}
+	r, err := ratio(got)
+	if err != nil || r != 0.3 {
+		t.Errorf("ratio = %v, %v; want 0.3", r, err)
+	}
+}
+
+func TestRegressionGate(t *testing.T) {
+	dir := t.TempDir()
+	benchPath := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(benchPath, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	baselinePath := filepath.Join(dir, "baseline.json")
+	writeBaseline := func(engineNs float64) {
+		t.Helper()
+		art := Artifact{
+			Sha: "baseline",
+			Benchmarks: map[string]BenchResult{
+				"ZeroShotSerial": {Iterations: 1, NsPerOp: 3e9},
+				"ZeroShotEngine": {Iterations: 1, NsPerOp: engineNs},
+			},
+		}
+		data, err := json.Marshal(art)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(baselinePath, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Current ratio 0.3 vs baseline ratio 0.3: within the gate.
+	writeBaseline(9e8)
+	outPath := filepath.Join(dir, "BENCH_abc.json")
+	if err := run(benchPath, outPath, "abc", baselinePath, 20); err != nil {
+		t.Fatalf("gate failed within tolerance: %v", err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art Artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatal(err)
+	}
+	if art.Sha != "abc" || art.EngineVsSerial != 0.3 {
+		t.Errorf("artifact = sha %q ratio %v", art.Sha, art.EngineVsSerial)
+	}
+
+	// Baseline engine was 2x faster (ratio 0.15): current 0.3 is a 100%
+	// regression and must fail the gate.
+	writeBaseline(4.5e8)
+	if err := run(benchPath, "", "abc", baselinePath, 20); err == nil {
+		t.Fatal("gate passed a 100% engine regression")
+	}
+
+	// The same regression passes with the gate disabled.
+	if err := run(benchPath, "", "abc", baselinePath, 0); err != nil {
+		t.Fatalf("disabled gate failed: %v", err)
+	}
+}

@@ -6,8 +6,10 @@
 //
 //	cloudeval dataset            # Table 2 statistics
 //	cloudeval bench              # Table 4 zero-shot leaderboard
+//	cloudeval bench -store eval.store      # ... with the persistent store (warm reruns execute nothing)
 //	cloudeval figures -id table5 # one experiment by ID
 //	cloudeval figures -all       # every table and figure
+//	cloudeval campaign -dir run1 # resumable checkpointed campaign
 //	cloudeval cost               # Table 3 cost breakdown
 //	cloudeval cluster -workers 64 -cache   # one Figure 5 point
 //	cloudeval eval -problem k8s-pod-001 -f answer.yaml
@@ -35,9 +37,11 @@ func main() {
 	case "dataset":
 		err = cmdDataset()
 	case "bench":
-		err = cmdBench()
+		err = cmdBench(args)
 	case "figures":
 		err = cmdFigures(args)
+	case "campaign":
+		err = cmdCampaign(args)
 	case "cost":
 		err = cmdCost()
 	case "cluster":
@@ -62,12 +66,16 @@ func usage() {
 
 Commands:
   dataset             print dataset statistics (Table 2) and augmentation stats (Table 1)
-  bench               run the zero-shot benchmark (Table 4)
+  bench [-store F]    run the zero-shot benchmark (Table 4)
   figures -id <id>    regenerate one experiment (table1..table9, figure5..figure9)
-  figures -all        regenerate every table and figure
+  figures -all        regenerate every table and figure (both accept -store F)
+  campaign -dir <d>   run a resumable checkpointed campaign [-ids a,b,...] [-store F]
   cost                print the running-cost breakdown (Table 3)
   cluster [-workers N] [-cache]   simulate one evaluation campaign (Figure 5 point)
   eval -problem <id> -f <file>    run one answer through the full scoring pipeline
+
+-store attaches the persistent evaluation store at F: unit-test
+results persist across invocations, so a warm re-run executes nothing.
 `)
 }
 
@@ -80,29 +88,93 @@ func cmdDataset() error {
 	return nil
 }
 
-func cmdBench() error {
-	b := cloudeval.New()
+// newBench builds a benchmark, optionally backed by the persistent
+// evaluation store at storePath. The returned closer flushes the store
+// (a no-op without one) and must run after the last evaluation.
+func newBench(storePath string) (*cloudeval.Benchmark, func() error, error) {
+	if storePath == "" {
+		return cloudeval.New(), func() error { return nil }, nil
+	}
+	b, st, err := cloudeval.NewPersistent(storePath)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, st.Close, nil
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	storePath := fs.String("store", "", "persistent evaluation store path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, closeStore, err := newBench(*storePath)
+	if err != nil {
+		return err
+	}
 	fmt.Println(b.Table4())
-	return nil
+	if *storePath != "" {
+		stats := b.Engine().Stats()
+		fmt.Printf("engine: %d executed, %d memory hits, %d store hits\n",
+			stats.Executed, stats.CacheHits, stats.StoreHits)
+	}
+	return closeStore()
 }
 
 func cmdFigures(args []string) error {
 	fs := flag.NewFlagSet("figures", flag.ExitOnError)
 	id := fs.String("id", "", "experiment id (table1..table9, figure5..figure9)")
 	all := fs.Bool("all", false, "run every experiment")
+	storePath := fs.String("store", "", "persistent evaluation store path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	b := cloudeval.New()
+	b, closeStore, err := newBench(*storePath)
+	if err != nil {
+		return err
+	}
 	if *all {
-		return b.RunAll(os.Stdout)
+		if err := b.RunAll(os.Stdout); err != nil {
+			return err
+		}
+		return closeStore()
 	}
 	gen, ok := b.Experiments()[strings.ToLower(*id)]
 	if !ok {
 		return fmt.Errorf("unknown experiment %q (known: %s)", *id, strings.Join(core.ExperimentIDs, ", "))
 	}
 	fmt.Println(gen())
-	return nil
+	return closeStore()
+}
+
+func cmdCampaign(args []string) error {
+	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	dir := fs.String("dir", "", "campaign directory (checkpoints + outputs)")
+	idsFlag := fs.String("ids", "", "comma-separated experiment ids (default: all)")
+	storePath := fs.String("store", "", "persistent evaluation store path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("campaign requires -dir")
+	}
+	var ids []string
+	if *idsFlag != "" {
+		for _, id := range strings.Split(*idsFlag, ",") {
+			ids = append(ids, strings.ToLower(strings.TrimSpace(id)))
+		}
+	}
+	b, closeStore, err := newBench(*storePath)
+	if err != nil {
+		return err
+	}
+	report, err := b.RunCampaign(*dir, ids, os.Stdout)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "campaign: %d ran, %d resumed from checkpoint\n",
+		len(report.Ran), len(report.Skipped))
+	return closeStore()
 }
 
 func cmdCost() error {

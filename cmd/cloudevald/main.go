@@ -1,0 +1,99 @@
+// Command cloudevald serves the CloudEval-YAML benchmark as a
+// long-lived HTTP daemon: a shared evaluation engine with a persistent
+// content-addressed store underneath, so repeated evaluations —
+// across requests, campaigns, and daemon restarts — hit disk instead
+// of the simulated cluster.
+//
+//	cloudevald -addr :8080 -data cloudevald-data
+//
+// Endpoints:
+//
+//	POST /v1/eval            {"problem": "...", "answer": "..."} or {"problem": "...", "model": "..."}
+//	POST /v1/campaign        {"experiments": ["table4", ...]} (empty = all); async
+//	GET  /v1/campaign/{id}   campaign status + outputs
+//	GET  /v1/leaderboard     the zero-shot Table 4
+//	GET  /v1/stats           engine counters
+//	GET  /healthz            liveness
+//
+// The store lives at <data>/eval.store and campaign checkpoints under
+// <data>/campaigns/; point -data at a CI cache or shared volume to
+// carry warm state across runs.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"time"
+
+	"cloudeval/internal/core"
+	"cloudeval/internal/engine"
+	"cloudeval/internal/server"
+	"cloudeval/internal/store"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cloudevald:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	data := flag.String("data", "cloudevald-data", "data directory (store + campaign checkpoints)")
+	storePath := flag.String("store", "", "evaluation store path (default <data>/eval.store)")
+	warm := flag.Bool("warm", false, "run the Table 4 campaign at startup so the first request is cheap")
+	flag.Parse()
+
+	if err := os.MkdirAll(*data, 0o755); err != nil {
+		return err
+	}
+	path := *storePath
+	if path == "" {
+		path = filepath.Join(*data, "eval.store")
+	}
+	st, err := store.Open(path)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	eng := engine.New(engine.WithStore(st))
+	bench := core.NewWith(eng)
+	srv := server.New(bench, *data)
+
+	fmt.Printf("cloudevald: store %s (%d records), %d problems, %d models\n",
+		path, st.Len(), len(bench.Problems), len(bench.Models))
+	if *warm {
+		start := time.Now()
+		bench.ZeroShot()
+		stats := eng.Stats()
+		fmt.Printf("cloudevald: warmed Table 4 in %v (%d executed, %d memory hits, %d store hits)\n",
+			time.Since(start).Round(time.Millisecond), stats.Executed, stats.CacheHits, stats.StoreHits)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("cloudevald: listening on %s\n", *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	select {
+	case err := <-errc:
+		return err
+	case <-sig:
+	}
+	fmt.Println("cloudevald: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return err
+	}
+	return st.Sync()
+}

@@ -3,7 +3,7 @@
 // master that dispatches jobs, or a worker that executes unit tests.
 //
 //	evalnode redis  -addr 127.0.0.1:6399
-//	evalnode worker -addr 127.0.0.1:6399 -name worker-1
+//	evalnode worker -addr 127.0.0.1:6399 -name worker-1 [-store eval.store]
 //	evalnode master -addr 127.0.0.1:6399 -model gpt-4 -limit 50
 //
 // The master generates answers with the named simulated model for the
@@ -26,6 +26,7 @@ import (
 	"cloudeval/internal/evalcluster"
 	"cloudeval/internal/llm"
 	"cloudeval/internal/miniredis"
+	"cloudeval/internal/store"
 )
 
 func main() {
@@ -149,6 +150,7 @@ func runWorker(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:6399", "redis address")
 	name := fs.String("name", "worker", "worker name")
 	idle := fs.Duration("idle", 10*time.Second, "exit after this long without jobs")
+	storePath := fs.String("store", "", "persistent evaluation store: repeated jobs are answered from disk")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -157,6 +159,15 @@ func runWorker(args []string) error {
 		return err
 	}
 	defer w.Close()
+	if *storePath != "" {
+		st, err := store.Open(*storePath)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		w.UseStore(st)
+		fmt.Printf("%s: evaluation store %s (%d records)\n", *name, *storePath, st.Len())
+	}
 	fmt.Printf("%s: processing jobs from %s\n", *name, *addr)
 	n, err := w.Run(*idle)
 	fmt.Printf("%s: processed %d jobs\n", *name, n)

@@ -1,0 +1,93 @@
+package core_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cloudeval/internal/core"
+	"cloudeval/internal/dataset"
+	"cloudeval/internal/engine"
+	"cloudeval/internal/llm"
+)
+
+func smallBench() *core.Benchmark {
+	return core.NewCustomWith(engine.New(), dataset.Generate()[:8], llm.Models[:2])
+}
+
+func TestCampaignCheckpointAndResume(t *testing.T) {
+	dir := t.TempDir()
+	b := smallBench()
+	ids := []string{"table2", "table4"}
+
+	var first strings.Builder
+	report, err := b.RunCampaign(dir, ids, &first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(report.Ran, ids) || len(report.Skipped) != 0 {
+		t.Fatalf("first run report = %+v", report)
+	}
+	completed, err := core.CampaignCompleted(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(completed, ids) {
+		t.Fatalf("manifest completed = %v, want %v", completed, ids)
+	}
+
+	// A fresh benchmark (fresh process) replays from the checkpoint:
+	// nothing runs, output identical.
+	var second strings.Builder
+	report2, err := smallBench().RunCampaign(dir, ids, &second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report2.Ran) != 0 || !reflect.DeepEqual(report2.Skipped, ids) {
+		t.Fatalf("resumed report = %+v, want everything skipped", report2)
+	}
+	if first.String() != second.String() {
+		t.Errorf("resumed campaign output differs:\n--- first ---\n%s--- second ---\n%s", first.String(), second.String())
+	}
+}
+
+func TestCampaignPartialResume(t *testing.T) {
+	dir := t.TempDir()
+	// Simulate a campaign interrupted after table2: only table2 in the
+	// manifest, then a wider re-run.
+	if _, err := smallBench().RunCampaign(dir, []string{"table2"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	report, err := smallBench().RunCampaign(dir, []string{"table2", "table4"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(report.Skipped, []string{"table2"}) || !reflect.DeepEqual(report.Ran, []string{"table4"}) {
+		t.Fatalf("partial resume report = %+v", report)
+	}
+}
+
+func TestCampaignMissingOutputFileReruns(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := smallBench().RunCampaign(dir, []string{"table2"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "table2.txt")); err != nil {
+		t.Fatal(err)
+	}
+	report, err := smallBench().RunCampaign(dir, []string{"table2"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(report.Ran, []string{"table2"}) {
+		t.Fatalf("report after deleted checkpoint = %+v, want table2 re-run", report)
+	}
+}
+
+func TestCampaignUnknownExperiment(t *testing.T) {
+	if _, err := smallBench().RunCampaign(t.TempDir(), []string{"table99"}, nil); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -60,6 +60,19 @@ func NewWith(eng *engine.Engine) *Benchmark {
 	}
 }
 
+// NewCustomWith builds a benchmark over a custom hand-written problem
+// set and model zoo on eng; the corpus is expanded with the standard
+// augmentation. Smaller corpora keep daemon tests and examples fast
+// while exercising the full pipeline.
+func NewCustomWith(eng *engine.Engine, originals []dataset.Problem, models []llm.Model) *Benchmark {
+	return &Benchmark{
+		Originals: originals,
+		Problems:  augment.ExpandCorpus(originals),
+		Models:    models,
+		eng:       eng,
+	}
+}
+
 // Engine returns the engine the benchmark's campaigns run on.
 func (b *Benchmark) Engine() *engine.Engine { return b.eng }
 

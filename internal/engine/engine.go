@@ -8,7 +8,10 @@
 // the digests of the unit-test script and the answer — sits above the
 // executor, so augmented variants and repeated campaigns that share
 // answers never re-run a simulated cluster, and concurrent duplicates
-// collapse into a single execution.
+// collapse into a single execution. An optional persistent second tier
+// (WithStore, implemented by internal/store) extends the cache across
+// processes: a warm store lets a repeated campaign complete without
+// executing anything.
 //
 // Layering: engine sits below score/analysis/core and above
 // dataset/unittest. evalcluster imports engine for the shared Job and
@@ -51,6 +54,17 @@ type Result struct {
 	CacheHit    bool    `json:"cache_hit,omitempty"`
 }
 
+// CacheStore is the persistent second cache tier under the engine's
+// in-memory map (implemented by store.Store): Get serves a previously
+// executed result by content digests, Put records a freshly executed
+// one. Implementations must be safe for concurrent use and must treat
+// Put as advisory — a failed append degrades to a smaller cache, never
+// fails the evaluation.
+type CacheStore interface {
+	Get(test, answer [sha256.Size]byte) (unittest.Result, bool)
+	Put(test, answer [sha256.Size]byte, res unittest.Result)
+}
+
 // Executor runs one unit test somewhere: on the calling goroutine
 // (PoolExecutor) or on a remote worker (evalcluster.ClusterExecutor).
 // Implementations must be safe for concurrent use; the engine calls
@@ -85,9 +99,11 @@ func (PoolExecutor) Close() error { return nil }
 // Stats counts engine activity since construction.
 type Stats struct {
 	// Executed is the number of unit tests that actually ran on the
-	// executor; CacheHits is the number served from memory instead.
+	// executor; CacheHits is the number served from memory and
+	// StoreHits the number served from the persistent store instead.
 	Executed  int64
 	CacheHits int64
+	StoreHits int64
 }
 
 // Engine schedules evaluation jobs over an executor with memoization.
@@ -96,12 +112,14 @@ type Engine struct {
 	exec    Executor
 	workers int
 	noCache bool
+	store   CacheStore
 
 	mu    sync.Mutex
 	cache map[cacheKey]*cacheEntry
 
 	executed  atomic.Int64
 	cacheHits atomic.Int64
+	storeHits atomic.Int64
 }
 
 // cacheKey content-addresses one evaluation: a unit-test outcome is a
@@ -136,9 +154,18 @@ func WithWorkers(n int) Option {
 	}
 }
 
-// WithoutCache disables answer memoization, forcing every job to
-// execute (useful for benchmarking the raw executor).
+// WithoutCache disables answer memoization and the persistent store,
+// forcing every job to execute (useful for benchmarking the raw
+// executor).
 func WithoutCache() Option { return func(e *Engine) { e.noCache = true } }
+
+// WithStore attaches a persistent second cache tier (store.Store): on
+// an in-memory miss the engine consults the store before executing,
+// and records every fresh execution back into it. A warm store lets a
+// repeated campaign — in a new process, or a CI run restoring the
+// store as an artifact — complete without executing a single unit
+// test.
+func WithStore(s CacheStore) Option { return func(e *Engine) { e.store = s } }
 
 // New builds an engine. By default it runs jobs on an in-process pool
 // sized to GOMAXPROCS with memoization enabled.
@@ -176,7 +203,11 @@ func (e *Engine) Executor() Executor { return e.exec }
 
 // Stats snapshots the engine counters.
 func (e *Engine) Stats() Stats {
-	return Stats{Executed: e.executed.Load(), CacheHits: e.cacheHits.Load()}
+	return Stats{
+		Executed:  e.executed.Load(),
+		CacheHits: e.cacheHits.Load(),
+		StoreHits: e.storeHits.Load(),
+	}
 }
 
 // Close releases the underlying executor.
@@ -210,6 +241,17 @@ func (e *Engine) unitTest(p dataset.Problem, answer string) (unittest.Result, bo
 	e.cache[key] = ent
 	e.mu.Unlock()
 
+	// Second tier: a result persisted by an earlier process (or a CI
+	// cache restore) short-circuits execution entirely.
+	if e.store != nil {
+		if res, ok := e.store.Get(key.test, key.answer); ok {
+			ent.res = res
+			close(ent.done)
+			e.storeHits.Add(1)
+			return ent.res, true
+		}
+	}
+
 	ent.res = e.exec.RunUnitTest(p, answer)
 	if ent.res.Err != nil {
 		// Transient executor failures (cluster submit errors, per-job
@@ -218,6 +260,8 @@ func (e *Engine) unitTest(p dataset.Problem, answer string) (unittest.Result, bo
 		e.mu.Lock()
 		delete(e.cache, key)
 		e.mu.Unlock()
+	} else if e.store != nil {
+		e.store.Put(key.test, key.answer, ent.res)
 	}
 	close(ent.done)
 	e.executed.Add(1)

@@ -2,6 +2,7 @@ package engine_test
 
 import (
 	"fmt"
+	"path/filepath"
 	"reflect"
 	"sync"
 	"sync/atomic"
@@ -15,6 +16,7 @@ import (
 	"cloudeval/internal/llm"
 	"cloudeval/internal/miniredis"
 	"cloudeval/internal/score"
+	"cloudeval/internal/store"
 	"cloudeval/internal/unittest"
 	"cloudeval/internal/yamlmatch"
 )
@@ -185,6 +187,96 @@ func TestParallelMatchesSerialTable4(t *testing.T) {
 	}
 	if st := eng.Stats(); st.Executed == 0 {
 		t.Error("engine executed nothing")
+	}
+}
+
+// TestStoreTierServesAcrossEngines: a result executed under one engine
+// is served from the persistent store by a second engine sharing the
+// same store path — across a close/reopen, as two processes would.
+func TestStoreTierServesAcrossEngines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "eval.store")
+	p := dataset.Generate()[0]
+	answer := yamlmatch.StripLabels(p.ReferenceYAML)
+
+	st, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec1 := &countingExecutor{}
+	eng1 := engine.New(engine.WithExecutor(exec1), engine.WithStore(st))
+	if res := eng1.UnitTest(p, answer); !res.Passed {
+		t.Fatalf("reference answer failed: %s", res.Output)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	exec2 := &countingExecutor{}
+	eng2 := engine.New(engine.WithExecutor(exec2), engine.WithStore(st2))
+	if res := eng2.UnitTest(p, answer); !res.Passed {
+		t.Fatalf("store-served answer failed: %s", res.Output)
+	}
+	if got := exec2.runs.Load(); got != 0 {
+		t.Errorf("second engine executed %d unit tests, want 0 (store hit)", got)
+	}
+	stats := eng2.Stats()
+	if stats.Executed != 0 || stats.StoreHits != 1 {
+		t.Errorf("second engine stats = %+v, want 0 executed / 1 store hit", stats)
+	}
+}
+
+// TestWarmStoreFullCampaign is the PR's acceptance contract: a repeated
+// full Table 4 campaign against a warm store executes zero unit tests
+// and renders byte-identical output.
+func TestWarmStoreFullCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "eval.store")
+	full := augment.ExpandCorpus(dataset.Generate())
+
+	st, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldEng := engine.New(engine.WithStore(st))
+	coldRows, _ := score.BenchmarkWith(coldEng, llm.Models, full)
+	coldStats := coldEng.Stats()
+	if coldStats.Executed == 0 {
+		t.Fatal("cold campaign executed nothing")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh process: new store handle, new engine, empty in-memory
+	// cache. The whole campaign must come off disk.
+	st2, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	exec := &countingExecutor{}
+	warmEng := engine.New(engine.WithExecutor(exec), engine.WithStore(st2))
+	warmRows, _ := score.BenchmarkWith(warmEng, llm.Models, full)
+
+	if got := exec.runs.Load(); got != 0 {
+		t.Errorf("warm campaign executed %d unit tests, want 0", got)
+	}
+	warmStats := warmEng.Stats()
+	if warmStats.Executed != 0 {
+		t.Errorf("warm campaign engine counter: executed = %d, want 0", warmStats.Executed)
+	}
+	if warmStats.StoreHits == 0 {
+		t.Error("warm campaign recorded no store hits")
+	}
+	if cold, warm := score.FormatTable4(coldRows), score.FormatTable4(warmRows); cold != warm {
+		t.Errorf("Table 4 differs between cold and warm-store campaigns:\n--- cold ---\n%s--- warm ---\n%s", cold, warm)
 	}
 }
 

@@ -1,6 +1,7 @@
 package evalcluster
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"sync"
@@ -108,6 +109,7 @@ type Worker struct {
 	Name    string
 	client  *miniredis.Client
 	lookup  map[string]dataset.Problem
+	store   engine.CacheStore
 	stopped chan struct{}
 }
 
@@ -124,6 +126,13 @@ func NewWorker(addr, name string, problems []dataset.Problem) (*Worker, error) {
 	}
 	return &Worker{Name: name, client: cli, lookup: lookup, stopped: make(chan struct{})}, nil
 }
+
+// UseStore attaches a persistent evaluation store (store.Store): the
+// worker consults it before executing a claimed job and records fresh
+// executions back into it, so a fleet node restarted against a warm
+// store answers repeated jobs from disk instead of the simulated
+// cluster. Must be called before Run.
+func (w *Worker) UseStore(s engine.CacheStore) { w.store = s }
 
 // Close releases the worker's connection.
 func (w *Worker) Close() error { return w.client.Close() }
@@ -180,7 +189,24 @@ func (w *Worker) execute(job WireJob) WireResult {
 		res.Output = "unknown problem " + job.ProblemID
 		return res
 	}
+	var testDigest, answerDigest [sha256.Size]byte
+	if w.store != nil {
+		testDigest = sha256.Sum256([]byte(p.UnitTest))
+		answerDigest = sha256.Sum256([]byte(job.Answer))
+		if r, ok := w.store.Get(testDigest, answerDigest); ok {
+			res.Passed = r.Passed
+			res.VirtualSecs = r.VirtualTime.Seconds()
+			res.CacheHit = true
+			if !r.Passed {
+				res.Output = tail(r.Output, 400)
+			}
+			return res
+		}
+	}
 	r := unittest.Run(p, job.Answer)
+	if w.store != nil {
+		w.store.Put(testDigest, answerDigest, r)
+	}
 	res.Passed = r.Passed
 	res.VirtualSecs = r.VirtualTime.Seconds()
 	if !r.Passed {

@@ -2,12 +2,14 @@ package evalcluster
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
 
 	"cloudeval/internal/dataset"
 	"cloudeval/internal/miniredis"
+	"cloudeval/internal/store"
 	"cloudeval/internal/yamlmatch"
 )
 
@@ -144,5 +146,78 @@ func TestMasterWorkerOverTCP(t *testing.T) {
 	}
 	if n, _ := master.Pending(); n != 0 {
 		t.Errorf("queue not drained: %d left", n)
+	}
+}
+
+// TestWorkerConsultsStore: a fleet worker backed by a persistent store
+// executes each distinct (problem, answer) once; repeated jobs — even
+// after the worker restarts against a reopened store — are answered
+// from disk with CacheHit set.
+func TestWorkerConsultsStore(t *testing.T) {
+	srv := miniredis.NewServer()
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	path := filepath.Join(t.TempDir(), "worker.store")
+	problems := dataset.Generate()[:4]
+	answer := yamlmatch.StripLabels(problems[0].ReferenceYAML)
+
+	master, err := NewMaster(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer master.Close()
+
+	runBatch := func(n int) []WireResult {
+		t.Helper()
+		st, err := store.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		w, err := NewWorker(addr, "store-worker", problems)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		w.UseStore(st)
+		for i := 0; i < n; i++ {
+			if _, err := master.Submit(problems[0].ID, answer); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := w.Run(300 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		results, err := master.Collect(n, 30*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+
+	first := runBatch(3)
+	hits := 0
+	for _, r := range first {
+		if !r.Passed {
+			t.Fatalf("reference answer failed: %s", r.Output)
+		}
+		if r.CacheHit {
+			hits++
+		}
+	}
+	if hits != 2 {
+		t.Errorf("first batch: %d cache hits, want 2 (one execution)", hits)
+	}
+
+	// A restarted worker against the reopened store never executes.
+	second := runBatch(2)
+	for _, r := range second {
+		if !r.Passed || !r.CacheHit {
+			t.Errorf("restarted worker result = %+v, want a passing store hit", r)
+		}
 	}
 }

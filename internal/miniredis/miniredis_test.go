@@ -2,6 +2,7 @@ package miniredis
 
 import (
 	"fmt"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -175,5 +176,70 @@ func TestProtocolErrors(t *testing.T) {
 	}
 	if _, err := c.Do("GET"); err == nil {
 		t.Error("arity error should surface")
+	}
+}
+
+// TestDeadBlockedClientDoesNotStealElements is the regression test for
+// the sequential-campaign hang: a client parked in BRPOP whose process
+// dies must not be handed the next pushed element (the first write
+// after a peer FIN "succeeds", so the element would vanish into a dead
+// socket). The push that arrives after the client's death must go to a
+// live waiter.
+func TestDeadBlockedClientDoesNotStealElements(t *testing.T) {
+	srv, cli := startServer(t)
+	addr := srv.ln.Addr().String()
+
+	dead, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Park the doomed client in a long BRPOP, then sever its
+	// connection while it is blocked.
+	parked := make(chan struct{})
+	go func() {
+		close(parked)
+		dead.BRPop(30*time.Second, "q")
+	}()
+	<-parked
+	time.Sleep(100 * time.Millisecond) // let the server register the waiter
+	if err := dead.Close(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // let the server notice the EOF
+
+	if err := cli.LPush("q", "payload"); err != nil {
+		t.Fatal(err)
+	}
+	_, v, ok, err := cli.BRPop(5*time.Second, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || v != "payload" {
+		t.Fatalf("live waiter got (%q, %v); the dead client stole the element", v, ok)
+	}
+}
+
+// TestEmptyCommandDoesNotKillServer: a RESP empty array (`*0`) must
+// produce an error reply, not an args[0] panic in the serve goroutine
+// (which would take down the whole coordination store).
+func TestEmptyCommandDoesNotKillServer(t *testing.T) {
+	srv, cli := startServer(t)
+	raw, err := net.Dial("tcp", srv.ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if _, err := raw.Write([]byte("*0\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	reply := make([]byte, 64)
+	raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, err := raw.Read(reply)
+	if err != nil || n == 0 || reply[0] != '-' {
+		t.Fatalf("empty command reply = %q, %v; want an error reply", reply[:n], err)
+	}
+	// The server survived: a normal client still works.
+	if err := cli.Ping(); err != nil {
+		t.Fatalf("server unhealthy after empty command: %v", err)
 	}
 }

@@ -90,14 +90,88 @@ func (s *Server) serve(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		reply := s.dispatch(args)
+		var reply string
+		var rollback func()
+		if len(args) == 0 {
+			// e.g. the RESP empty array `*0`: dispatch's guard turns it
+			// into an error reply rather than an args[0] panic here.
+			reply = s.dispatch(args)
+		} else if cmd := strings.ToUpper(args[0]); (cmd == "BRPOP" || cmd == "BLPOP") && r.Buffered() == 0 {
+			reply, rollback = s.blockingPopConn(conn, cmd, args[1:])
+			if reply == "" {
+				return // client vanished while blocked; nothing was popped
+			}
+		} else {
+			reply = s.dispatch(args)
+		}
 		if _, err := w.WriteString(reply); err != nil {
+			if rollback != nil {
+				rollback()
+			}
 			return
 		}
 		if err := w.Flush(); err != nil {
+			if rollback != nil {
+				rollback()
+			}
 			return
 		}
 	}
+}
+
+// blockingPopConn runs a blocking pop while watching conn for client
+// death. Without the watch, a master that exits mid-BRPOP leaves a
+// parked waiter that the next push is handed to: the element vanishes
+// into a dead socket (the first write after a peer FIN reports
+// success), silently starving the next campaign. The watcher blocks on
+// a raw read — our clients are strictly request/response, so no bytes
+// can legitimately arrive while a pop is pending — and an EOF marks
+// the client gone before anything is popped for it. An empty reply
+// means exactly that; the caller drops the connection.
+func (s *Server) blockingPopConn(conn net.Conn, cmd string, args []string) (string, func()) {
+	// Fast path: on a busy cluster the queue is rarely empty, and a pop
+	// that can resolve immediately needs none of the watcher machinery.
+	if len(args) >= 2 {
+		if _, err := strconv.ParseFloat(args[len(args)-1], 64); err == nil {
+			s.mu.Lock()
+			reply, rollback := s.tryPopLocked(cmd, args[:len(args)-1])
+			s.mu.Unlock()
+			if reply != "" {
+				return reply, rollback
+			}
+		}
+	}
+	gone := make(chan struct{})
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		buf := make([]byte, 1)
+		if _, err := conn.Read(buf); err != nil {
+			// A timeout is the main loop reclaiming the connection
+			// after the pop resolved; anything else is a dead client.
+			if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+				close(gone)
+				s.mu.Lock()
+				s.cond.Broadcast()
+				s.mu.Unlock()
+			}
+		}
+	}()
+	reply, rollback := s.cmdBlockingPopWatch(cmd, args, gone)
+	conn.SetReadDeadline(time.Now())
+	<-watchDone
+	conn.SetReadDeadline(time.Time{})
+	select {
+	case <-gone:
+		// The client died while (or right after) the pop resolved: put
+		// any popped element back for a live waiter.
+		if rollback != nil {
+			rollback()
+		}
+		return "", nil
+	default:
+	}
+	return reply, rollback
 }
 
 // readCommand parses one RESP array of bulk strings (also tolerating
@@ -379,14 +453,23 @@ func (s *Server) cmdPop(cmd string, args []string) string {
 }
 
 // cmdBlockingPop implements BRPOP/BLPOP with a timeout in seconds
-// (0 = wait forever).
+// (0 = wait forever) for dispatch paths with no connection to watch.
 func (s *Server) cmdBlockingPop(cmd string, args []string) string {
+	reply, _ := s.cmdBlockingPopWatch(cmd, args, nil)
+	return reply
+}
+
+// cmdBlockingPopWatch is the blocking pop core. When gone closes, it
+// returns an empty reply without popping anything. A successful pop
+// comes with a rollback that re-pushes the element (for a reply that
+// could not be delivered).
+func (s *Server) cmdBlockingPopWatch(cmd string, args []string, gone <-chan struct{}) (string, func()) {
 	if len(args) < 2 {
-		return errReply("wrong number of arguments for 'brpop'")
+		return errReply("wrong number of arguments for 'brpop'"), nil
 	}
 	timeoutSecs, err := strconv.ParseFloat(args[len(args)-1], 64)
 	if err != nil {
-		return errReply("timeout is not a float or out of range")
+		return errReply("timeout is not a float or out of range"), nil
 	}
 	keys := args[:len(args)-1]
 	deadline := time.Now().Add(time.Duration(timeoutSecs * float64(time.Second)))
@@ -394,25 +477,23 @@ func (s *Server) cmdBlockingPop(cmd string, args []string) string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
-		for _, key := range keys {
-			lst := s.lists[key]
-			if len(lst) > 0 {
-				var v string
-				if cmd == "BLPOP" {
-					v, s.lists[key] = lst[0], lst[1:]
-				} else {
-					v, s.lists[key] = lst[len(lst)-1], lst[:len(lst)-1]
-				}
-				return arrayReply([]string{key, v})
+		if gone != nil {
+			select {
+			case <-gone:
+				return "", nil
+			default:
 			}
+		}
+		if reply, rollback := s.tryPopLocked(cmd, keys); reply != "" {
+			return reply, rollback
 		}
 		select {
 		case <-s.closed:
-			return nilArray()
+			return nilArray(), nil
 		default:
 		}
 		if timeoutSecs > 0 && time.Now().After(deadline) {
-			return nilArray()
+			return nilArray(), nil
 		}
 		// Wake periodically to honor timeouts even without pushes.
 		waker := time.AfterFunc(50*time.Millisecond, func() {
@@ -423,6 +504,37 @@ func (s *Server) cmdBlockingPop(cmd string, args []string) string {
 		s.cond.Wait()
 		waker.Stop()
 	}
+}
+
+// tryPopLocked pops from the first non-empty key, returning the RESP
+// reply and a rollback that re-pushes the element (for replies that
+// cannot be delivered). Empty reply means every key was empty. Callers
+// hold mu; rollback must be called without it.
+func (s *Server) tryPopLocked(cmd string, keys []string) (string, func()) {
+	for _, key := range keys {
+		lst := s.lists[key]
+		if len(lst) == 0 {
+			continue
+		}
+		var v string
+		if cmd == "BLPOP" {
+			v, s.lists[key] = lst[0], lst[1:]
+		} else {
+			v, s.lists[key] = lst[len(lst)-1], lst[:len(lst)-1]
+		}
+		rollback := func() {
+			s.mu.Lock()
+			if cmd == "BLPOP" {
+				s.lists[key] = append([]string{v}, s.lists[key]...)
+			} else {
+				s.lists[key] = append(s.lists[key], v)
+			}
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		}
+		return arrayReply([]string{key, v}), rollback
+	}
+	return "", nil
 }
 
 func (s *Server) cmdLLen(args []string) string {

@@ -1,0 +1,457 @@
+// Package server implements the cloudevald HTTP service: the
+// CloudEval-YAML benchmark as a long-lived daemon over a shared engine
+// and persistent evaluation store. Endpoints:
+//
+//	POST /v1/eval            score one answer (or one model's answer) on one problem
+//	POST /v1/campaign        start (or resume) an async experiment campaign
+//	GET  /v1/campaign/{id}   poll campaign status and outputs
+//	GET  /v1/leaderboard     the cached Table 4 (byte-identical to core.Benchmark)
+//	GET  /v1/stats           engine counters (executed / cache / store hits)
+//	GET  /healthz            liveness
+//
+// Every experiment computation is coalesced: concurrent requests for
+// the same experiment share one in-flight generation, and completed
+// outputs are served from memory. Campaigns are checkpointed via
+// core.Benchmark.RunCampaign under the server's data directory, so a
+// restarted daemon resumes them instead of recomputing.
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"cloudeval/internal/core"
+	"cloudeval/internal/dataset"
+	"cloudeval/internal/llm"
+	"cloudeval/internal/score"
+)
+
+// Server serves one benchmark instance. Construct with New.
+type Server struct {
+	bench   *core.Benchmark
+	dataDir string
+	mux     *http.ServeMux
+
+	problems map[string]dataset.Problem
+	models   map[string]llm.Model
+
+	mu        sync.Mutex
+	flights   map[string]*flight // experiment ID → in-flight generation
+	results   map[string]string  // experiment ID → completed output
+	campaigns map[string]*campaign
+}
+
+// flight coalesces concurrent requests for one experiment into a
+// single generation.
+type flight struct {
+	done chan struct{}
+	out  string
+	err  error
+}
+
+// campaign tracks one async experiment run.
+type campaign struct {
+	ID          string   `json:"id"`
+	Experiments []string `json:"experiments"`
+
+	mu        sync.Mutex
+	state     string // "running", "done", "failed"
+	completed []string
+	errMsg    string
+}
+
+// New builds a server over bench. dataDir roots campaign checkpoints
+// (<dataDir>/campaigns/<id>); it is created on demand.
+func New(bench *core.Benchmark, dataDir string) *Server {
+	s := &Server{
+		bench:     bench,
+		dataDir:   dataDir,
+		mux:       http.NewServeMux(),
+		problems:  make(map[string]dataset.Problem, len(bench.Problems)),
+		models:    make(map[string]llm.Model, len(bench.Models)),
+		flights:   make(map[string]*flight),
+		results:   make(map[string]string),
+		campaigns: make(map[string]*campaign),
+	}
+	for _, p := range bench.Problems {
+		s.problems[p.ID] = p
+	}
+	for _, m := range bench.Models {
+		s.models[m.Name] = m
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/leaderboard", s.handleLeaderboard)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/eval", s.handleEval)
+	s.mux.HandleFunc("POST /v1/campaign", s.handleCampaignStart)
+	s.mux.HandleFunc("GET /v1/campaign/{id}", s.handleCampaignStatus)
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// experiment generates (or replays) one experiment with request
+// coalescing: the first caller computes, concurrent callers park on
+// the flight, later callers hit the in-memory result.
+func (s *Server) experiment(id string) (string, error) {
+	gens := s.bench.Experiments()
+	gen, ok := gens[id]
+	if !ok {
+		return "", fmt.Errorf("unknown experiment %q", id)
+	}
+	s.mu.Lock()
+	if out, ok := s.results[id]; ok {
+		s.mu.Unlock()
+		return out, nil
+	}
+	if f, ok := s.flights[id]; ok {
+		s.mu.Unlock()
+		<-f.done
+		return f.out, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[id] = f
+	s.mu.Unlock()
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				f.err = fmt.Errorf("experiment %s: %v", id, r)
+			}
+		}()
+		f.out = gen()
+	}()
+	close(f.done)
+
+	s.mu.Lock()
+	delete(s.flights, id)
+	if f.err == nil {
+		s.results[id] = f.out
+	}
+	s.mu.Unlock()
+	return f.out, f.err
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleLeaderboard serves Table 4 byte-identical to
+// core.Benchmark.Table4, cached and coalesced.
+func (s *Server) handleLeaderboard(w http.ResponseWriter, r *http.Request) {
+	out, err := s.experiment("table4")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, out)
+}
+
+// statsResponse is the engine counter snapshot.
+type statsResponse struct {
+	Executor  string `json:"executor"`
+	Workers   int    `json:"workers"`
+	Executed  int64  `json:"executed"`
+	CacheHits int64  `json:"cache_hits"`
+	StoreHits int64  `json:"store_hits"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	eng := s.bench.Engine()
+	st := eng.Stats()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Executor:  eng.Executor().Name(),
+		Workers:   eng.Workers(),
+		Executed:  st.Executed,
+		CacheHits: st.CacheHits,
+		StoreHits: st.StoreHits,
+	})
+}
+
+// evalRequest scores one problem: either a literal candidate answer,
+// or the named zoo model's generated answer. Exactly one of Answer and
+// Model must be set.
+type evalRequest struct {
+	Problem string `json:"problem"`
+	Answer  string `json:"answer,omitempty"`
+	Model   string `json:"model,omitempty"`
+}
+
+type evalResponse struct {
+	Problem string             `json:"problem"`
+	Model   string             `json:"model,omitempty"`
+	Answer  string             `json:"answer"`
+	Scores  map[string]float64 `json:"scores"`
+}
+
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	var req evalRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	p, ok := s.problems[req.Problem]
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown problem %q", req.Problem), http.StatusNotFound)
+		return
+	}
+	if (req.Answer == "") == (req.Model == "") {
+		http.Error(w, "exactly one of answer and model must be set", http.StatusBadRequest)
+		return
+	}
+	answer := req.Answer
+	if req.Model != "" {
+		m, ok := s.models[req.Model]
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown model %q", req.Model), http.StatusNotFound)
+			return
+		}
+		answer = llm.Postprocess(m.Generate(p, llm.GenOptions{}))
+	}
+	sc := score.ScoreAnswerWith(s.bench.Engine(), p, answer)
+	scores := make(map[string]float64, len(score.Metrics))
+	for _, name := range score.Metrics {
+		scores[name] = sc.Metric(name)
+	}
+	writeJSON(w, http.StatusOK, evalResponse{
+		Problem: p.ID,
+		Model:   req.Model,
+		Answer:  answer,
+		Scores:  scores,
+	})
+}
+
+type campaignRequest struct {
+	// Experiments to run; empty means every experiment.
+	Experiments []string `json:"experiments,omitempty"`
+}
+
+type campaignResponse struct {
+	ID          string   `json:"id"`
+	State       string   `json:"state"`
+	Experiments []string `json:"experiments"`
+	Completed   []string `json:"completed"`
+	Error       string   `json:"error,omitempty"`
+	// Outputs holds each completed experiment's rendered text.
+	Outputs map[string]string `json:"outputs,omitempty"`
+}
+
+// campaignID derives a deterministic ID from the experiment set, so
+// re-posting the same campaign — against this daemon or a restarted
+// one — coalesces onto (or resumes) the same checkpointed run.
+func campaignID(ids []string) string {
+	sorted := append([]string(nil), ids...)
+	sort.Strings(sorted)
+	sum := sha256.Sum256([]byte(strings.Join(sorted, ",")))
+	return "c-" + hex.EncodeToString(sum[:6])
+}
+
+func (s *Server) handleCampaignStart(w http.ResponseWriter, r *http.Request) {
+	var req campaignRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	ids := req.Experiments
+	if len(ids) == 0 {
+		ids = core.ExperimentIDs
+	}
+	gens := s.bench.Experiments()
+	for _, id := range ids {
+		if _, ok := gens[id]; !ok {
+			http.Error(w, fmt.Sprintf("unknown experiment %q", id), http.StatusBadRequest)
+			return
+		}
+	}
+
+	id := campaignID(ids)
+	s.mu.Lock()
+	c, ok := s.campaigns[id]
+	if ok {
+		// A failed campaign must not wedge its ID: re-posting retries
+		// it (from its checkpoints) instead of echoing the stale
+		// failure forever.
+		c.mu.Lock()
+		if c.state == "failed" {
+			ok = false
+		}
+		c.mu.Unlock()
+	}
+	if !ok {
+		c = &campaign{ID: id, Experiments: ids, state: "running"}
+		s.campaigns[id] = c
+		go s.runCampaign(c)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, s.campaignStatus(c, false))
+}
+
+// campaignMeta is persisted as campaign.json inside each campaign
+// directory, so a restarted daemon can identify and resume on-disk
+// campaigns it no longer holds in memory.
+type campaignMeta struct {
+	ID          string   `json:"id"`
+	Experiments []string `json:"experiments"`
+}
+
+// runCampaign drives one checkpointed campaign in the background,
+// routing fresh generations through the coalescing layer (so a
+// campaign and a concurrent direct request share one computation, and
+// campaign outputs warm the request cache).
+func (s *Server) runCampaign(c *campaign) {
+	dir := filepath.Join(s.dataDir, "campaigns", c.ID)
+	fail := func(err error) {
+		c.mu.Lock()
+		c.state = "failed"
+		c.errMsg = err.Error()
+		c.mu.Unlock()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fail(err)
+		return
+	}
+	meta, err := json.Marshal(campaignMeta{ID: c.ID, Experiments: c.Experiments})
+	if err != nil {
+		fail(err)
+		return
+	}
+	// Temp-file + rename, like every other checkpoint write: a crash
+	// mid-write must not leave torn JSON that hides the campaign from a
+	// restarted daemon.
+	metaPath := filepath.Join(dir, "campaign.json")
+	if err := os.WriteFile(metaPath+".tmp", meta, 0o644); err != nil {
+		fail(err)
+		return
+	}
+	if err := os.Rename(metaPath+".tmp", metaPath); err != nil {
+		fail(err)
+		return
+	}
+	_, err = s.bench.RunCampaignVia(dir, c.Experiments, nil, s.experiment, func(id string, skipped bool) {
+		if skipped {
+			// A checkpoint replay warms the request cache too.
+			if out, err := readCampaignOutput(dir, id); err == nil {
+				s.mu.Lock()
+				if _, ok := s.results[id]; !ok {
+					s.results[id] = out
+				}
+				s.mu.Unlock()
+			}
+		}
+		c.mu.Lock()
+		c.completed = append(c.completed, id)
+		c.mu.Unlock()
+	})
+	if err != nil {
+		fail(err)
+		return
+	}
+	c.mu.Lock()
+	c.state = "done"
+	c.mu.Unlock()
+}
+
+func (s *Server) handleCampaignStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	c, ok := s.campaigns[id]
+	s.mu.Unlock()
+	if !ok {
+		// Not in memory — maybe a previous daemon's campaign. Serve its
+		// on-disk checkpoint state as "interrupted": re-posting the same
+		// experiment set resumes it.
+		if resp, err := s.campaignFromDisk(id); err == nil {
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		http.Error(w, fmt.Sprintf("unknown campaign %q", id), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.campaignStatus(c, true))
+}
+
+// campaignFromDisk reconstructs a campaign's status from its directory
+// after a daemon restart.
+func (s *Server) campaignFromDisk(id string) (campaignResponse, error) {
+	dir := filepath.Join(s.dataDir, "campaigns", id)
+	data, err := os.ReadFile(filepath.Join(dir, "campaign.json"))
+	if err != nil {
+		return campaignResponse{}, err
+	}
+	var meta campaignMeta
+	if err := json.Unmarshal(data, &meta); err != nil {
+		return campaignResponse{}, err
+	}
+	completed, err := core.CampaignCompleted(dir)
+	if err != nil {
+		return campaignResponse{}, err
+	}
+	state := "interrupted"
+	if len(completed) >= len(meta.Experiments) {
+		state = "done"
+	}
+	resp := campaignResponse{
+		ID:          meta.ID,
+		State:       state,
+		Experiments: meta.Experiments,
+		Completed:   completed,
+		Outputs:     make(map[string]string, len(completed)),
+	}
+	for _, eid := range completed {
+		if out, err := readCampaignOutput(dir, eid); err == nil {
+			resp.Outputs[eid] = out
+		}
+	}
+	return resp, nil
+}
+
+func (s *Server) campaignStatus(c *campaign, includeOutputs bool) campaignResponse {
+	c.mu.Lock()
+	resp := campaignResponse{
+		ID:          c.ID,
+		State:       c.state,
+		Experiments: c.Experiments,
+		Completed:   append([]string(nil), c.completed...),
+		Error:       c.errMsg,
+	}
+	c.mu.Unlock()
+	// Outputs ride along only once the campaign stops running: polls of
+	// an in-flight campaign need state/completed, not a re-read of every
+	// checkpoint file shipped on each request.
+	if includeOutputs && resp.State != "running" && len(resp.Completed) > 0 {
+		dir := filepath.Join(s.dataDir, "campaigns", c.ID)
+		outputs := make(map[string]string, len(resp.Completed))
+		for _, id := range resp.Completed {
+			data, err := readCampaignOutput(dir, id)
+			if err == nil {
+				outputs[id] = data
+			}
+		}
+		resp.Outputs = outputs
+	}
+	return resp
+}
+
+func readCampaignOutput(dir, id string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, id+".txt"))
+	return string(data), err
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

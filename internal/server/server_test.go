@@ -1,0 +1,293 @@
+package server_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cloudeval/internal/core"
+	"cloudeval/internal/dataset"
+	"cloudeval/internal/engine"
+	"cloudeval/internal/llm"
+	"cloudeval/internal/server"
+	"cloudeval/internal/store"
+	"cloudeval/internal/yamlmatch"
+)
+
+func smallBench(eng *engine.Engine) *core.Benchmark {
+	return core.NewCustomWith(eng, dataset.Generate()[:10], llm.Models[:3])
+}
+
+func newTestServer(t *testing.T, bench *core.Benchmark) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(server.New(bench, t.TempDir()).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func getBody(t *testing.T, url string, wantStatus int) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s = %d, want %d: %s", url, resp.StatusCode, wantStatus, body)
+	}
+	return string(body)
+}
+
+func postJSON(t *testing.T, url, payload string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestEvalEndpoint(t *testing.T) {
+	bench := smallBench(engine.New())
+	ts := newTestServer(t, bench)
+	p := bench.Originals[0]
+	ref := yamlmatch.StripLabels(p.ReferenceYAML)
+
+	// A literal reference answer scores a perfect unit test.
+	payload, _ := json.Marshal(map[string]string{"problem": p.ID, "answer": ref})
+	status, body := postJSON(t, ts.URL+"/v1/eval", string(payload))
+	if status != http.StatusOK {
+		t.Fatalf("eval = %d: %s", status, body)
+	}
+	var got struct {
+		Problem string             `json:"problem"`
+		Scores  map[string]float64 `json:"scores"`
+	}
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Problem != p.ID || got.Scores["unit_test"] != 1 || got.Scores["kv_wildcard"] != 1 {
+		t.Fatalf("reference answer scored %+v", got)
+	}
+
+	// Model-generated evaluation.
+	status, body = postJSON(t, ts.URL+"/v1/eval",
+		fmt.Sprintf(`{"problem": %q, "model": %q}`, p.ID, bench.Models[0].Name))
+	if status != http.StatusOK {
+		t.Fatalf("model eval = %d: %s", status, body)
+	}
+
+	// Error shapes.
+	if status, _ := postJSON(t, ts.URL+"/v1/eval", `{"problem": "nope", "answer": "x"}`); status != http.StatusNotFound {
+		t.Errorf("unknown problem = %d, want 404", status)
+	}
+	if status, _ := postJSON(t, ts.URL+"/v1/eval",
+		fmt.Sprintf(`{"problem": %q}`, p.ID)); status != http.StatusBadRequest {
+		t.Errorf("neither answer nor model = %d, want 400", status)
+	}
+	if status, _ := postJSON(t, ts.URL+"/v1/eval",
+		fmt.Sprintf(`{"problem": %q, "answer": "x", "model": "gpt-4"}`, p.ID)); status != http.StatusBadRequest {
+		t.Errorf("both answer and model = %d, want 400", status)
+	}
+}
+
+// TestLeaderboardByteIdentical: /v1/leaderboard must render exactly
+// core.Benchmark's Table 4, including under concurrent (coalesced)
+// requests.
+func TestLeaderboardByteIdentical(t *testing.T) {
+	bench := smallBench(engine.New())
+	ts := newTestServer(t, bench)
+
+	const n = 8
+	bodies := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/v1/leaderboard")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			b, _ := io.ReadAll(resp.Body)
+			bodies[i] = string(b)
+		}(i)
+	}
+	wg.Wait()
+
+	want := bench.Table4()
+	for i, b := range bodies {
+		if b != want {
+			t.Fatalf("leaderboard %d differs from core.Benchmark.Table4:\n--- got ---\n%s--- want ---\n%s", i, b, want)
+		}
+	}
+}
+
+func waitCampaignDone(t *testing.T, base, id string) string {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		body := getBody(t, base+"/v1/campaign/"+id, http.StatusOK)
+		var st struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal([]byte(body), &st); err != nil {
+			t.Fatal(err)
+		}
+		switch st.State {
+		case "done":
+			return body
+		case "failed":
+			t.Fatalf("campaign failed: %s", st.Error)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("campaign did not finish in time")
+	return ""
+}
+
+// TestCampaignAsyncResume drives the async campaign API, then restarts
+// the daemon (fresh server, fresh benchmark, same data dir) and
+// requires the resumed campaign to replay from checkpoints without
+// executing a single unit test.
+func TestCampaignAsyncResume(t *testing.T) {
+	dataDir := t.TempDir()
+	ids := `{"experiments": ["table2", "table4"]}`
+
+	ts := httptest.NewServer(server.New(smallBench(engine.New()), dataDir).Handler())
+	status, body := postJSON(t, ts.URL+"/v1/campaign", ids)
+	if status != http.StatusAccepted {
+		t.Fatalf("campaign start = %d: %s", status, body)
+	}
+	var started struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal([]byte(body), &started); err != nil {
+		t.Fatal(err)
+	}
+	final := waitCampaignDone(t, ts.URL, started.ID)
+	var done struct {
+		Completed []string          `json:"completed"`
+		Outputs   map[string]string `json:"outputs"`
+	}
+	if err := json.Unmarshal([]byte(final), &done); err != nil {
+		t.Fatal(err)
+	}
+	if len(done.Completed) != 2 || done.Outputs["table4"] == "" {
+		t.Fatalf("campaign status = %s", final)
+	}
+	firstTable4 := done.Outputs["table4"]
+	ts.Close()
+
+	// Re-posting the identical experiment set yields the same campaign
+	// ID, and the restarted daemon serves it from checkpoints: the new
+	// engine never executes.
+	eng2 := engine.New()
+	ts2 := httptest.NewServer(server.New(smallBench(eng2), dataDir).Handler())
+	defer ts2.Close()
+
+	// Before any re-POST, the restarted daemon reconstructs the
+	// campaign's status from its on-disk checkpoints instead of 404ing.
+	var fromDisk struct {
+		State     string            `json:"state"`
+		Completed []string          `json:"completed"`
+		Outputs   map[string]string `json:"outputs"`
+	}
+	if err := json.Unmarshal([]byte(getBody(t, ts2.URL+"/v1/campaign/"+started.ID, http.StatusOK)), &fromDisk); err != nil {
+		t.Fatal(err)
+	}
+	if fromDisk.State != "done" || len(fromDisk.Completed) != 2 || fromDisk.Outputs["table4"] != firstTable4 {
+		t.Fatalf("rehydrated campaign status = %+v", fromDisk)
+	}
+
+	status, body = postJSON(t, ts2.URL+"/v1/campaign", ids)
+	if status != http.StatusAccepted {
+		t.Fatalf("campaign restart = %d: %s", status, body)
+	}
+	var restarted struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal([]byte(body), &restarted); err != nil {
+		t.Fatal(err)
+	}
+	if restarted.ID != started.ID {
+		t.Fatalf("campaign ID changed across restart: %s vs %s", restarted.ID, started.ID)
+	}
+	final = waitCampaignDone(t, ts2.URL, restarted.ID)
+	if err := json.Unmarshal([]byte(final), &done); err != nil {
+		t.Fatal(err)
+	}
+	if done.Outputs["table4"] != firstTable4 {
+		t.Error("resumed campaign's table4 differs from the original run")
+	}
+	if st := eng2.Stats(); st.Executed != 0 {
+		t.Errorf("resumed campaign executed %d unit tests, want 0", st.Executed)
+	}
+}
+
+// TestColdStartWarmStore is the daemon-side acceptance contract: a
+// cold-started cloudevald whose engine sits on a warm persistent store
+// serves the Table 4 leaderboard byte-identical to core.Benchmark
+// without executing a single unit test.
+func TestColdStartWarmStore(t *testing.T) {
+	storePath := filepath.Join(t.TempDir(), "eval.store")
+
+	// Warm the store with one full campaign in a "previous process".
+	st, err := store.Open(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmBench := smallBench(engine.New(engine.WithStore(st)))
+	want := warmBench.Table4()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold start: fresh store handle, fresh engine, fresh benchmark,
+	// fresh server.
+	st2, err := store.Open(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	eng := engine.New(engine.WithStore(st2))
+	ts := newTestServer(t, smallBench(eng))
+
+	got := getBody(t, ts.URL+"/v1/leaderboard", http.StatusOK)
+	if got != want {
+		t.Errorf("cold-start leaderboard differs from warm benchmark's Table 4:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	var stats struct {
+		Executed  int64 `json:"executed"`
+		StoreHits int64 `json:"store_hits"`
+	}
+	if err := json.Unmarshal([]byte(getBody(t, ts.URL+"/v1/stats", http.StatusOK)), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Executed != 0 {
+		t.Errorf("cold-start daemon executed %d unit tests, want 0", stats.Executed)
+	}
+	if stats.StoreHits == 0 {
+		t.Error("cold-start daemon recorded no store hits")
+	}
+}

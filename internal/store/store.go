@@ -1,0 +1,371 @@
+// Package store is the persistent, content-addressed evaluation store:
+// the second cache tier under engine.Engine.UnitTest. Where the
+// engine's in-memory map dies with the process, the store is an
+// append-only on-disk log of (unit-test-script digest, answer digest)
+// → unit-test result records, so repeated campaigns across processes —
+// and across CI runs via cache restore — hit disk instead of the
+// simulated cluster.
+//
+// On-disk format: a sequence of length-prefixed, checksummed records —
+//
+//	[4-byte LE payload length][4-byte LE CRC-32C of payload][JSON payload]
+//
+// Writes are crash-safe by construction: a record torn by a crash or a
+// truncated copy fails its length or checksum check, and Open drops
+// everything from the first bad frame onward (the log tail) instead of
+// failing. The log is append-only — a re-recorded key simply appends a
+// newer record, and the newest record per key wins on replay. Compact
+// rewrites the log to one record per key (newest wins) via an atomic
+// rename.
+//
+// The full index (including result payloads; outputs are bounded by
+// the corpus) is held in memory, so Get never touches disk after Open.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"cloudeval/internal/unittest"
+)
+
+// Key content-addresses one evaluation, mirroring the engine's cache
+// key: the digests of the unit-test script and the candidate answer.
+type Key struct {
+	Test   [sha256.Size]byte
+	Answer [sha256.Size]byte
+}
+
+// Record is one persisted unit-test outcome.
+type Record struct {
+	Passed      bool
+	Output      string
+	ExitCode    int
+	VirtualTime time.Duration
+}
+
+// frame is the JSON payload of one on-disk record.
+type frame struct {
+	Test        string  `json:"test"`   // hex sha256 of the unit-test script
+	Answer      string  `json:"answer"` // hex sha256 of the answer
+	Passed      bool    `json:"passed"`
+	Output      string  `json:"output,omitempty"`
+	ExitCode    int     `json:"exit_code,omitempty"`
+	VirtualSecs float64 `json:"virtual_secs"`
+}
+
+const frameHeaderSize = 8
+
+// maxPayload rejects absurd length prefixes (a torn header read as a
+// huge length must not allocate gigabytes before the CRC check).
+const maxPayload = 64 << 20
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Store is a persistent evaluation cache. It is safe for concurrent
+// use and implements engine.CacheStore.
+type Store struct {
+	mu    sync.Mutex
+	f     *os.File
+	path  string
+	index map[Key]Record
+	// appendErr latches the first failed append so a sick disk surfaces
+	// on Sync/Close instead of being silently swallowed by the cache
+	// interface.
+	appendErr error
+	appended  int64
+}
+
+// Open reads (or creates) the log at path, replaying every intact
+// record into the index. A truncated or corrupt tail — the signature
+// of a crash mid-append — is dropped and the file truncated back to
+// the last intact record, not treated as fatal.
+func Open(path string) (*Store, error) {
+	// O_APPEND: every frame is one write syscall that the kernel
+	// positions at the true end of file, so even a second process
+	// appending to the same log (one writer per store is the intended
+	// deployment, but fleets misconfigure) interleaves whole frames
+	// rather than corrupting them mid-frame at a stale offset.
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{f: f, path: path, index: make(map[Key]Record)}
+	good, err := s.replay()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: truncate torn tail: %w", err)
+	}
+	return s, nil
+}
+
+// replay scans the log from the start, loading intact records and
+// returning the offset of the first bad (or missing) frame.
+func (s *Store) replay() (int64, error) {
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	var off int64
+	hdr := make([]byte, frameHeaderSize)
+	for {
+		if _, err := io.ReadFull(s.f, hdr); err != nil {
+			// Clean EOF or a torn header: the log ends here.
+			return off, nil
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if n == 0 || n > maxPayload {
+			return off, nil
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(s.f, payload); err != nil {
+			return off, nil // torn payload
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return off, nil // corrupt frame; drop it and everything after
+		}
+		var fr frame
+		if err := json.Unmarshal(payload, &fr); err != nil {
+			return off, nil
+		}
+		key, err := keyFromHex(fr.Test, fr.Answer)
+		if err != nil {
+			return off, nil
+		}
+		s.index[key] = Record{
+			Passed:      fr.Passed,
+			Output:      fr.Output,
+			ExitCode:    fr.ExitCode,
+			VirtualTime: time.Duration(fr.VirtualSecs * float64(time.Second)),
+		}
+		off += frameHeaderSize + int64(n)
+	}
+}
+
+func keyFromHex(test, answer string) (Key, error) {
+	var k Key
+	tb, err := hex.DecodeString(test)
+	if err != nil || len(tb) != sha256.Size {
+		return k, fmt.Errorf("store: bad test digest %q", test)
+	}
+	ab, err := hex.DecodeString(answer)
+	if err != nil || len(ab) != sha256.Size {
+		return k, fmt.Errorf("store: bad answer digest %q", answer)
+	}
+	copy(k.Test[:], tb)
+	copy(k.Answer[:], ab)
+	return k, nil
+}
+
+func encodeFrame(key Key, rec Record) ([]byte, error) {
+	payload, err := json.Marshal(frame{
+		Test:        hex.EncodeToString(key.Test[:]),
+		Answer:      hex.EncodeToString(key.Answer[:]),
+		Passed:      rec.Passed,
+		Output:      rec.Output,
+		ExitCode:    rec.ExitCode,
+		VirtualSecs: rec.VirtualTime.Seconds(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
+	copy(buf[frameHeaderSize:], payload)
+	return buf, nil
+}
+
+// Get implements engine.CacheStore: the persisted result for
+// (test, answer), if any.
+func (s *Store) Get(test, answer [sha256.Size]byte) (unittest.Result, bool) {
+	s.mu.Lock()
+	rec, ok := s.index[Key{Test: test, Answer: answer}]
+	s.mu.Unlock()
+	if !ok {
+		return unittest.Result{}, false
+	}
+	return unittest.Result{
+		Passed:      rec.Passed,
+		Output:      rec.Output,
+		ExitCode:    rec.ExitCode,
+		VirtualTime: rec.VirtualTime,
+	}, true
+}
+
+// Put implements engine.CacheStore: persist one executed result.
+// Errored executions (res.Err != nil) are never recorded — like the
+// engine's in-memory tier, a transient outage must not be frozen into
+// the cache. An identical re-record is a no-op so warm campaigns don't
+// grow the log. Append failures latch into Err/Sync/Close rather than
+// failing the evaluation that produced the result.
+func (s *Store) Put(test, answer [sha256.Size]byte, res unittest.Result) {
+	if res.Err != nil {
+		return
+	}
+	key := Key{Test: test, Answer: answer}
+	rec := Record{
+		Passed:      res.Passed,
+		Output:      res.Output,
+		ExitCode:    res.ExitCode,
+		VirtualTime: res.VirtualTime,
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.index[key]; ok && old == rec {
+		return
+	}
+	if s.appendErr != nil {
+		// The log is broken (failed append or a lost post-compaction
+		// reopen): keep serving the in-memory index, but don't pretend
+		// further appends persist.
+		s.index[key] = rec
+		return
+	}
+	buf, err := encodeFrame(key, rec)
+	if err != nil {
+		if s.appendErr == nil {
+			s.appendErr = err
+		}
+		return
+	}
+	// One write syscall per record: either the whole frame lands or the
+	// checksum catches the tear on the next Open.
+	if _, err := s.f.Write(buf); err != nil {
+		if s.appendErr == nil {
+			s.appendErr = fmt.Errorf("store: append: %w", err)
+		}
+		return
+	}
+	s.index[key] = rec
+	s.appended++
+}
+
+// Len reports how many distinct keys the store holds.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Appended reports how many records this handle has appended since
+// Open — the store-side mirror of the engine's Executed counter.
+func (s *Store) Appended() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appended
+}
+
+// Err reports the first append failure, if any.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appendErr
+}
+
+// Compact rewrites the log to exactly one record per key — the newest
+// — shedding superseded appends. The rewrite goes to a temp file that
+// atomically renames over the log, so a crash mid-compaction leaves
+// the old intact log in place.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	keys := make([]Key, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if c := bytes.Compare(keys[i].Test[:], keys[j].Test[:]); c != 0 {
+			return c < 0
+		}
+		return bytes.Compare(keys[i].Answer[:], keys[j].Answer[:]) < 0
+	})
+
+	tmpPath := s.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	for _, k := range keys {
+		buf, err := encodeFrame(k, s.index[k])
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return err
+		}
+		if _, err := tmp.Write(buf); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return err
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := os.Rename(tmpPath, s.path); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	// Swap the handle to the compacted log. If the reopen fails, the old
+	// handle now points at the unlinked pre-compaction inode — latch the
+	// error so appends stop being trusted and Sync/Close surface it,
+	// instead of silently persisting into an orphan.
+	f, err := os.OpenFile(s.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		if s.appendErr == nil {
+			s.appendErr = fmt.Errorf("store: reopen after compaction: %w", err)
+		}
+		return err
+	}
+	s.f.Close()
+	s.f = f
+	return nil
+}
+
+// Sync flushes the log to stable storage and surfaces any latched
+// append error.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.appendErr != nil {
+		return s.appendErr
+	}
+	return s.f.Sync()
+}
+
+// Close syncs and releases the log. The Store must not be used after
+// Close.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	syncErr := s.f.Sync()
+	closeErr := s.f.Close()
+	if s.appendErr != nil {
+		return s.appendErr
+	}
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}

@@ -1,0 +1,258 @@
+package store_test
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"cloudeval/internal/store"
+	"cloudeval/internal/unittest"
+)
+
+func digests(test, answer string) (t, a [sha256.Size]byte) {
+	return sha256.Sum256([]byte(test)), sha256.Sum256([]byte(answer))
+}
+
+func TestPutGetAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "eval.store")
+	s, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, ak := digests("echo unit_test_passed", "kind: Pod")
+	want := unittest.Result{Passed: true, Output: "unit_test_passed\n", VirtualTime: 90 * time.Second}
+	s.Put(tk, ak, want)
+	if got, ok := s.Get(tk, ak); !ok || got != want {
+		t.Fatalf("in-process Get = %+v, %v; want %+v", got, ok, want)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh process sees the same record.
+	s2, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got, ok := s2.Get(tk, ak); !ok || got != want {
+		t.Fatalf("reopened Get = %+v, %v; want %+v", got, ok, want)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s2.Len())
+	}
+}
+
+func TestErroredResultsNeverPersisted(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "eval.store")
+	s, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	tk, ak := digests("t", "a")
+	s.Put(tk, ak, unittest.Result{Err: fmt.Errorf("cluster outage")})
+	if _, ok := s.Get(tk, ak); ok {
+		t.Fatal("errored result was persisted")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", s.Len())
+	}
+}
+
+func TestIdenticalRecordDoesNotGrowLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "eval.store")
+	s, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	tk, ak := digests("t", "a")
+	res := unittest.Result{Passed: true}
+	s.Put(tk, ak, res)
+	s.Put(tk, ak, res)
+	s.Put(tk, ak, res)
+	if got := s.Appended(); got != 1 {
+		t.Fatalf("appended %d records for identical re-puts, want 1", got)
+	}
+}
+
+// TestCrashSafeReopen is the crash contract: a record torn mid-append
+// (simulated by truncating the log at every possible byte boundary of
+// the final record) is dropped on Open — never fatal — and every
+// record before it survives intact.
+func TestCrashSafeReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "eval.store")
+	s, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk1, ak1 := digests("test-1", "answer-1")
+	tk2, ak2 := digests("test-2", "answer-2")
+	s.Put(tk1, ak1, unittest.Result{Passed: true, VirtualTime: time.Second})
+	intact, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(tk2, ak2, unittest.Result{Passed: false, Output: "boom"})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := intact.Size() + 1; cut < int64(len(full)); cut++ {
+		torn := filepath.Join(dir, fmt.Sprintf("torn-%d.store", cut))
+		if err := os.WriteFile(torn, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := store.Open(torn)
+		if err != nil {
+			t.Fatalf("cut at %d: Open failed: %v", cut, err)
+		}
+		if _, ok := s2.Get(tk1, ak1); !ok {
+			t.Fatalf("cut at %d: intact first record lost", cut)
+		}
+		if _, ok := s2.Get(tk2, ak2); ok {
+			t.Fatalf("cut at %d: torn tail record survived", cut)
+		}
+		// The torn bytes were truncated away: appends after a crash
+		// recovery must replay cleanly too.
+		s2.Put(tk2, ak2, unittest.Result{Passed: true})
+		if err := s2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		s3, err := store.Open(torn)
+		if err != nil {
+			t.Fatalf("cut at %d: reopen after recovery append: %v", cut, err)
+		}
+		if got, ok := s3.Get(tk2, ak2); !ok || !got.Passed {
+			t.Fatalf("cut at %d: post-recovery append lost", cut)
+		}
+		s3.Close()
+	}
+}
+
+// TestCorruptTailDropped flips a byte in the last record's payload: the
+// CRC rejects the frame and Open drops it plus everything after.
+func TestCorruptTailDropped(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "eval.store")
+	s, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk1, ak1 := digests("test-1", "answer-1")
+	tk2, ak2 := digests("test-2", "answer-2")
+	s.Put(tk1, ak1, unittest.Result{Passed: true})
+	intact, _ := os.Stat(path)
+	s.Put(tk2, ak2, unittest.Result{Passed: true})
+	s.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[intact.Size()+12] ^= 0xFF // inside the second record's payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := store.Open(path)
+	if err != nil {
+		t.Fatalf("Open on corrupt tail: %v", err)
+	}
+	defer s2.Close()
+	if _, ok := s2.Get(tk1, ak1); !ok {
+		t.Fatal("intact record before corruption lost")
+	}
+	if _, ok := s2.Get(tk2, ak2); ok {
+		t.Fatal("corrupt record served")
+	}
+}
+
+// TestCompactKeepsNewestPerKey re-records one key with a changed
+// outcome, compacts, and requires the newest record to win — both in
+// memory and on a replay of the compacted log.
+func TestCompactKeepsNewestPerKey(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "eval.store")
+	s, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, ak := digests("test", "answer")
+	tk2, ak2 := digests("other-test", "other-answer")
+	s.Put(tk, ak, unittest.Result{Passed: false, Output: "flaky first run"})
+	s.Put(tk2, ak2, unittest.Result{Passed: true})
+	s.Put(tk, ak, unittest.Result{Passed: true, Output: "newest wins"})
+
+	before, _ := os.Stat(path)
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.Stat(path)
+	if after.Size() >= before.Size() {
+		t.Errorf("compaction did not shrink the log: %d -> %d bytes", before.Size(), after.Size())
+	}
+	if got, ok := s.Get(tk, ak); !ok || !got.Passed || got.Output != "newest wins" {
+		t.Fatalf("post-compact Get = %+v, %v", got, ok)
+	}
+	// The store stays writable after the handle swap.
+	tk3, ak3 := digests("post-compact", "append")
+	s.Put(tk3, ak3, unittest.Result{Passed: true})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 3 {
+		t.Fatalf("replayed %d keys, want 3", s2.Len())
+	}
+	if got, ok := s2.Get(tk, ak); !ok || !got.Passed || got.Output != "newest wins" {
+		t.Fatalf("replayed Get = %+v, %v; want the newest record", got, ok)
+	}
+	if got, ok := s2.Get(tk3, ak3); !ok || !got.Passed {
+		t.Fatal("post-compact append lost")
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "eval.store")
+	s, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tk, ak := digests(fmt.Sprintf("test-%d", i%8), fmt.Sprintf("answer-%d", i))
+			s.Put(tk, ak, unittest.Result{Passed: i%2 == 0})
+			s.Get(tk, ak)
+		}(i)
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != n {
+		t.Fatalf("replayed %d keys, want %d", s2.Len(), n)
+	}
+}
