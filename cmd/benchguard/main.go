@@ -1,18 +1,31 @@
 // Command benchguard turns `go test -bench` output into a JSON
-// benchmark artifact and enforces the CI bench-regression gate.
+// benchmark artifact and enforces the CI bench-regression gates.
 //
-//	go test -bench 'ZeroShot' -benchtime 1x -run '^$' . | tee bench.txt
+//	go test -bench 'ZeroShot|ColdPath' -benchmem -benchtime 1x -run '^$' . | tee bench.txt
 //	benchguard -in bench.txt -out BENCH_$SHA.json -sha $SHA \
 //	    -baseline ci/bench-baseline.json -max-regress 20
 //
-// The artifact records ns/op and every ReportMetric value (cache hit
-// counts, unit-tests-executed, ...) for each benchmark. The gate
-// compares the engine path against the checked-in baseline using the
-// machine-independent ratio engine-ns ÷ serial-ns from the same run:
-// raw ns/op swings with whatever hardware CI lands on, but the engine
-// must stay proportionally ahead of the serial loop it replaced. The
-// gate fails when the current ratio exceeds the baseline ratio by more
-// than -max-regress percent.
+// The artifact records ns/op, B/op, allocs/op and every ReportMetric
+// value (cache hit counts, unit-tests-executed, ...) for each
+// benchmark. Three gates run against the checked-in baseline:
+//
+//  1. Engine ratio (-max-regress): the machine-independent ratio
+//     engine-ns ÷ serial-ns from the same run must not exceed the
+//     baseline ratio by more than the given percent. Raw ns/op swings
+//     with whatever hardware CI lands on, but the engine must stay
+//     proportionally ahead of the serial loop it replaced.
+//  2. Allocations (-max-alloc-regress): for every benchmark that has
+//     an allocs/op baseline, the current allocs/op must not exceed it
+//     by more than the given percent. Allocation counts are
+//     deterministic and hardware-independent, so this gate is tight —
+//     it is what holds the cold-path allocation diet in place.
+//  3. Cold-path speedup (-min-cold-speedup): the baseline records the
+//     pre-optimization cold single-execution cost in
+//     cold_unittest_pre_pr_ns; BenchmarkColdPathUnitTest must stay at
+//     least that factor below it. This is the one deliberately
+//     hardware-sensitive gate — the recorded speedup is ~4x and the
+//     required factor 2x, which leaves room for runner variance while
+//     still catching a real cold-path regression.
 package main
 
 import (
@@ -29,9 +42,11 @@ import (
 
 // BenchResult is one benchmark's measurements.
 type BenchResult struct {
-	Iterations int64              `json:"iterations"`
-	NsPerOp    float64            `json:"ns_per_op"`
-	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Artifact is the BENCH_<sha>.json schema; ci/bench-baseline.json uses
@@ -43,11 +58,19 @@ type Artifact struct {
 	// ns/op from the same run — the hardware-independent quantity the
 	// regression gate tracks (lower is better).
 	EngineVsSerial float64 `json:"engine_vs_serial_ns_ratio,omitempty"`
+	// ColdPrePRNs is the cold single-execution ns/op measured before
+	// the cold-path overhaul (PR 3), recorded once in the baseline.
+	// The cold gate requires ColdPathUnitTest to stay at least
+	// -min-cold-speedup times below it.
+	ColdPrePRNs float64 `json:"cold_unittest_pre_pr_ns,omitempty"`
 }
+
+// coldBench is the benchmark the cold-speedup gate inspects.
+const coldBench = "ColdPathUnitTest"
 
 // benchLine matches e.g.
 //
-//	BenchmarkZeroShotSerial-8  1  537016704 ns/op  0.483 gpt4-unit-test
+//	BenchmarkZeroShotSerial-8  1  537016704 ns/op  128 B/op  7 allocs/op  0.483 gpt4-unit-test
 var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
 
 func parseBench(r io.Reader) (map[string]BenchResult, error) {
@@ -68,10 +91,20 @@ func parseBench(r io.Reader) (map[string]BenchResult, error) {
 			continue
 		}
 		res := BenchResult{Iterations: iters, NsPerOp: ns}
-		// The remainder alternates "value unit" pairs from ReportMetric.
+		// The remainder alternates "value unit" pairs: -benchmem's
+		// B/op and allocs/op columns plus any ReportMetric values.
 		fields := strings.Fields(m[4])
 		for i := 0; i+1 < len(fields); i += 2 {
-			if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			default:
 				if res.Metrics == nil {
 					res.Metrics = map[string]float64{}
 				}
@@ -98,20 +131,31 @@ func ratio(benchmarks map[string]BenchResult) (float64, error) {
 	return eng.NsPerOp / serial.NsPerOp, nil
 }
 
+// gates holds the regression thresholds; a zero (or negative) value
+// disables the corresponding gate.
+type gates struct {
+	maxRegress      float64 // engine/serial ns ratio, percent over baseline
+	maxAllocRegress float64 // per-benchmark allocs/op, percent over baseline
+	minColdSpeedup  float64 // ColdPathUnitTest ns vs baseline cold_unittest_pre_pr_ns
+}
+
 func main() {
 	in := flag.String("in", "", "bench output file (default stdin)")
 	out := flag.String("out", "", "write the JSON artifact here")
 	sha := flag.String("sha", "", "commit sha recorded in the artifact")
 	baselinePath := flag.String("baseline", "", "checked-in baseline artifact to gate against")
-	maxRegress := flag.Float64("max-regress", 20, "fail when the engine/serial ratio regresses more than this percent over baseline (0 disables)")
+	var g gates
+	flag.Float64Var(&g.maxRegress, "max-regress", 20, "fail when the engine/serial ratio regresses more than this percent over baseline (0 disables)")
+	flag.Float64Var(&g.maxAllocRegress, "max-alloc-regress", 15, "fail when any benchmark's allocs/op regresses more than this percent over its baseline (0 disables)")
+	flag.Float64Var(&g.minColdSpeedup, "min-cold-speedup", 2, "fail when ColdPathUnitTest ns/op is not at least this factor below the baseline's cold_unittest_pre_pr_ns (0 disables)")
 	flag.Parse()
-	if err := run(*in, *out, *sha, *baselinePath, *maxRegress); err != nil {
+	if err := run(*in, *out, *sha, *baselinePath, g); err != nil {
 		fmt.Fprintln(os.Stderr, "benchguard:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out, sha, baselinePath string, maxRegress float64) error {
+func run(in, out, sha, baselinePath string, g gates) error {
 	var r io.Reader = os.Stdin
 	if in != "" {
 		f, err := os.Open(in)
@@ -133,6 +177,25 @@ func run(in, out, sha, baselinePath string, maxRegress float64) error {
 		art.EngineVsSerial = rat
 	}
 
+	// The baseline is loaded before the artifact is written only so the
+	// historical cold_unittest_pre_pr_ns can be carried into the
+	// artifact (it is a constant, not a measurement of this run). A
+	// missing or corrupt baseline must NOT suppress the artifact — CI
+	// uploads it with if: always() precisely because failed runs are
+	// when the measurements matter — so baseline errors are held until
+	// after the write.
+	var baseline Artifact
+	var baselineErr error
+	if baselinePath != "" {
+		if data, err := os.ReadFile(baselinePath); err != nil {
+			baselineErr = fmt.Errorf("read baseline: %w", err)
+		} else if err := json.Unmarshal(data, &baseline); err != nil {
+			baselineErr = fmt.Errorf("parse baseline: %w", err)
+		} else {
+			art.ColdPrePRNs = baseline.ColdPrePRNs
+		}
+	}
+
 	if out != "" {
 		data, err := json.MarshalIndent(art, "", "  ")
 		if err != nil {
@@ -144,16 +207,25 @@ func run(in, out, sha, baselinePath string, maxRegress float64) error {
 		fmt.Printf("benchguard: wrote %s (%d benchmarks)\n", out, len(benchmarks))
 	}
 
-	if baselinePath == "" || maxRegress <= 0 {
+	if baselinePath == "" {
 		return nil
 	}
-	data, err := os.ReadFile(baselinePath)
-	if err != nil {
-		return fmt.Errorf("read baseline: %w", err)
+	if baselineErr != nil {
+		return baselineErr
 	}
-	var baseline Artifact
-	if err := json.Unmarshal(data, &baseline); err != nil {
-		return fmt.Errorf("parse baseline: %w", err)
+
+	if err := gateEngineRatio(benchmarks, baseline, g.maxRegress); err != nil {
+		return err
+	}
+	if err := gateAllocs(benchmarks, baseline, g.maxAllocRegress); err != nil {
+		return err
+	}
+	return gateColdSpeedup(benchmarks, baseline, g.minColdSpeedup)
+}
+
+func gateEngineRatio(benchmarks map[string]BenchResult, baseline Artifact, maxRegress float64) error {
+	if maxRegress <= 0 {
+		return nil
 	}
 	baseRatio := baseline.EngineVsSerial
 	if baseRatio <= 0 {
@@ -173,6 +245,62 @@ func run(in, out, sha, baselinePath string, maxRegress float64) error {
 	if curRatio > limit {
 		return fmt.Errorf("engine path regressed: ratio %.4f exceeds baseline %.4f by more than %.0f%%",
 			curRatio, baseRatio, maxRegress)
+	}
+	return nil
+}
+
+// gateAllocs compares allocs/op for every benchmark present in both
+// the current run and the baseline. Only benchmarks whose baseline
+// records a nonzero allocs/op participate, so adding a new benchmark
+// never trips the gate until a baseline for it is checked in.
+func gateAllocs(benchmarks map[string]BenchResult, baseline Artifact, maxAllocRegress float64) error {
+	if maxAllocRegress <= 0 {
+		return nil
+	}
+	var failures []string
+	for name, base := range baseline.Benchmarks {
+		if base.AllocsPerOp <= 0 {
+			continue
+		}
+		cur, ok := benchmarks[name]
+		if !ok || cur.AllocsPerOp <= 0 {
+			continue
+		}
+		limit := base.AllocsPerOp * (1 + maxAllocRegress/100)
+		fmt.Printf("benchguard: %s allocs/op %.0f (baseline %.0f, limit %.0f)\n",
+			name, cur.AllocsPerOp, base.AllocsPerOp, limit)
+		if cur.AllocsPerOp > limit {
+			failures = append(failures,
+				fmt.Sprintf("%s: %.0f allocs/op exceeds baseline %.0f by more than %.0f%%",
+					name, cur.AllocsPerOp, base.AllocsPerOp, maxAllocRegress))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("allocation regressions:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// gateColdSpeedup enforces the cold-path headline: the current
+// ColdPathUnitTest ns/op must be at least minSpeedup times below the
+// pre-optimization cost the baseline records.
+func gateColdSpeedup(benchmarks map[string]BenchResult, baseline Artifact, minSpeedup float64) error {
+	if minSpeedup <= 0 || baseline.ColdPrePRNs <= 0 {
+		return nil
+	}
+	cur, ok := benchmarks[coldBench]
+	if !ok {
+		return fmt.Errorf("%s missing from bench output (cold gate active)", coldBench)
+	}
+	if cur.NsPerOp <= 0 {
+		return fmt.Errorf("%s ns/op = %v", coldBench, cur.NsPerOp)
+	}
+	speedup := baseline.ColdPrePRNs / cur.NsPerOp
+	fmt.Printf("benchguard: cold path %.0f ns/op, %.2fx over pre-PR %.0f ns (required %.1fx)\n",
+		cur.NsPerOp, speedup, baseline.ColdPrePRNs, minSpeedup)
+	if speedup < minSpeedup {
+		return fmt.Errorf("cold path regressed: %.0f ns/op is only %.2fx over the pre-PR %.0f ns baseline (need %.1fx)",
+			cur.NsPerOp, speedup, baseline.ColdPrePRNs, minSpeedup)
 	}
 	return nil
 }

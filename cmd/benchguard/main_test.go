@@ -13,6 +13,8 @@ pkg: cloudeval
 BenchmarkZeroShotSerial-8    	       1	3000000000 ns/op	         0.483 gpt4-unit-test
 BenchmarkZeroShotEngine-8    	       1	 900000000 ns/op	      6675 cache-hits	         0.483 gpt4-unit-test	      5120 unit-tests-executed
 BenchmarkZeroShotWarmStore   	       1	 500000000 ns/op	         0.483 gpt4-unit-test	      5120 store-hits	         0 unit-tests-executed
+BenchmarkColdPathUnitTest-8  	   46807	     25000 ns/op	   13870 B/op	     227 allocs/op
+BenchmarkColdPathCampaign-8  	     141	   8220631 ns/op	 3110758 B/op	   50274 allocs/op
 PASS
 `
 
@@ -21,8 +23,8 @@ func TestParseBench(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 3 {
-		t.Fatalf("parsed %d benchmarks, want 3", len(got))
+	if len(got) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5", len(got))
 	}
 	eng := got["ZeroShotEngine"]
 	if eng.NsPerOp != 9e8 || eng.Metrics["cache-hits"] != 6675 || eng.Metrics["unit-tests-executed"] != 5120 {
@@ -32,41 +34,56 @@ func TestParseBench(t *testing.T) {
 	if got["ZeroShotWarmStore"].Metrics["store-hits"] != 5120 {
 		t.Errorf("ZeroShotWarmStore = %+v", got["ZeroShotWarmStore"])
 	}
+	// -benchmem columns land in dedicated fields, not the metric map.
+	cold := got["ColdPathUnitTest"]
+	if cold.BytesPerOp != 13870 || cold.AllocsPerOp != 227 {
+		t.Errorf("ColdPathUnitTest = %+v", cold)
+	}
+	if _, ok := cold.Metrics["B/op"]; ok {
+		t.Error("B/op leaked into the metric map")
+	}
 	r, err := ratio(got)
 	if err != nil || r != 0.3 {
 		t.Errorf("ratio = %v, %v; want 0.3", r, err)
 	}
 }
 
-func TestRegressionGate(t *testing.T) {
-	dir := t.TempDir()
+func writeSample(t *testing.T, dir string) string {
+	t.Helper()
 	benchPath := filepath.Join(dir, "bench.txt")
 	if err := os.WriteFile(benchPath, []byte(sample), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	return benchPath
+}
+
+func writeBaseline(t *testing.T, dir string, art Artifact) string {
+	t.Helper()
 	baselinePath := filepath.Join(dir, "baseline.json")
-	writeBaseline := func(engineNs float64) {
-		t.Helper()
-		art := Artifact{
-			Sha: "baseline",
-			Benchmarks: map[string]BenchResult{
-				"ZeroShotSerial": {Iterations: 1, NsPerOp: 3e9},
-				"ZeroShotEngine": {Iterations: 1, NsPerOp: engineNs},
-			},
-		}
-		data, err := json.Marshal(art)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(baselinePath, data, 0o644); err != nil {
-			t.Fatal(err)
-		}
+	data, err := json.Marshal(art)
+	if err != nil {
+		t.Fatal(err)
 	}
+	if err := os.WriteFile(baselinePath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return baselinePath
+}
+
+func TestRegressionGate(t *testing.T) {
+	dir := t.TempDir()
+	benchPath := writeSample(t, dir)
 
 	// Current ratio 0.3 vs baseline ratio 0.3: within the gate.
-	writeBaseline(9e8)
+	baselinePath := writeBaseline(t, dir, Artifact{
+		Sha: "baseline",
+		Benchmarks: map[string]BenchResult{
+			"ZeroShotSerial": {Iterations: 1, NsPerOp: 3e9},
+			"ZeroShotEngine": {Iterations: 1, NsPerOp: 9e8},
+		},
+	})
 	outPath := filepath.Join(dir, "BENCH_abc.json")
-	if err := run(benchPath, outPath, "abc", baselinePath, 20); err != nil {
+	if err := run(benchPath, outPath, "abc", baselinePath, gates{maxRegress: 20}); err != nil {
 		t.Fatalf("gate failed within tolerance: %v", err)
 	}
 	data, err := os.ReadFile(outPath)
@@ -80,16 +97,104 @@ func TestRegressionGate(t *testing.T) {
 	if art.Sha != "abc" || art.EngineVsSerial != 0.3 {
 		t.Errorf("artifact = sha %q ratio %v", art.Sha, art.EngineVsSerial)
 	}
+	if art.Benchmarks["ColdPathUnitTest"].AllocsPerOp != 227 {
+		t.Errorf("artifact lost allocs/op: %+v", art.Benchmarks["ColdPathUnitTest"])
+	}
 
 	// Baseline engine was 2x faster (ratio 0.15): current 0.3 is a 100%
 	// regression and must fail the gate.
-	writeBaseline(4.5e8)
-	if err := run(benchPath, "", "abc", baselinePath, 20); err == nil {
+	baselinePath = writeBaseline(t, dir, Artifact{
+		Sha: "baseline",
+		Benchmarks: map[string]BenchResult{
+			"ZeroShotSerial": {Iterations: 1, NsPerOp: 3e9},
+			"ZeroShotEngine": {Iterations: 1, NsPerOp: 4.5e8},
+		},
+	})
+	if err := run(benchPath, "", "abc", baselinePath, gates{maxRegress: 20}); err == nil {
 		t.Fatal("gate passed a 100% engine regression")
 	}
 
 	// The same regression passes with the gate disabled.
-	if err := run(benchPath, "", "abc", baselinePath, 0); err != nil {
+	if err := run(benchPath, "", "abc", baselinePath, gates{}); err != nil {
 		t.Fatalf("disabled gate failed: %v", err)
+	}
+}
+
+func TestAllocGate(t *testing.T) {
+	dir := t.TempDir()
+	benchPath := writeSample(t, dir)
+
+	// Baseline allocs match the sample: pass.
+	ok := Artifact{Benchmarks: map[string]BenchResult{
+		"ColdPathUnitTest": {Iterations: 1, NsPerOp: 25000, AllocsPerOp: 227},
+		"ColdPathCampaign": {Iterations: 1, NsPerOp: 8.2e6, AllocsPerOp: 50274},
+	}}
+	if err := run(benchPath, "", "abc", writeBaseline(t, dir, ok), gates{maxAllocRegress: 15}); err != nil {
+		t.Fatalf("alloc gate failed at parity: %v", err)
+	}
+
+	// Baseline was 100 allocs/op: the sample's 227 is a regression.
+	bad := Artifact{Benchmarks: map[string]BenchResult{
+		"ColdPathUnitTest": {Iterations: 1, NsPerOp: 25000, AllocsPerOp: 100},
+	}}
+	badPath := writeBaseline(t, dir, bad)
+	if err := run(benchPath, "", "abc", badPath, gates{maxAllocRegress: 15}); err == nil {
+		t.Fatal("alloc gate passed a 127% regression")
+	}
+	if err := run(benchPath, "", "abc", badPath, gates{}); err != nil {
+		t.Fatalf("disabled alloc gate failed: %v", err)
+	}
+
+	// Benchmarks without an alloc baseline never participate.
+	unrelated := Artifact{Benchmarks: map[string]BenchResult{
+		"ZeroShotSerial": {Iterations: 1, NsPerOp: 3e9},
+	}}
+	if err := run(benchPath, "", "abc", writeBaseline(t, dir, unrelated), gates{maxAllocRegress: 15}); err != nil {
+		t.Fatalf("alloc gate tripped without a baseline: %v", err)
+	}
+}
+
+// TestArtifactWrittenOnBadBaseline pins the CI contract: the
+// BENCH_<sha>.json artifact is written even when the baseline is
+// missing or corrupt (the workflow uploads it with `if: always()`),
+// and the baseline error still fails the run afterwards.
+func TestArtifactWrittenOnBadBaseline(t *testing.T) {
+	dir := t.TempDir()
+	benchPath := writeSample(t, dir)
+	outPath := filepath.Join(dir, "BENCH_bad.json")
+	missing := filepath.Join(dir, "nope.json")
+	if err := run(benchPath, outPath, "bad", missing, gates{maxRegress: 20}); err == nil {
+		t.Fatal("missing baseline did not fail the run")
+	}
+	if _, err := os.Stat(outPath); err != nil {
+		t.Fatalf("artifact not written on bad baseline: %v", err)
+	}
+}
+
+func TestColdSpeedupGate(t *testing.T) {
+	dir := t.TempDir()
+	benchPath := writeSample(t, dir)
+
+	// Pre-PR cost 100000 ns, sample 25000 ns: 4x, passes a 2x gate.
+	pass := Artifact{ColdPrePRNs: 100000}
+	if err := run(benchPath, "", "abc", writeBaseline(t, dir, pass), gates{minColdSpeedup: 2}); err != nil {
+		t.Fatalf("cold gate failed a 4x speedup: %v", err)
+	}
+
+	// Pre-PR cost 40000 ns: 1.6x only, fails a 2x gate.
+	fail := Artifact{ColdPrePRNs: 40000}
+	failPath := writeBaseline(t, dir, fail)
+	if err := run(benchPath, "", "abc", failPath, gates{minColdSpeedup: 2}); err == nil {
+		t.Fatal("cold gate passed a 1.6x speedup")
+	}
+	if err := run(benchPath, "", "abc", failPath, gates{}); err != nil {
+		t.Fatalf("disabled cold gate failed: %v", err)
+	}
+
+	// A baseline without the cold record disables the gate even when
+	// the flag is set (pre-PR repositories).
+	empty := Artifact{Benchmarks: map[string]BenchResult{}}
+	if err := run(benchPath, "", "abc", writeBaseline(t, dir, empty), gates{minColdSpeedup: 2}); err != nil {
+		t.Fatalf("cold gate tripped without a baseline record: %v", err)
 	}
 }

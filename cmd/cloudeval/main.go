@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"cloudeval"
@@ -66,7 +68,8 @@ func usage() {
 
 Commands:
   dataset             print dataset statistics (Table 2) and augmentation stats (Table 1)
-  bench [-store F]    run the zero-shot benchmark (Table 4)
+  bench [-store F] [-cpuprofile F] [-memprofile F]
+                      run the zero-shot benchmark (Table 4), optionally profiled
   figures -id <id>    regenerate one experiment (table1..table9, figure5..figure9)
   figures -all        regenerate every table and figure (both accept -store F)
   campaign -dir <d>   run a resumable checkpointed campaign [-ids a,b,...] [-store F]
@@ -105,9 +108,16 @@ func newBench(storePath string) (*cloudeval.Benchmark, func() error, error) {
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	storePath := fs.String("store", "", "persistent evaluation store path")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the campaign here")
+	memProfile := fs.String("memprofile", "", "write an allocation profile here after the campaign")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 	b, closeStore, err := newBench(*storePath)
 	if err != nil {
 		return err
@@ -119,6 +129,46 @@ func cmdBench(args []string) error {
 			stats.Executed, stats.CacheHits, stats.StoreHits)
 	}
 	return closeStore()
+}
+
+// startProfiles starts a CPU profile and arranges a heap snapshot, so
+// perf work on the evaluation path begins from a profile instead of a
+// guess (see CONTRIBUTING.md "Profiling the evaluation path"). The
+// returned stop function is safe to call once whether or not profiling
+// is active.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			fmt.Fprintf(os.Stderr, "cloudeval: wrote CPU profile to %s\n", cpuPath)
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cloudeval: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush recent allocations into the profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "cloudeval: memprofile:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "cloudeval: wrote allocation profile to %s\n", memPath)
+		}
+	}, nil
 }
 
 func cmdFigures(args []string) error {

@@ -25,9 +25,11 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"cloudeval/internal/core"
@@ -43,11 +45,38 @@ func main() {
 	}
 }
 
+// withPprof routes /debug/pprof/* to the net/http/pprof handlers and
+// everything else to the API handler. The pprof import is wired
+// explicitly rather than via the DefaultServeMux side effect so the
+// endpoints exist only when -pprof is set.
+func withPprof(api http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", func(w http.ResponseWriter, r *http.Request) {
+		switch name := strings.TrimPrefix(r.URL.Path, "/debug/pprof/"); name {
+		case "", "index":
+			pprof.Index(w, r)
+		case "cmdline":
+			pprof.Cmdline(w, r)
+		case "profile":
+			pprof.Profile(w, r)
+		case "symbol":
+			pprof.Symbol(w, r)
+		case "trace":
+			pprof.Trace(w, r)
+		default:
+			pprof.Handler(name).ServeHTTP(w, r)
+		}
+	})
+	mux.Handle("/", api)
+	return mux
+}
+
 func run() error {
 	addr := flag.String("addr", ":8080", "listen address")
 	data := flag.String("data", "cloudevald-data", "data directory (store + campaign checkpoints)")
 	storePath := flag.String("store", "", "evaluation store path (default <data>/eval.store)")
 	warm := flag.Bool("warm", false, "run the Table 4 campaign at startup so the first request is cheap")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (off by default)")
 	flag.Parse()
 
 	if err := os.MkdirAll(*data, 0o755); err != nil {
@@ -77,7 +106,16 @@ func run() error {
 			time.Since(start).Round(time.Millisecond), stats.Executed, stats.CacheHits, stats.StoreHits)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		// Opt-in profiling endpoints, so a long first-run campaign or a
+		// slow eval can be profiled in place instead of reproduced in a
+		// bench harness. Off by default: the daemon may face networks
+		// where exposing goroutine dumps and heap contents is unwanted.
+		handler = withPprof(handler)
+		fmt.Println("cloudevald: pprof enabled at /debug/pprof/")
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Printf("cloudevald: listening on %s\n", *addr)

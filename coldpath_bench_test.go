@@ -1,0 +1,130 @@
+// Cold-path benchmarks: the cost of a cache-miss evaluation, with the
+// engine's memoization and the persistent store out of the picture.
+// PR 1/PR 2 made the warm path nearly free; these benchmarks measure —
+// and cmd/benchguard gates — what everything new (first-run campaigns,
+// pass@k sampling, augmentation sweeps) pays per execution.
+//
+// Run with allocation profiling:
+//
+//	go test -bench ColdPath -benchmem -benchtime 10x -run '^$' .
+//
+// BenchmarkColdPathUnitTest keeps the cold-path infrastructure
+// (shell AST cache, yamlx document cache, environment prototypes)
+// enabled: that is the path a cache-miss takes in production.
+// BenchmarkColdPathUnitTestNoCaches switches the parse caches off too,
+// isolating the raw lex/parse/execute cost that the allocation diet
+// targets.
+package cloudeval_test
+
+import (
+	"testing"
+
+	"cloudeval/internal/dataset"
+	"cloudeval/internal/engine"
+	"cloudeval/internal/llm"
+	"cloudeval/internal/shell"
+	"cloudeval/internal/unittest"
+	"cloudeval/internal/yamlmatch"
+	"cloudeval/internal/yamlx"
+)
+
+// coldSample picks a spread of problems across categories so the
+// single-execution benchmarks are not dominated by one script shape.
+func coldSample(n int) []dataset.Problem {
+	originals, _ := fixtures()
+	if n > len(originals) {
+		n = len(originals)
+	}
+	step := len(originals) / n
+	if step == 0 {
+		step = 1
+	}
+	out := make([]dataset.Problem, 0, n)
+	for i := 0; i < len(originals) && len(out) < n; i += step {
+		out = append(out, originals[i])
+	}
+	return out
+}
+
+// BenchmarkColdPathUnitTest is the headline cold single-execution
+// number: one unit test executed end to end (fresh simulated
+// environment, script run, result extracted) with no result caching.
+// ci/bench-baseline.json records the pre-optimization value in
+// cold_unittest_pre_pr_ns; cmd/benchguard enforces that this stays at
+// least 2x below it and that allocs/op never regress.
+func BenchmarkColdPathUnitTest(b *testing.B) {
+	probs := coldSample(16)
+	refs := make([]string, len(probs))
+	for i, p := range probs {
+		refs[i] = yamlmatch.StripLabels(p.ReferenceYAML)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := probs[i%len(probs)]
+		res := unittest.Run(p, refs[i%len(probs)])
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+}
+
+// BenchmarkColdPathUnitTestNoCaches additionally disables the shell
+// AST cache and the yamlx document cache, exposing the raw
+// lex/parse/execute cost per execution. The gap to
+// BenchmarkColdPathUnitTest is what parse-once/run-many buys; the
+// absolute number is what the lexer/parser allocation diet targets.
+func BenchmarkColdPathUnitTestNoCaches(b *testing.B) {
+	probs := coldSample(16)
+	refs := make([]string, len(probs))
+	for i, p := range probs {
+		refs[i] = yamlmatch.StripLabels(p.ReferenceYAML)
+	}
+	prevAST := shell.SetASTCache(false)
+	prevDoc := yamlx.SetDocCache(false)
+	defer func() {
+		shell.SetASTCache(prevAST)
+		yamlx.SetDocCache(prevDoc)
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := probs[i%len(probs)]
+		res := unittest.Run(p, refs[i%len(probs)])
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+}
+
+// BenchmarkColdPathCampaign is cold full-campaign throughput: one
+// model's answers over the original corpus through an engine with
+// memoization disabled, so every job executes. This is the first-run
+// cost of anything new — a fresh model, a fresh augmentation, a pass@k
+// sample at nonzero temperature.
+func BenchmarkColdPathCampaign(b *testing.B) {
+	originals, _ := fixtures()
+	m, _ := llm.ByName("gpt-4")
+	answers := make([]string, len(originals))
+	for i, p := range originals {
+		answers[i] = llm.Postprocess(m.Generate(p, llm.GenOptions{}))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := engine.New(engine.WithoutCache())
+		passed := 0
+		results := make([]unittest.Result, len(originals))
+		eng.ForEach(len(originals), func(j int) {
+			results[j] = eng.UnitTest(originals[j], answers[j])
+		})
+		for _, r := range results {
+			if r.Passed {
+				passed++
+			}
+		}
+		if passed == 0 {
+			b.Fatal("no passes in cold campaign")
+		}
+	}
+}

@@ -44,12 +44,12 @@ func Categorize(answer string, p dataset.Problem, passed bool) int {
 	if !strings.Contains(answer, marker) {
 		return 2
 	}
-	docs, err := yamlx.ParseAll([]byte(answer))
+	docs, err := yamlx.ParseAllCached([]byte(answer))
 	if err != nil {
 		return 3
 	}
 	gotKind := firstKind(docs, p.Category)
-	wantDocs, err := yamlx.ParseAll([]byte(p.ReferenceYAML))
+	wantDocs, err := yamlx.ParseAllCached([]byte(p.ReferenceYAML))
 	if err != nil {
 		return 5
 	}

@@ -11,9 +11,11 @@
 package envoysim
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"strings"
 
+	"cloudeval/internal/memo"
 	"cloudeval/internal/yamlx"
 )
 
@@ -53,9 +55,32 @@ type Endpoint struct {
 	Port    int
 }
 
+// LoadCached is Load through a content-addressed cache: each distinct
+// bootstrap text is parsed and validated once per process, and the
+// resulting Bootstrap is shared. This is safe because a Bootstrap is
+// immutable after Load — Probe/RouteFor/ClusterByName only read — and
+// it matters because every "envoy -c file" in a unit-test script
+// re-loads the same config on the cold evaluation path.
+func LoadCached(src string) (*Bootstrap, error) {
+	o := bootCache.Do(sha256.Sum256([]byte(src)), func() *bootOutcome {
+		boot, err := Load(src)
+		return &bootOutcome{boot: boot, err: err}
+	})
+	return o.boot, o.err
+}
+
+type bootOutcome struct {
+	boot *Bootstrap
+	err  error
+}
+
+// Bootstrap texts come from answer files, so the cache is capped like
+// the yamlx document cache.
+var bootCache = memo.New[[sha256.Size]byte, *bootOutcome](1 << 14)
+
 // Load parses and validates a bootstrap config from YAML text.
 func Load(src string) (*Bootstrap, error) {
-	doc, err := yamlx.ParseString(src)
+	doc, err := yamlx.ParseCachedString(src)
 	if err != nil {
 		return nil, fmt.Errorf("envoy: cannot parse configuration: %w", err)
 	}

@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 
+	"cloudeval/internal/memo"
 	"cloudeval/internal/yamlx"
 )
 
@@ -69,7 +70,7 @@ func EvalExpr(root *yamlx.Node, expr string) ([]*yamlx.Node, error) {
 		return nil, fmt.Errorf("jsonpath: range templates are not supported: %q", expr)
 	}
 	expr = strings.TrimPrefix(expr, "$")
-	steps, err := parseSteps(expr)
+	steps, err := parseStepsCached(expr)
 	if err != nil {
 		return nil, err
 	}
@@ -152,6 +153,26 @@ func collectRecursive(n *yamlx.Node, name string, out *[]*yamlx.Node) {
 		}
 	}
 }
+
+// parseStepsCached compiles an expression once per process: the same
+// handful of templates run on every unit-test execution, and a step
+// slice is immutable after parse, so compiled expressions are shared.
+// Expressions come from script text, so the cache is capped (see the
+// memo package).
+func parseStepsCached(expr string) ([]step, error) {
+	o := stepCache.Do(expr, func() *stepsOutcome {
+		steps, err := parseSteps(expr)
+		return &stepsOutcome{steps: steps, err: err}
+	})
+	return o.steps, o.err
+}
+
+type stepsOutcome struct {
+	steps []step
+	err   error
+}
+
+var stepCache = memo.New[string, *stepsOutcome](1 << 14)
 
 func parseSteps(expr string) ([]step, error) {
 	var steps []step

@@ -1,0 +1,100 @@
+package k8scmd
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPooledEnvNoLeak is the regression test for environment recycling:
+// nothing one execution does — files written, variables exported,
+// namespaces created, workloads applied, envoy started, virtual time
+// consumed — may be visible to the next execution that draws from the
+// pool.
+func TestPooledEnvNoLeak(t *testing.T) {
+	first := GetEnv()
+	script := `
+kubectl create namespace leaky
+kubectl create deployment web --image=nginx -n leaky
+echo secret > /tmp/leak.txt
+export LEAKVAR=oops
+sleep 5
+`
+	first.Shell.FS["seed.yaml"] = "kind: ConfigMap"
+	if _, err := first.Shell.Run(script); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if !first.Cluster.HasNamespace("leaky") {
+		t.Fatal("setup failed: namespace not created")
+	}
+	PutEnv(first)
+
+	// The recycled env must be indistinguishable from a fresh one.
+	recycled := GetEnv()
+	defer PutEnv(recycled)
+	fresh := NewEnv()
+	if recycled.Cluster.HasNamespace("leaky") {
+		t.Error("namespace leaked through the pool")
+	}
+	if _, ok := recycled.Shell.FS["/tmp/leak.txt"]; ok {
+		t.Error("file leaked through the pool")
+	}
+	if _, ok := recycled.Shell.FS["seed.yaml"]; ok {
+		t.Error("seeded file leaked through the pool")
+	}
+	if v, ok := recycled.Shell.Env["LEAKVAR"]; ok {
+		t.Errorf("variable leaked through the pool: LEAKVAR=%q", v)
+	}
+	if recycled.Envoy != nil {
+		t.Error("envoy bootstrap leaked through the pool")
+	}
+	if !recycled.Cluster.Now().Equal(fresh.Cluster.Now()) {
+		t.Errorf("virtual clock leaked: recycled %v, fresh %v", recycled.Cluster.Now(), fresh.Cluster.Now())
+	}
+
+	// And it must behave identically: the same script produces the
+	// same output in a recycled env as in a fresh one.
+	out1, err1 := recycled.Shell.Run("kubectl get ns default -o name && echo $LEAKVAR done")
+	out2, err2 := fresh.Shell.Run("kubectl get ns default -o name && echo $LEAKVAR done")
+	if err1 != nil || err2 != nil {
+		t.Fatalf("runs errored: %v / %v", err1, err2)
+	}
+	if out1.Stdout != out2.Stdout || out1.ExitCode != out2.ExitCode {
+		t.Errorf("recycled env diverged from fresh env:\nrecycled: %q (%d)\nfresh:    %q (%d)",
+			out1.Stdout, out1.ExitCode, out2.Stdout, out2.ExitCode)
+	}
+	if strings.Contains(out1.Stdout, "oops") {
+		t.Error("leaked variable observable in output")
+	}
+}
+
+// The measurement behind the environment-recycling design choice (see
+// DESIGN.md §2.6): BenchmarkEnvFresh is the clone-from-prototype
+// contender reduced to its floor — NewEnv already stamps environments
+// out of shared immutable state (the core builtin table, the cached
+// ASTs and documents), so a structured clone could at best match it —
+// and BenchmarkEnvPooled is the pooled reset. The pooled variant wins
+// because Reset retains map bucket capacity and builtin bindings that
+// a rebuild (or clone) pays for every time; unittest.Run therefore
+// draws from the pool.
+func BenchmarkEnvFresh(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEnv()
+		e.Shell.FS["labeled_code.yaml"] = "kind: Pod"
+		if _, err := e.Shell.Run("kubectl version"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnvPooled(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := GetEnv()
+		e.Shell.FS["labeled_code.yaml"] = "kind: Pod"
+		if _, err := e.Shell.Run("kubectl version"); err != nil {
+			b.Fatal(err)
+		}
+		PutEnv(e)
+	}
+}

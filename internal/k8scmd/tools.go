@@ -185,7 +185,7 @@ func (e *Env) envoy(in *shell.Interp, io *shell.IO, args []string) int {
 		fmt.Fprintf(io.Err, "envoy: unable to read file: %s\n", file)
 		return 1
 	}
-	b, err := envoysim.Load(src)
+	b, err := envoysim.LoadCached(src)
 	if err != nil {
 		fmt.Fprintf(io.Err, "%v\n", err)
 		return 1

@@ -20,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"cloudeval/internal/memo"
 	"cloudeval/internal/yamlx"
 )
 
@@ -48,6 +49,18 @@ type Object struct {
 	Failed    bool   // image pull errors and the like
 	FailMsg   string // reason for Failed
 	PodIP     string
+
+	createdStampCache string // lazily rendered CreatedAt, see createdStamp
+}
+
+// createdStamp renders CreatedAt in the kubectl timestamp format,
+// caching the result: withStatus runs on every get and the timestamp
+// never changes after creation.
+func (o *Object) createdStamp() string {
+	if o.createdStampCache == "" {
+		o.createdStampCache = o.CreatedAt.Format("2006-01-02T15:04:05Z")
+	}
+	return o.createdStampCache
 }
 
 // Cluster is a simulated Kubernetes cluster.
@@ -60,16 +73,37 @@ type Cluster struct {
 	events     []string
 }
 
+// epoch is the fixed virtual time every fresh (or reset) cluster
+// starts at, so evaluations are deterministic.
+var epoch = time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+
 // NewCluster returns an empty cluster with the "default", "kube-system"
 // namespaces and a virtual clock starting at a fixed epoch.
 func NewCluster() *Cluster {
 	return &Cluster{
-		now:        time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC),
+		now:        epoch,
 		objects:    make(map[string]map[string]*Object),
 		namespaces: map[string]bool{"default": true, "kube-system": true},
 		nextPodIP:  2,
 		nextPort:   30000,
 	}
+}
+
+// Reset returns the cluster to its pristine NewCluster state while
+// retaining allocated bucket capacity, so environment pools can stamp
+// out executions without rebuilding the world. Equivalence with a
+// fresh cluster is what TestPooledEnvNoLeak pins down.
+func (c *Cluster) Reset() {
+	c.now = epoch
+	for _, b := range c.objects {
+		clear(b)
+	}
+	clear(c.namespaces)
+	c.namespaces["default"] = true
+	c.namespaces["kube-system"] = true
+	c.nextPodIP = 2
+	c.nextPort = 30000
+	c.events = c.events[:0]
 }
 
 // Now returns the current virtual time.
@@ -92,8 +126,17 @@ func (c *Cluster) Event(format string, args ...any) {
 func CanonicalKind(kind string) string { return kindKey(kind) }
 
 // kindKey canonicalizes resource kind spellings ("pod", "pods", "po",
-// "Pod" all name the same store).
+// "Pod" all name the same store). The canonicalization runs on every
+// store access, so results are memoized process-wide; spellings are
+// usually a small fixed vocabulary, but kind: values parsed out of
+// model-generated answers can be arbitrary, hence the capped cache.
 func kindKey(kind string) string {
+	return kindKeyCache.Do(kind, func() string { return kindKeySlow(kind) })
+}
+
+var kindKeyCache = memo.New[string, string](1 << 12)
+
+func kindKeySlow(kind string) string {
 	k := strings.ToLower(strings.TrimSpace(kind))
 	k = strings.TrimSuffix(k, "es")
 	if strings.HasSuffix(k, "s") && k != "ingress" && k != "statefulset" && k != "daemonset" && k != "limitrange" {
@@ -205,8 +248,12 @@ func (r ApplyResult) String() string {
 // ApplyYAML parses a (possibly multi-document) manifest and applies
 // every document, mimicking "kubectl apply -f". The defaultNS applies
 // to namespaced resources without an explicit metadata.namespace.
+// Parsing goes through the yamlx document cache — the same answer text
+// is applied once per model sample but parsed once per process — and
+// Apply deep-copies each document before storing it, so the cached
+// trees stay pristine.
 func (c *Cluster) ApplyYAML(src string, defaultNS string) ([]ApplyResult, error) {
-	docs, err := yamlx.ParseAll([]byte(src))
+	docs, err := yamlx.ParseAllCached([]byte(src))
 	if err != nil {
 		return nil, fmt.Errorf("error parsing YAML: %w", err)
 	}
@@ -253,7 +300,7 @@ func (c *Cluster) Apply(doc *yamlx.Node, defaultNS string) (ApplyResult, error) 
 		created := !c.namespaces[name]
 		c.namespaces[name] = true
 		c.bucket(kind)[nsName("", name)] = &Object{
-			Manifest: doc.Clone(), Kind: kind, Name: name, CreatedAt: c.now,
+			Manifest: doc, Kind: kind, Name: name, CreatedAt: c.now,
 		}
 		return ApplyResult{Kind: kind, Name: name, Created: created}, nil
 	}
@@ -261,8 +308,17 @@ func (c *Cluster) Apply(doc *yamlx.Node, defaultNS string) (ApplyResult, error) 
 	bucket := c.bucket(kind)
 	key := nsName(ns, name)
 	_, existed := bucket[key]
+	// Stored manifests are immutable after apply for every kind except
+	// Service, whose controller writes allocated values (clusterIP,
+	// nodePort) into the stored tree. Everything else stores the parsed
+	// document as-is — which may come from the shared yamlx cache — so
+	// applying a manifest costs no deep copy.
+	manifest := doc
+	if kindKey(kind) == "service" {
+		manifest = doc.Clone()
+	}
 	obj := &Object{
-		Manifest:  doc.Clone(),
+		Manifest:  manifest,
 		Kind:      kind,
 		Name:      name,
 		Namespace: ns,
@@ -276,7 +332,7 @@ func (c *Cluster) Apply(doc *yamlx.Node, defaultNS string) (ApplyResult, error) 
 // DeleteYAML deletes every resource named in a manifest, mimicking
 // "kubectl delete -f".
 func (c *Cluster) DeleteYAML(src string, defaultNS string) ([]string, error) {
-	docs, err := yamlx.ParseAll([]byte(src))
+	docs, err := yamlx.ParseAllCached([]byte(src))
 	if err != nil {
 		return nil, fmt.Errorf("error parsing YAML: %w", err)
 	}
@@ -326,24 +382,32 @@ func (c *Cluster) Delete(kind, ns, name string) error {
 	return nil
 }
 
-// GetByName fetches one resource with live status populated.
-func (c *Cluster) GetByName(kind, ns, name string) (*yamlx.Node, bool) {
+// GetObject fetches one stored resource without materializing status.
+func (c *Cluster) GetObject(kind, ns, name string) (*Object, bool) {
 	if !namespaced(kind) {
 		ns = ""
 	} else if ns == "" {
 		ns = "default"
 	}
 	obj, ok := c.bucket(kind)[nsName(ns, name)]
+	return obj, ok
+}
+
+// GetByName fetches one resource with live status populated.
+func (c *Cluster) GetByName(kind, ns, name string) (*yamlx.Node, bool) {
+	obj, ok := c.GetObject(kind, ns, name)
 	if !ok {
 		return nil, false
 	}
 	return c.withStatus(obj), true
 }
 
-// List returns resources of a kind in a namespace (all namespaces when
-// ns is "*"), filtered by an equality label selector like "app=web"
-// (empty selector matches all), sorted by name.
-func (c *Cluster) List(kind, ns, selector string) []*yamlx.Node {
+// ListObjects returns the stored objects of a kind in a namespace (all
+// namespaces when ns is "*"), filtered by an equality label selector
+// like "app=web" (empty selector matches all), sorted by name. The
+// wait loop uses this to poll conditions without building kubectl-style
+// documents each step.
+func (c *Cluster) ListObjects(kind, ns, selector string) []*Object {
 	sel := parseSelector(selector)
 	var objs []*Object
 	for _, obj := range c.bucket(kind) {
@@ -362,6 +426,13 @@ func (c *Cluster) List(kind, ns, selector string) []*yamlx.Node {
 		objs = append(objs, obj)
 	}
 	sort.Slice(objs, func(i, j int) bool { return objs[i].Name < objs[j].Name })
+	return objs
+}
+
+// List returns resources of a kind with live status populated, in the
+// same order and under the same filters as ListObjects.
+func (c *Cluster) List(kind, ns, selector string) []*yamlx.Node {
+	objs := c.ListObjects(kind, ns, selector)
 	out := make([]*yamlx.Node, len(objs))
 	for i, o := range objs {
 		out[i] = c.withStatus(o)

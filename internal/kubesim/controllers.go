@@ -63,12 +63,16 @@ func (c *Cluster) spawnPods(owner *Object, n int) {
 		}
 		meta.Set("name", yamlx.String(podName))
 		meta.Set("namespace", yamlx.String(owner.Namespace))
+		// The template's labels and spec subtrees are shared, not
+		// cloned: pod manifests are never mutated after creation (only
+		// service manifests are, in initService), so every replica can
+		// reference the owner's template directly.
 		if lbl := template.Path("metadata", "labels"); lbl != nil {
-			meta.Set("labels", lbl.Clone())
+			meta.Set("labels", lbl)
 		}
 		pod.Set("metadata", meta)
 		if spec := template.Get("spec"); spec != nil {
-			pod.Set("spec", spec.Clone())
+			pod.Set("spec", spec)
 		}
 		p := &Object{
 			Manifest:  pod,
@@ -142,20 +146,26 @@ func (c *Cluster) initService(svc *Object) {
 	}
 }
 
-// withStatus clones the stored manifest and fills in the live status
-// fields a kubectl user would see at the current virtual time.
+// withStatus decorates the stored manifest with the live status fields
+// a kubectl user would see at the current virtual time. Only the spine
+// is copied (root and metadata, via ShallowClone); all other subtrees
+// are shared with the stored manifest, which is safe because every
+// consumer of the returned document — table renderers, jsonpath,
+// marshalers, condition checks — is read-only.
 func (c *Cluster) withStatus(obj *Object) *yamlx.Node {
-	n := obj.Manifest.Clone()
+	n := obj.Manifest.ShallowClone()
 	meta := n.Get("metadata")
 	if meta == nil {
 		meta = yamlx.Map()
-		n.Set("metadata", meta)
+	} else {
+		meta = meta.ShallowClone()
 	}
+	n.Set("metadata", meta)
 	if meta.Get("namespace") == nil && namespaced(obj.Kind) {
 		meta.Set("namespace", yamlx.String(obj.Namespace))
 	}
 	if meta.Get("creationTimestamp") == nil {
-		meta.Set("creationTimestamp", yamlx.String(obj.CreatedAt.Format("2006-01-02T15:04:05Z")))
+		meta.Set("creationTimestamp", yamlx.String(obj.createdStamp()))
 	}
 	switch kindKey(obj.Kind) {
 	case "pod":
@@ -191,6 +201,64 @@ func condition(condType string, status bool) *yamlx.Node {
 // PodReady reports whether a pod object is Ready at the current time.
 func (c *Cluster) PodReady(obj *Object) bool {
 	return !obj.Failed && !obj.ReadyAt.IsZero() && !c.now.Before(obj.ReadyAt)
+}
+
+// ObjectCondition reports whether a stored resource currently satisfies
+// the named status condition — exactly the predicate that
+// HasCondition(withStatus(obj), condType) computes, but evaluated
+// directly on the object so the wait loop's polling never materializes
+// status documents. TestObjectConditionMatchesStatus asserts the
+// equivalence for every kind and condition the status builders emit.
+func (c *Cluster) ObjectCondition(obj *Object, condType string) bool {
+	switch kindKey(obj.Kind) {
+	case "pod":
+		switch {
+		case strings.EqualFold(condType, "Ready"), strings.EqualFold(condType, "ContainersReady"):
+			return c.PodReady(obj)
+		case strings.EqualFold(condType, "Initialized"):
+			return !obj.Failed
+		case strings.EqualFold(condType, "PodScheduled"):
+			return true
+		}
+	case "deployment", "replicaset", "statefulset":
+		switch {
+		case strings.EqualFold(condType, "Progressing"):
+			return true
+		case strings.EqualFold(condType, "Available"), strings.EqualFold(condType, "Ready"):
+			return c.workloadAllReady(obj)
+		}
+	case "daemonset":
+		if strings.EqualFold(condType, "Ready") {
+			return c.readyOwnedPods(obj) >= 1
+		}
+	case "job":
+		if strings.EqualFold(condType, "Complete") {
+			return !obj.DoneAt.IsZero() && !c.now.Before(obj.DoneAt)
+		}
+	}
+	return false
+}
+
+// workloadAllReady reports whether a workload's ready pods meet its
+// desired replica count, the predicate behind its Available/Ready
+// conditions.
+func (c *Cluster) workloadAllReady(obj *Object) bool {
+	desired := int64(1)
+	if r, ok := obj.Manifest.Path("spec", "replicas").AsInt(); ok {
+		desired = r
+	}
+	return c.readyOwnedPods(obj) >= desired && desired > 0
+}
+
+// readyOwnedPods counts the Ready pods a workload owns.
+func (c *Cluster) readyOwnedPods(obj *Object) int64 {
+	ready := int64(0)
+	for _, p := range c.ownedPods(obj) {
+		if c.PodReady(p) {
+			ready++
+		}
+	}
+	return ready
 }
 
 func (c *Cluster) podStatus(obj *Object) *yamlx.Node {
@@ -236,12 +304,7 @@ func (c *Cluster) workloadStatus(obj *Object, condType string) *yamlx.Node {
 	if r, ok := obj.Manifest.Path("spec", "replicas").AsInt(); ok {
 		desired = r
 	}
-	ready := int64(0)
-	for _, p := range c.ownedPods(obj) {
-		if c.PodReady(p) {
-			ready++
-		}
-	}
+	ready := c.readyOwnedPods(obj)
 	st := yamlx.Map()
 	st.Set("replicas", yamlx.Integer(desired))
 	st.Set("readyReplicas", yamlx.Integer(ready))
@@ -257,12 +320,7 @@ func (c *Cluster) workloadStatus(obj *Object, condType string) *yamlx.Node {
 }
 
 func (c *Cluster) daemonSetStatus(obj *Object) *yamlx.Node {
-	ready := int64(0)
-	for _, p := range c.ownedPods(obj) {
-		if c.PodReady(p) {
-			ready++
-		}
-	}
+	ready := c.readyOwnedPods(obj)
 	st := yamlx.Map()
 	st.Set("desiredNumberScheduled", yamlx.Integer(1))
 	st.Set("currentNumberScheduled", yamlx.Integer(1))

@@ -23,6 +23,12 @@ type WaitOptions struct {
 // reports the condition with status True, or the timeout elapses. Like
 // kubectl, it errors when no resources match or the condition never
 // becomes true.
+//
+// The wait loop is the hottest polling path of a unit test (up to 60
+// probes per wait), so conditions are evaluated directly on the stored
+// objects via ObjectCondition instead of materializing kubectl-style
+// status documents each step; TestObjectConditionMatchesStatus pins
+// the two representations together.
 func (c *Cluster) WaitFor(opts WaitOptions) error {
 	if opts.Timeout <= 0 {
 		opts.Timeout = 30 * time.Second
@@ -37,7 +43,7 @@ func (c *Cluster) WaitFor(opts WaitOptions) error {
 			}
 			return fmt.Errorf("error: no matching resources found")
 		}
-		if allConditionsTrue(targets, opts.Condition) {
+		if c.allConditionsTrue(targets, opts.Condition) {
 			return nil
 		}
 		if !c.now.Before(deadline) {
@@ -47,22 +53,22 @@ func (c *Cluster) WaitFor(opts WaitOptions) error {
 	}
 }
 
-func (c *Cluster) waitTargets(opts WaitOptions) []*yamlx.Node {
+func (c *Cluster) waitTargets(opts WaitOptions) []*Object {
 	if len(opts.Names) > 0 {
-		var out []*yamlx.Node
+		var out []*Object
 		for _, name := range opts.Names {
-			if n, ok := c.GetByName(opts.Kind, opts.Namespace, name); ok {
-				out = append(out, n)
+			if o, ok := c.GetObject(opts.Kind, opts.Namespace, name); ok {
+				out = append(out, o)
 			}
 		}
 		return out
 	}
-	return c.List(opts.Kind, opts.Namespace, opts.Selector)
+	return c.ListObjects(opts.Kind, opts.Namespace, opts.Selector)
 }
 
-func allConditionsTrue(nodes []*yamlx.Node, condType string) bool {
-	for _, n := range nodes {
-		if !HasCondition(n, condType) {
+func (c *Cluster) allConditionsTrue(objs []*Object, condType string) bool {
+	for _, o := range objs {
+		if !c.ObjectCondition(o, condType) {
 			return false
 		}
 	}

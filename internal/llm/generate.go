@@ -218,10 +218,11 @@ func truncateYAML(clean string, rng *rand.Rand) string {
 // wrongKind swaps the resource kind for a plausible but wrong one.
 func wrongKind(clean string, p dataset.Problem, rng *rand.Rand) string {
 	alternatives := []string{"Pod", "Deployment", "Service", "ConfigMap", "ReplicaSet"}
-	doc, err := yamlx.ParseString(clean)
+	doc, err := yamlx.ParseCachedString(clean)
 	if err != nil || doc.Kind != yamlx.MapKind {
 		return clean
 	}
+	doc = doc.Clone() // the cached tree is shared; mutate a copy
 	cur := doc.Get("kind").ScalarString()
 	alt := alternatives[rng.Intn(len(alternatives))]
 	for alt == cur {
@@ -238,10 +239,11 @@ func wrongKind(clean string, p dataset.Problem, rng *rand.Rand) string {
 // script actually asserts on, which is what "plausible but wrong"
 // answers get wrong in practice.
 func corruptYAML(clean string, p dataset.Problem, rng *rand.Rand) string {
-	docs, err := yamlx.ParseAll([]byte(clean))
+	docs, err := yamlx.ParseAllCached([]byte(clean))
 	if err != nil {
 		return clean
 	}
+	docs = yamlx.CloneDocs(docs) // cached trees are shared; mutate copies
 	// Collect scalar leaves that the unit test observes.
 	type leafRef struct {
 		parent *yamlx.Node
@@ -394,10 +396,11 @@ func mutateScalar(v *yamlx.Node, rng *rand.Rand) *yamlx.Node {
 // set-labeled values pick another allowed member. Text metrics drop;
 // KV-wildcard and unit tests stay at 1.
 func harmlessNoise(clean string, p dataset.Problem, rng *rand.Rand) string {
-	labeled, err := yamlx.ParseAll([]byte(p.ReferenceYAML))
+	labeled, err := yamlx.ParseAllCached([]byte(p.ReferenceYAML))
 	if err != nil {
 		return clean
 	}
+	labeled = yamlx.CloneDocs(labeled) // cached trees are shared; mutate copies
 	for _, doc := range labeled {
 		applyHarmless(doc, rng)
 	}

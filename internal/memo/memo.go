@@ -1,0 +1,58 @@
+// Package memo is the shared building block for the process-wide
+// content-addressed caches on the cold evaluation path (shell ASTs,
+// yamlx documents, envoy bootstraps, jsonpath programs, kind
+// spellings). Each cache maps an immutable key — usually a content
+// digest — to an immutable outcome computed exactly once.
+//
+// Entry count is capped: several of these caches are fed by
+// model-generated text (candidate answers, corrupted kinds), which in
+// a long-lived cloudevald daemon sampling at nonzero temperature is
+// unbounded. A full cache keeps serving hits for what it already
+// holds and computes everything else fresh — performance degrades to
+// the uncached path, memory does not grow. The cap is approximate
+// under concurrency (the counter and the map insert are not one
+// atomic step), which is fine: it bounds growth, it is not a quota.
+package memo
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Cache memoizes key → value with a best-effort entry cap. The zero
+// value is not usable; construct with New. Values must be immutable
+// (or never mutated by callers), since they are shared across
+// goroutines.
+type Cache[K comparable, V any] struct {
+	m   sync.Map
+	n   atomic.Int64
+	max int64
+}
+
+// New returns a cache bounded to roughly max entries.
+func New[K comparable, V any](max int64) *Cache[K, V] {
+	return &Cache[K, V]{max: max}
+}
+
+// Do returns the cached value for key, computing and (capacity
+// permitting) storing it via fn on a miss. Concurrent misses on the
+// same key may both run fn; the first stored result wins and both
+// callers observe it — fn must therefore be deterministic for a given
+// key, which content-addressed keys guarantee.
+func (c *Cache[K, V]) Do(key K, fn func() V) V {
+	if v, ok := c.m.Load(key); ok {
+		return v.(V)
+	}
+	v := fn()
+	if c.n.Load() >= c.max {
+		return v
+	}
+	actual, loaded := c.m.LoadOrStore(key, v)
+	if !loaded {
+		c.n.Add(1)
+	}
+	return actual.(V)
+}
+
+// Len reports the approximate number of cached entries.
+func (c *Cache[K, V]) Len() int64 { return c.n.Load() }

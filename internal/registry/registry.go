@@ -57,7 +57,7 @@ func SizeMB(image string) float64 {
 // every Kubernetes test node pulls the pause image).
 func ImagesFor(p dataset.Problem) []string {
 	set := map[string]bool{}
-	docs, err := yamlx.ParseAll([]byte(p.ReferenceYAML))
+	docs, err := yamlx.ParseAllCached([]byte(p.ReferenceYAML))
 	if err == nil {
 		for _, d := range docs {
 			collectImages(d, set)

@@ -9,10 +9,22 @@ import (
 	"time"
 )
 
-// registerCoreBuiltins installs the coreutils-flavored commands every
-// unit test script can rely on.
-func registerCoreBuiltins(in *Interp) {
-	b := in.Builtins
+// coreBuiltins is the shared read-only table of coreutils-flavored
+// commands every unit test script can rely on. It is built once at
+// package init and consulted by Interp.invoke after the per-interp
+// Builtins map, so constructing an interpreter never copies it. All
+// entries are stateless: each receives the calling Interp explicitly
+// and keeps no state of its own, which is what makes sharing the table
+// across concurrently running interpreters safe. (Populated in init
+// rather than a declaration-time call: invoke referring to the map and
+// a builtin referring back to invoke would otherwise form an
+// initialization cycle.)
+var coreBuiltins map[string]Builtin
+
+func init() { coreBuiltins = buildCoreBuiltins() }
+
+func buildCoreBuiltins() map[string]Builtin {
+	b := make(map[string]Builtin, 32)
 	b["echo"] = builtinEcho
 	b["printf"] = builtinPrintf
 	b["cat"] = builtinCat
@@ -55,6 +67,7 @@ func registerCoreBuiltins(in *Interp) {
 		}
 		return 0
 	}
+	return b
 }
 
 func builtinEcho(_ *Interp, io *IO, args []string) int {
@@ -403,21 +416,35 @@ func builtinTail(in *Interp, io *IO, args []string) int {
 }
 
 func builtinTr(_ *Interp, io *IO, args []string) int {
+	// Both forms run in one rune-wise pass over the input instead of
+	// one ReplaceAll (a full copy) per character of the spec. For
+	// translation this also matches real tr on overlapping sets: each
+	// input character is mapped from the original, never re-translated
+	// by a later spec pair (`echo ab | tr ab ba` gives "ba", where the
+	// old chained-ReplaceAll implementation gave "aa").
 	if len(args) == 2 && args[0] == "-d" {
-		out := io.In
-		for _, c := range args[1] {
-			out = strings.ReplaceAll(out, string(c), "")
+		drop := args[1]
+		io.Out.Grow(len(io.In))
+		for _, r := range io.In {
+			if !strings.ContainsRune(drop, r) {
+				io.Out.WriteRune(r)
+			}
 		}
-		io.Out.WriteString(out)
 		return 0
 	}
 	if len(args) == 2 {
-		from, to := args[0], args[1]
-		out := io.In
-		for i := 0; i < len(from) && i < len(to); i++ {
-			out = strings.ReplaceAll(out, string(from[i]), string(to[i]))
+		from := []rune(args[0])
+		to := []rune(args[1])
+		io.Out.Grow(len(io.In))
+		for _, r := range io.In {
+			for j, f := range from {
+				if f == r && j < len(to) {
+					r = to[j]
+					break
+				}
+			}
+			io.Out.WriteRune(r)
 		}
-		io.Out.WriteString(out)
 		return 0
 	}
 	io.Out.WriteString(io.In)

@@ -12,6 +12,20 @@ type wordPart struct {
 	quoted bool
 }
 
+// plainWord reports whether a raw word contains no quoting, escaping or
+// substitution syntax, i.e. it expands to exactly itself. Such words —
+// the overwhelming majority of argv words in unit-test scripts — skip
+// the expansion machinery entirely.
+func plainWord(raw string) bool {
+	for i := 0; i < len(raw); i++ {
+		switch raw[i] {
+		case '\'', '"', '\\', '$', '`':
+			return false
+		}
+	}
+	return true
+}
+
 // expandParts interprets quotes, backslashes, variables, command and
 // arithmetic substitution inside a raw word.
 func (in *Interp) expandParts(raw string) ([]wordPart, error) {
@@ -256,9 +270,10 @@ func balanced(s, open, close string) (string, int, error) {
 }
 
 // captureSub runs a command substitution and returns its stdout with
-// trailing newlines trimmed.
+// trailing newlines trimmed. Substitutions inside loops re-run every
+// iteration, so their scripts go through the AST cache too.
 func (in *Interp) captureSub(script string) (string, error) {
-	prog, err := Parse(script)
+	prog, err := ParseCached(script)
 	if err != nil {
 		return "", err
 	}
@@ -270,18 +285,29 @@ func (in *Interp) captureSub(script string) (string, error) {
 // expandFields expands a raw word into argv fields: unquoted expansion
 // results undergo IFS whitespace splitting, quoted parts do not.
 func (in *Interp) expandFields(raw string) ([]string, error) {
+	if plainWord(raw) {
+		return []string{raw}, nil
+	}
 	parts, err := in.expandParts(raw)
 	if err != nil {
 		return nil, err
 	}
+	// Fields are accumulated in a builder so that a field assembled
+	// from many fragments (adjacent quoted/unquoted parts) costs one
+	// final allocation instead of a quadratic chain of string concats.
 	var fields []string
+	var cur strings.Builder
 	open := false // a field is being accumulated
 	appendText := func(t string) {
-		if !open {
-			fields = append(fields, "")
-			open = true
+		cur.WriteString(t)
+		open = true
+	}
+	closeField := func() {
+		if open {
+			fields = append(fields, cur.String())
+			cur.Reset()
+			open = false
 		}
-		fields[len(fields)-1] += t
 	}
 	for _, p := range parts {
 		if p.quoted {
@@ -298,16 +324,20 @@ func (in *Interp) expandFields(raw string) ([]string, error) {
 			if idx > 0 {
 				appendText(rest[:idx])
 			}
-			open = false
+			closeField()
 			rest = strings.TrimLeft(rest[idx:], " \t\n")
 		}
 	}
+	closeField()
 	return fields, nil
 }
 
 // expandOne expands a raw word into a single string with no field
 // splitting (assignments, redirect targets, condition operands).
 func (in *Interp) expandOne(raw string) (string, error) {
+	if plainWord(raw) {
+		return raw, nil
+	}
 	parts, err := in.expandParts(raw)
 	if err != nil {
 		return "", err

@@ -28,8 +28,11 @@ type Interp struct {
 	Env map[string]string
 	// FS is the virtual filesystem commands read and write.
 	FS map[string]string
-	// Builtins maps command names to implementations. New installs the
-	// coreutils set; embedders add kubectl and friends.
+	// Builtins maps command names to implementations added by the
+	// embedder (kubectl and friends). The coreutils set lives in a
+	// shared read-only table that lookup falls back to, so building an
+	// interpreter does not copy it; an entry here shadows a core
+	// builtin of the same name.
 	Builtins map[string]Builtin
 	// AdvanceClock receives virtual-time advances from sleep/timeout/
 	// kubectl wait. Nil means time is discarded.
@@ -44,14 +47,24 @@ type Interp struct {
 
 // New returns an interpreter with the coreutils builtins installed.
 func New() *Interp {
-	in := &Interp{
+	return &Interp{
 		Env:      make(map[string]string),
 		FS:       make(map[string]string),
-		Builtins: make(map[string]Builtin),
+		Builtins: make(map[string]Builtin, 8),
 		MaxSteps: 200000,
 	}
-	registerCoreBuiltins(in)
-	return in
+}
+
+// Reset returns the interpreter to its post-New state — variables,
+// virtual files, step budget and exit state cleared — while keeping
+// the embedder-registered Builtins wired. Environment pools use this
+// to recycle interpreters instead of rebuilding them per execution.
+func (in *Interp) Reset() {
+	clear(in.Env)
+	clear(in.FS)
+	in.steps = 0
+	in.lastExit = 0
+	in.exited = false
 }
 
 // Advance forwards virtual time to the embedder's clock.
@@ -69,9 +82,11 @@ type Result struct {
 }
 
 // Run parses and executes a script from a clean control-flow state
-// (variables, files and builtins persist across calls).
+// (variables, files and builtins persist across calls). Parsing goes
+// through the process-wide AST cache, so repeated runs of the same
+// script text skip the lexer and parser entirely.
 func (in *Interp) Run(script string) (Result, error) {
-	prog, err := Parse(script)
+	prog, err := ParseCached(script)
 	if err != nil {
 		return Result{}, err
 	}
@@ -240,8 +255,14 @@ func (in *Interp) execSimple(c *simpleCmd, io *IO) int {
 		}
 		return 0
 	}
-	var argv []string
+	argv := make([]string, 0, len(c.words))
 	for _, w := range c.words {
+		// Words with no quotes, escapes or substitutions expand to
+		// themselves; skip the expansion machinery for them.
+		if plainWord(w) {
+			argv = append(argv, w)
+			continue
+		}
 		fields, err := in.expandFields(w)
 		if err != nil {
 			fmt.Fprintf(io.Err, "shell: line %d: %v\n", c.line, err)
@@ -346,6 +367,9 @@ func (in *Interp) invoke(argv []string, io *IO) int {
 		return 1
 	}
 	if b, ok := in.Builtins[name]; ok {
+		return b(in, io, argv[1:])
+	}
+	if b, ok := coreBuiltins[name]; ok {
 		return b(in, io, argv[1:])
 	}
 	fmt.Fprintf(io.Err, "shell: %s: command not found\n", name)

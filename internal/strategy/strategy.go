@@ -24,7 +24,7 @@ import (
 // that would catch the paper's failure categories 1-3 without any
 // cluster access.
 func FormatCheck(answer string, p dataset.Problem) bool {
-	docs, err := yamlx.ParseAll([]byte(answer))
+	docs, err := yamlx.ParseAllCached([]byte(answer))
 	if err != nil {
 		return false
 	}

@@ -30,7 +30,8 @@ type Result struct {
 // "unit_test_passed" (some problems use prefixed markers such as
 // cn1000_unit_test_passed, as in the paper's Figure 1).
 func Run(p dataset.Problem, answerYAML string) Result {
-	env := k8scmd.NewEnv()
+	env := k8scmd.GetEnv()
+	defer k8scmd.PutEnv(env)
 	env.Shell.FS["labeled_code.yaml"] = answerYAML
 	start := env.Cluster.Now()
 	res, err := env.Shell.Run(p.UnitTest)

@@ -59,7 +59,7 @@ func ParseAll(data []byte) ([]*Node, error) {
 		return nil
 	}
 	for i, ln := range lines {
-		t := strings.TrimSpace(ln.text)
+		t := ln.content
 		if t == "---" || strings.HasPrefix(t, "--- ") {
 			if err := flush(i); err != nil {
 				return nil, err
@@ -67,6 +67,7 @@ func ParseAll(data []byte) ([]*Node, error) {
 			// "--- inline content" puts content back on the same line.
 			rest := strings.TrimSpace(strings.TrimPrefix(t, "---"))
 			lines[i].text = strings.Repeat(" ", ln.indent) + rest
+			lines[i].content = rest
 			if rest == "" {
 				start = i + 1
 			} else {
@@ -91,28 +92,34 @@ func ParseAll(data []byte) ([]*Node, error) {
 }
 
 type srcLine struct {
-	num    int    // 1-based
-	indent int    // count of leading spaces
-	text   string // raw line (tabs expanded)
+	num     int    // 1-based
+	indent  int    // count of leading spaces
+	text    string // raw line (tabs expanded)
+	content string // text with surrounding whitespace trimmed
 }
 
 func splitLines(s string) []srcLine {
-	raw := strings.Split(strings.ReplaceAll(s, "\r\n", "\n"), "\n")
+	if strings.Contains(s, "\r\n") {
+		s = strings.ReplaceAll(s, "\r\n", "\n")
+	}
+	raw := strings.Split(s, "\n")
 	out := make([]srcLine, 0, len(raw))
 	for i, ln := range raw {
-		ln = strings.ReplaceAll(ln, "\t", "  ")
+		if strings.IndexByte(ln, '\t') >= 0 {
+			ln = strings.ReplaceAll(ln, "\t", "  ")
+		}
 		ind := 0
 		for ind < len(ln) && ln[ind] == ' ' {
 			ind++
 		}
-		out = append(out, srcLine{num: i + 1, indent: ind, text: ln})
+		out = append(out, srcLine{num: i + 1, indent: ind, text: ln, content: strings.TrimSpace(ln)})
 	}
 	return out
 }
 
 func allBlank(lines []srcLine) bool {
 	for _, ln := range lines {
-		t := strings.TrimSpace(ln.text)
+		t := ln.content
 		if t != "" && !strings.HasPrefix(t, "#") {
 			return false
 		}
@@ -127,8 +134,8 @@ type parser struct {
 
 func (p *parser) peek() (srcLine, bool) {
 	for i := p.pos; i < len(p.lines); i++ {
-		t := strings.TrimSpace(p.lines[i].text)
-		if t == "" || strings.HasPrefix(t, "#") {
+		t := p.lines[i].content
+		if t == "" || t[0] == '#' {
 			continue
 		}
 		return p.lines[i], true
@@ -169,7 +176,7 @@ func (p *parser) parseBlock(minIndent int) (*Node, error) {
 	if !ok || ln.indent < minIndent {
 		return Null(), nil
 	}
-	content := strings.TrimSpace(ln.text)
+	content := ln.content
 	if strings.HasPrefix(content, "- ") || content == "-" {
 		return p.parseSequence(ln.indent)
 	}
@@ -199,7 +206,7 @@ func (p *parser) parseMapping(indent int) (*Node, error) {
 		if ln.indent > indent {
 			return nil, errAt(ln.num, "bad indentation in mapping (got %d, want %d)", ln.indent, indent)
 		}
-		content := strings.TrimSpace(ln.text)
+		content := ln.content
 		if strings.HasPrefix(content, "- ") || content == "-" {
 			if first {
 				return nil, errAt(ln.num, "sequence item where mapping expected")
@@ -245,7 +252,7 @@ func (p *parser) parseNested(keyLine srcLine, keyIndent int) (*Node, error) {
 	if !ok {
 		return Null(), nil
 	}
-	nc := strings.TrimSpace(next.text)
+	nc := next.content
 	isSeq := strings.HasPrefix(nc, "- ") || nc == "-"
 	switch {
 	case next.indent > keyIndent:
@@ -268,7 +275,7 @@ func (p *parser) parseSequence(indent int) (*Node, error) {
 			}
 			return s, nil
 		}
-		content := strings.TrimSpace(ln.text)
+		content := ln.content
 		if !strings.HasPrefix(content, "-") || (len(content) > 1 && content[1] != ' ') {
 			return s, nil
 		}
@@ -351,7 +358,7 @@ func (p *parser) parseInlineMapItem(key, rest, comment string, ln srcLine, itemI
 		if !ok || next.indent < itemIndent {
 			return m, nil
 		}
-		nc := strings.TrimSpace(next.text)
+		nc := next.content
 		if next.indent == itemIndent && (strings.HasPrefix(nc, "- ") || nc == "-") {
 			return m, nil
 		}
@@ -376,7 +383,7 @@ func (p *parser) parseInlineSeqItem(rest string, ln srcLine, itemIndent int) (*N
 	// Build a synthetic sub-parser for "- a" nested on a dash line plus
 	// any following lines at >= itemIndent.
 	sub := &parser{}
-	sub.lines = append(sub.lines, srcLine{num: ln.num, indent: itemIndent, text: strings.Repeat(" ", itemIndent) + rest})
+	sub.lines = append(sub.lines, srcLine{num: ln.num, indent: itemIndent, text: strings.Repeat(" ", itemIndent) + rest, content: strings.TrimSpace(rest)})
 	for {
 		next, ok := p.peek()
 		if !ok || next.indent < itemIndent {
@@ -393,7 +400,7 @@ func (p *parser) parseNestedAfterDash(itemIndent int) (*Node, error) {
 	if !ok || next.indent < itemIndent {
 		return Null(), nil
 	}
-	nc := strings.TrimSpace(next.text)
+	nc := next.content
 	isSeq := strings.HasPrefix(nc, "- ") || nc == "-"
 	switch {
 	case next.indent > itemIndent:
@@ -585,6 +592,12 @@ func inferScalar(s string) *Node {
 	case "false", "False", "FALSE":
 		return Boolean(false)
 	}
+	// Most scalars are plain strings; strconv's Parse* allocate an
+	// error for every non-numeric input, so gate them behind a cheap
+	// first-byte check.
+	if !looksNumeric(s) {
+		return String(s)
+	}
 	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
 		return Integer(i)
 	}
@@ -593,7 +606,7 @@ func inferScalar(s string) *Node {
 			return Integer(i)
 		}
 	}
-	if f, err := strconv.ParseFloat(s, 64); err == nil && looksNumeric(s) {
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
 		return Number(f)
 	}
 	return String(s)
