@@ -1,6 +1,8 @@
 // Package cloudeval is the public API of the CloudEval-YAML benchmark
-// reproduction: a hand-written 1011-problem dataset for cloud
-// configuration generation, a six-metric scoring pipeline (text-level,
+// reproduction: a hand-written multi-family dataset for cloud
+// configuration generation (the paper's 337 Kubernetes/Envoy/Istio
+// problems plus Docker Compose and Helm extension families, tripled by
+// augmentation), a six-metric scoring pipeline (text-level,
 // YAML-aware and function-level via simulated Kubernetes/Envoy
 // clusters), a unified parallel evaluation engine with in-process and
 // distributed executors, and the paper's full evaluation study over a
@@ -62,9 +64,9 @@ type UnitTestResult = unittest.Result
 // under the engine. See DESIGN.md §2.5.
 type Store = store.Store
 
-// New builds the default benchmark: the 337 hand-written problems,
-// their simplified and translated variants (1011 total), and the
-// twelve-model zoo of Table 4.
+// New builds the default benchmark: the hand-written problems of every
+// registered workload family, their simplified and translated
+// variants, and the twelve-model zoo of Table 4.
 func New() *Benchmark { return core.New() }
 
 // OpenStore opens (or creates) a persistent evaluation store at path,
@@ -83,7 +85,8 @@ func NewPersistent(storePath string) (*Benchmark, *Store, error) {
 	return core.NewWith(engine.New(engine.WithStore(st))), st, nil
 }
 
-// Dataset returns the 337 original problems.
+// Dataset returns the original problems of every workload family (the
+// paper's 337 plus the Compose and Helm extensions).
 func Dataset() []Problem { return dataset.Generate() }
 
 // Models returns the model zoo in the paper's ranking order.

@@ -9,7 +9,7 @@ import (
 
 func TestPublicAPIQuickstart(t *testing.T) {
 	problems := cloudeval.Dataset()
-	if len(problems) != 337 {
+	if len(problems) != 377 { // 337 paper problems + compose + helm
 		t.Fatalf("dataset = %d problems", len(problems))
 	}
 	models := cloudeval.Models()
@@ -40,7 +40,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 
 func TestBenchmarkFacadeExperiments(t *testing.T) {
 	b := cloudeval.New()
-	if len(b.Problems) != 1011 {
+	if len(b.Problems) != 3*377 {
 		t.Fatalf("full corpus = %d", len(b.Problems))
 	}
 	// The cheap tables render without running the model zoo.

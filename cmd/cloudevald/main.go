@@ -11,7 +11,8 @@
 //	POST /v1/eval            {"problem": "...", "answer": "..."} or {"problem": "...", "model": "..."}
 //	POST /v1/campaign        {"experiments": ["table4", ...]} (empty = all); async
 //	GET  /v1/campaign/{id}   campaign status + outputs
-//	GET  /v1/leaderboard     the zero-shot Table 4
+//	GET  /v1/leaderboard     the zero-shot Table 4 (paper families, byte-pinned)
+//	GET  /v1/leaderboard/families  per-workload-family rows incl. compose and helm
 //	GET  /v1/stats           engine counters
 //	GET  /healthz            liveness
 //

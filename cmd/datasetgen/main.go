@@ -8,41 +8,71 @@
 //	    labeled_code.yaml the labeled reference answer
 //	    unit_test.sh      the bash unit test
 //
-// Usage: datasetgen -out ./dataset [-augmented]
+// With -digest FILE it additionally writes a per-problem content
+// digest manifest (one "id sha256" line per problem plus a total
+// line). CI regenerates the manifest and fails on a dirty diff, so any
+// corpus change — a new family, an edited seed — must land with its
+// regenerated digest committed (the dataset-drift gate).
+//
+// Usage: datasetgen -out ./dataset [-augmented] [-digest ci/dataset-digest.txt]
 package main
 
 import (
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"cloudeval/internal/augment"
 	"cloudeval/internal/dataset"
 )
 
 func main() {
-	out := flag.String("out", "dataset", "output directory")
-	augmented := flag.Bool("augmented", false, "include simplified and translated variants (1011 problems)")
+	out := flag.String("out", "dataset", "output directory (empty: skip the tree)")
+	augmented := flag.Bool("augmented", false, "include simplified and translated variants (triples the corpus)")
+	digest := flag.String("digest", "", "also write a per-problem content digest manifest here")
 	flag.Parse()
 
 	problems := dataset.Generate()
 	if *augmented {
 		problems = augment.ExpandCorpus(problems)
 	}
-	for _, p := range problems {
-		dir := filepath.Join(*out, p.ID)
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			fatal(err)
+	if *out != "" {
+		for _, p := range problems {
+			dir := filepath.Join(*out, p.ID)
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fatal(err)
+			}
+			write(filepath.Join(dir, "prompt.txt"), p.Question)
+			if p.ContextYAML != "" {
+				write(filepath.Join(dir, "context.yaml"), p.ContextYAML)
+			}
+			write(filepath.Join(dir, "labeled_code.yaml"), p.ReferenceYAML)
+			write(filepath.Join(dir, "unit_test.sh"), p.UnitTest)
 		}
-		write(filepath.Join(dir, "prompt.txt"), p.Question)
-		if p.ContextYAML != "" {
-			write(filepath.Join(dir, "context.yaml"), p.ContextYAML)
-		}
-		write(filepath.Join(dir, "labeled_code.yaml"), p.ReferenceYAML)
-		write(filepath.Join(dir, "unit_test.sh"), p.UnitTest)
+		fmt.Printf("wrote %d problems to %s\n", len(problems), *out)
 	}
-	fmt.Printf("wrote %d problems to %s\n", len(problems), *out)
+	if *digest != "" {
+		write(*digest, Manifest(problems))
+		fmt.Printf("wrote digest manifest for %d problems to %s\n", len(problems), *digest)
+	}
+}
+
+// Manifest renders the digest manifest: one line per problem hashing
+// everything datasetgen would write for it, plus a trailing total.
+// Generation is deterministic, so the manifest is too.
+func Manifest(problems []dataset.Problem) string {
+	var b strings.Builder
+	for _, p := range problems {
+		h := sha256.New()
+		fmt.Fprintf(h, "%s\x00%s\x00%s\x00%s\x00%s\x00%s\x00%s",
+			p.ID, p.Category, p.Subcategory, p.Question, p.ContextYAML, p.ReferenceYAML, p.UnitTest)
+		fmt.Fprintf(&b, "%s %x\n", p.ID, h.Sum(nil))
+	}
+	fmt.Fprintf(&b, "total %d\n", len(problems))
+	return b.String()
 }
 
 func write(path, content string) {

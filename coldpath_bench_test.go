@@ -97,6 +97,41 @@ func BenchmarkColdPathUnitTestNoCaches(b *testing.B) {
 	}
 }
 
+// BenchmarkColdPathCompose is the cold single-execution number for the
+// Docker Compose family: one compose unit test end to end (fresh
+// composesim project, config validation, up, port probes) with no
+// result caching. It holds the extension families to the same
+// allocation diet the benchguard baseline pins for the Kubernetes
+// path.
+func BenchmarkColdPathCompose(b *testing.B) {
+	originals, _ := fixtures()
+	var probs []dataset.Problem
+	for _, p := range originals {
+		if p.Subcategory == "compose" {
+			probs = append(probs, p)
+		}
+	}
+	if len(probs) == 0 {
+		b.Fatal("no compose problems in the corpus")
+	}
+	refs := make([]string, len(probs))
+	for i, p := range probs {
+		refs[i] = yamlmatch.StripLabels(p.ReferenceYAML)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := probs[i%len(probs)]
+		res := unittest.Run(p, refs[i%len(probs)])
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		if !res.Passed {
+			b.Fatalf("%s: reference failed", p.ID)
+		}
+	}
+}
+
 // BenchmarkColdPathCampaign is cold full-campaign throughput: one
 // model's answers over the original corpus through an engine with
 // memoization disabled, so every job executes. This is the first-run

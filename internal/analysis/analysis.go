@@ -12,6 +12,7 @@ import (
 	"cloudeval/internal/dataset"
 	"cloudeval/internal/engine"
 	"cloudeval/internal/llm"
+	"cloudeval/internal/scenario"
 	"cloudeval/internal/score"
 	"cloudeval/internal/yamlx"
 )
@@ -37,37 +38,38 @@ func Categorize(answer string, p dataset.Problem, passed bool) int {
 	if len(lines) < 3 {
 		return 1
 	}
-	marker := "kind:"
-	if p.Category == dataset.Envoy {
-		marker = "static_resources:"
-	}
-	if !strings.Contains(answer, marker) {
+	backend := scenario.For(p.Category)
+	if !strings.Contains(answer, backend.Marker+":") {
 		return 2
 	}
 	docs, err := yamlx.ParseAllCached([]byte(answer))
 	if err != nil {
 		return 3
 	}
-	gotKind := firstKind(docs, p.Category)
+	gotKind := firstKind(docs, backend)
 	wantDocs, err := yamlx.ParseAllCached([]byte(p.ReferenceYAML))
 	if err != nil {
 		return 5
 	}
-	wantKind := firstKind(wantDocs, p.Category)
+	wantKind := firstKind(wantDocs, backend)
 	if gotKind == "" || !strings.EqualFold(gotKind, wantKind) {
 		return 4
 	}
 	return 5
 }
 
-func firstKind(docs []*yamlx.Node, cat dataset.Category) string {
+// firstKind extracts a document set's identity under a family: the
+// first kind value for manifest families, or the family marker itself
+// for kindless families (an Envoy bootstrap's identity is that it is a
+// static_resources document).
+func firstKind(docs []*yamlx.Node, backend *scenario.Backend) string {
 	for _, d := range docs {
 		if d == nil || d.Kind != yamlx.MapKind {
 			continue
 		}
-		if cat == dataset.Envoy {
-			if d.Has("static_resources") {
-				return "static_resources"
+		if !backend.HasKind {
+			if d.Has(backend.Marker) {
+				return backend.Marker
 			}
 			continue
 		}
@@ -115,14 +117,26 @@ type Slice struct {
 	Match func(p dataset.Problem) bool
 }
 
-// Figure6Slices are the paper's four analysis perspectives.
+// FamilySlices derives the per-family breakdown from the scenario
+// registry, in registration order (paper families first).
+func FamilySlices() []Slice {
+	var out []Slice
+	for _, b := range scenario.All() {
+		cat := b.Category
+		out = append(out, Slice{
+			Name:  string(cat),
+			Match: func(p dataset.Problem) bool { return p.Category == cat },
+		})
+	}
+	return out
+}
+
+// Figure6Slices are the paper's four analysis perspectives; the
+// application-category perspective grows a slice per registered
+// workload family.
 func Figure6Slices() map[string][]Slice {
 	return map[string][]Slice{
-		"application_category": {
-			{Name: "kubernetes", Match: func(p dataset.Problem) bool { return p.Category == dataset.Kubernetes }},
-			{Name: "envoy", Match: func(p dataset.Problem) bool { return p.Category == dataset.Envoy }},
-			{Name: "istio", Match: func(p dataset.Problem) bool { return p.Category == dataset.Istio }},
-		},
+		"application_category": FamilySlices(),
 		"code_context": {
 			{Name: "w/ code", Match: func(p dataset.Problem) bool { return p.HasContext() }},
 			{Name: "w/o code", Match: func(p dataset.Problem) bool { return !p.HasContext() }},
@@ -171,13 +185,16 @@ func Breakdown(raw map[string][]score.ProblemScore, byID map[string]dataset.Prob
 	return out
 }
 
-// FormatTable9 renders the per-factor breakdown like the appendix table.
+// FormatTable9 renders the per-factor breakdown like the appendix
+// table; the application-category columns come from the scenario
+// registry, one per workload family.
 func FormatTable9(breakdown map[string]map[string]map[string]float64, modelOrder []string) string {
 	var b strings.Builder
-	cols := []struct{ perspective, slice string }{
-		{"application_category", "kubernetes"},
-		{"application_category", "envoy"},
-		{"application_category", "istio"},
+	var cols []struct{ perspective, slice string }
+	for _, sl := range FamilySlices() {
+		cols = append(cols, struct{ perspective, slice string }{"application_category", sl.Name})
+	}
+	cols = append(cols, []struct{ perspective, slice string }{
 		{"code_context", "w/ code"},
 		{"code_context", "w/o code"},
 		{"ref_answer_lines", "[0,15)"},
@@ -186,7 +203,7 @@ func FormatTable9(breakdown map[string]map[string]map[string]float64, modelOrder
 		{"question_tokens", "[0,50)"},
 		{"question_tokens", "[50,100)"},
 		{"question_tokens", ">=100"},
-	}
+	}...)
 	fmt.Fprintf(&b, "%-24s", "Model")
 	for _, c := range cols {
 		fmt.Fprintf(&b, "%10s", c.slice)

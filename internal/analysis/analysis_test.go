@@ -9,15 +9,23 @@ import (
 	"cloudeval/internal/score"
 )
 
-func k8sProblem(t *testing.T) dataset.Problem {
+// problemIn selects the first problem of a subcategory; families are
+// identified by subcategory here so the tests stay free of category
+// literals (those live in internal/scenario and internal/dataset only).
+func problemIn(t *testing.T, sub string) dataset.Problem {
 	t.Helper()
 	for _, p := range dataset.Generate() {
-		if p.Category == dataset.Kubernetes {
+		if p.Subcategory == sub {
 			return p
 		}
 	}
-	t.Fatal("no kubernetes problem")
+	t.Fatalf("no %s problem", sub)
 	return dataset.Problem{}
+}
+
+func k8sProblem(t *testing.T) dataset.Problem {
+	t.Helper()
+	return problemIn(t, "pod")
 }
 
 func TestCategorize(t *testing.T) {
@@ -56,18 +64,28 @@ func rightKindYAML(p dataset.Problem) string {
 }
 
 func TestCategorizeEnvoy(t *testing.T) {
-	var envoyP dataset.Problem
-	for _, p := range dataset.Generate() {
-		if p.Category == dataset.Envoy {
-			envoyP = p
-			break
-		}
-	}
+	envoyP := problemIn(t, "envoy")
 	if got := Categorize("line one here\nline two there\nline three everywhere\nline four\n", envoyP, false); got != 2 {
 		t.Errorf("envoy prose without static_resources = %d, want 2", got)
 	}
 	if got := Categorize("static_resources:\n  listeners: []\n  clusters: []\n", envoyP, false); got != 5 {
 		t.Errorf("envoy config with marker = %d, want 5", got)
+	}
+}
+
+// TestCategorizeCompose pins the categorizer's registry dispatch for an
+// extension family: Compose answers are identified by the services
+// marker, and kindless families never produce category 4.
+func TestCategorizeCompose(t *testing.T) {
+	composeP := problemIn(t, "compose")
+	if got := Categorize("line one here\nline two there\nline three everywhere\nline four\n", composeP, false); got != 2 {
+		t.Errorf("compose prose without services = %d, want 2", got)
+	}
+	if got := Categorize("services:\n  web:\n    image: [broken\n", composeP, false); got != 3 {
+		t.Errorf("broken compose file = %d, want 3", got)
+	}
+	if got := Categorize("services:\n  web:\n    image: nginx:latest\n", composeP, false); got != 5 {
+		t.Errorf("valid compose file failing its test = %d, want 5", got)
 	}
 }
 

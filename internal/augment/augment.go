@@ -160,8 +160,8 @@ func Augment(p dataset.Problem) (simplified, translated dataset.Problem) {
 	return simplified, translated
 }
 
-// ExpandCorpus turns the 337 originals into the full 1011-problem
-// dataset: original + simplified + translated.
+// ExpandCorpus triples the original problems into the full dataset:
+// original + simplified + translated, for every workload family.
 func ExpandCorpus(originals []dataset.Problem) []dataset.Problem {
 	out := make([]dataset.Problem, 0, len(originals)*3)
 	for _, p := range originals {

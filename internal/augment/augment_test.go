@@ -85,16 +85,17 @@ func TestAugmentProducesVariants(t *testing.T) {
 
 func TestExpandCorpusTo1011(t *testing.T) {
 	all := ExpandCorpus(dataset.Generate())
-	if len(all) != 1011 {
-		t.Fatalf("corpus = %d, want 1011", len(all))
+	want := 3 * dataset.TotalOriginal
+	if len(all) != want {
+		t.Fatalf("corpus = %d, want %d", len(all), want)
 	}
 	counts := map[dataset.Variant]int{}
 	for _, p := range all {
 		counts[p.Variant]++
 	}
 	for _, v := range []dataset.Variant{dataset.Original, dataset.Simplified, dataset.Translated} {
-		if counts[v] != 337 {
-			t.Errorf("%s count = %d, want 337", v, counts[v])
+		if counts[v] != dataset.TotalOriginal {
+			t.Errorf("%s count = %d, want %d", v, counts[v], dataset.TotalOriginal)
 		}
 	}
 }
@@ -103,7 +104,7 @@ func TestTable1Shape(t *testing.T) {
 	all := ExpandCorpus(dataset.Generate())
 	stats := Table1(all)
 	o, s := stats[dataset.Original], stats[dataset.Simplified]
-	if o.Count != 337 || s.Count != 337 {
+	if o.Count != dataset.TotalOriginal || s.Count != dataset.TotalOriginal {
 		t.Fatalf("counts: %+v %+v", o, s)
 	}
 	if s.AvgWords >= o.AvgWords {
@@ -113,7 +114,7 @@ func TestTable1Shape(t *testing.T) {
 		t.Errorf("simplified avg tokens %.2f >= original %.2f", s.AvgTokens, o.AvgTokens)
 	}
 	out := FormatTable1(all)
-	for _, want := range []string{"Original", "Simplified", "Translated", "337"} {
+	for _, want := range []string{"Original", "Simplified", "Translated", "377"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Table 1 missing %q:\n%s", want, out)
 		}

@@ -21,6 +21,7 @@ import (
 	"cloudeval/internal/llm"
 	"cloudeval/internal/related"
 	"cloudeval/internal/repostats"
+	"cloudeval/internal/scenario"
 	"cloudeval/internal/score"
 )
 
@@ -29,8 +30,9 @@ import (
 // submits its evaluation jobs through one engine, so the whole paper
 // reproduction shares a scheduler and a memoization cache.
 type Benchmark struct {
-	// Originals are the 337 hand-written problems; Problems is the full
-	// 1011-problem corpus with augmentation.
+	// Originals are the hand-written problems (the paper's 337 plus the
+	// Compose and Helm extension families); Problems is the full corpus
+	// with augmentation.
 	Originals []dataset.Problem
 	Problems  []dataset.Problem
 	Models    []llm.Model
@@ -128,10 +130,52 @@ func (b *Benchmark) Table3() string {
 	return t.Format()
 }
 
-// Table4 renders the zero-shot benchmark.
+// Table4 renders the zero-shot benchmark over the paper corpus. The
+// campaign itself spans the full corpus — extension-family jobs flow
+// through the same engine, cache and store — but the table aggregates
+// only the paper families, so its output stays byte-identical to the
+// paper reproduction as families are added. The extension families
+// report through FamilyLeaderboard.
 func (b *Benchmark) Table4() string {
-	rows, _ := b.ZeroShot()
+	_, raw := b.ZeroShot()
+	byID := analysis.ProblemIndex(b.Problems)
+	rows := make([]score.ModelAggregate, 0, len(b.Models))
+	for _, m := range b.Models {
+		var kept []score.ProblemScore
+		for _, s := range raw[m.Name] {
+			if scenario.For(byID[s.ProblemID].Category).Paper {
+				kept = append(kept, s)
+			}
+		}
+		rows = append(rows, score.Aggregate(m, kept))
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].UnitTest > rows[j].UnitTest })
 	return score.FormatTable4(rows)
+}
+
+// FamilyLeaderboard renders per-workload-family unit-test scores for
+// every model over the full corpus, one column per registered scenario
+// backend plus the overall average — the per-family rows the cloudevald
+// leaderboard serves, covering the extension families Table 4 pins out.
+func (b *Benchmark) FamilyLeaderboard() string {
+	rows, raw := b.ZeroShot()
+	byID := analysis.ProblemIndex(b.Problems)
+	slices := analysis.FamilySlices()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-24s", "Model")
+	for _, sl := range slices {
+		fmt.Fprintf(&sb, "%12s", sl.Name)
+	}
+	fmt.Fprintf(&sb, "%12s\n", "overall")
+	// Rows keep the full-corpus ranking order.
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-24s", r.Model)
+		for _, sl := range slices {
+			fmt.Fprintf(&sb, "%12.3f", analysis.SliceScore(raw[r.Model], byID, sl))
+		}
+		fmt.Fprintf(&sb, "%12.3f\n", r.UnitTest)
+	}
+	return sb.String()
 }
 
 // Table5 renders unit-test pass counts across original/simplified/
@@ -272,20 +316,21 @@ func (b *Benchmark) Figure9() string {
 // Experiments maps experiment IDs to their generators.
 func (b *Benchmark) Experiments() map[string]func() string {
 	return map[string]func() string{
-		"table1":  b.Table1,
-		"table2":  b.Table2,
-		"table3":  b.Table3,
-		"table4":  b.Table4,
-		"table5":  b.Table5,
-		"table6":  b.Table6,
-		"table7":  b.Table7,
-		"table8":  b.Table8,
-		"table9":  b.Table9,
-		"figure5": b.Figure5,
-		"figure6": b.Figure6,
-		"figure7": b.Figure7,
-		"figure8": func() string { return b.Figure8(DefaultFigure8Config()) },
-		"figure9": b.Figure9,
+		"table1":   b.Table1,
+		"table2":   b.Table2,
+		"table3":   b.Table3,
+		"table4":   b.Table4,
+		"table5":   b.Table5,
+		"table6":   b.Table6,
+		"table7":   b.Table7,
+		"table8":   b.Table8,
+		"table9":   b.Table9,
+		"figure5":  b.Figure5,
+		"figure6":  b.Figure6,
+		"figure7":  b.Figure7,
+		"figure8":  func() string { return b.Figure8(DefaultFigure8Config()) },
+		"figure9":  b.Figure9,
+		"families": b.FamilyLeaderboard,
 	}
 }
 
@@ -294,6 +339,7 @@ var ExperimentIDs = []string{
 	"table1", "table2", "table3", "table4", "table5", "table6",
 	"table7", "table8", "table9",
 	"figure5", "figure6", "figure7", "figure8", "figure9",
+	"families",
 }
 
 // RunAll writes every experiment to w.

@@ -1,10 +1,15 @@
 package core
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"cloudeval/internal/analysis"
 	"cloudeval/internal/dataset"
+	"cloudeval/internal/engine"
+	"cloudeval/internal/llm"
+	"cloudeval/internal/store"
 )
 
 func TestNewBenchmarkShape(t *testing.T) {
@@ -12,8 +17,8 @@ func TestNewBenchmarkShape(t *testing.T) {
 	if len(b.Originals) != dataset.TotalOriginal {
 		t.Errorf("originals = %d", len(b.Originals))
 	}
-	if len(b.Problems) != 1011 {
-		t.Errorf("problems = %d, want 1011", len(b.Problems))
+	if want := 3 * dataset.TotalOriginal; len(b.Problems) != want {
+		t.Errorf("problems = %d, want %d", len(b.Problems), want)
 	}
 	if len(b.Models) != 12 {
 		t.Errorf("models = %d, want 12", len(b.Models))
@@ -21,6 +26,54 @@ func TestNewBenchmarkShape(t *testing.T) {
 	names := b.ModelNames()
 	if names[0] != "gpt-4" {
 		t.Errorf("first model = %s", names[0])
+	}
+}
+
+// TestExtensionFamiliesFlowThroughPipelines pins the acceptance path
+// for the extension families: compose and helm problems run through
+// ZeroShot (with augmented variants), pass@k sampling, the persistent
+// store, and the per-family leaderboard rows.
+func TestExtensionFamiliesFlowThroughPipelines(t *testing.T) {
+	var subset []dataset.Problem
+	for _, p := range dataset.Generate() {
+		if (p.Subcategory == "compose" || p.Subcategory == "helm") && len(subset) < 6 {
+			subset = append(subset, p)
+		}
+	}
+	if len(subset) != 6 {
+		t.Fatalf("expected 6 extension problems, got %d", len(subset))
+	}
+	st, err := store.Open(filepath.Join(t.TempDir(), "evals.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	eng := engine.New(engine.WithStore(st))
+	b := NewCustomWith(eng, subset, llm.Models[:2])
+
+	// ZeroShot covers every variant of every extension problem.
+	_, raw := b.ZeroShot()
+	scores := raw[b.Models[0].Name]
+	if len(scores) != 3*len(subset) {
+		t.Fatalf("zero-shot scored %d problems, want %d", len(scores), 3*len(subset))
+	}
+
+	// The store captured the executed evaluations.
+	if st.Len() == 0 {
+		t.Error("store recorded no extension-family evaluations")
+	}
+
+	// pass@k sampling runs the same families through the engine.
+	passes := analysis.PassAtKWith(eng, b.Models[0], subset, 2, 0.75)
+	if len(passes) != 2 || passes[1] < passes[0] {
+		t.Errorf("pass@k shape broken: %v", passes)
+	}
+
+	// The family leaderboard renders nonzero rows for the new families
+	// (gpt-4 passes a decent share of these short problems).
+	out := b.FamilyLeaderboard()
+	if !strings.Contains(out, "compose") || !strings.Contains(out, "helm") {
+		t.Fatalf("family leaderboard missing extension columns:\n%s", out)
 	}
 }
 

@@ -2,8 +2,10 @@
 // written seed problems spanning Kubernetes (pod, daemonset, service,
 // job, deployment, others), Envoy and Istio, expanded deterministically
 // into the 337 original problems whose category counts match Table 2 of
-// the paper. Practical augmentation (simplified and translated
-// variants) lives in the augment package and brings the total to 1011.
+// the paper, plus the Docker Compose and Helm extension families of the
+// scenario-backend registry. Practical augmentation (simplified and
+// translated variants) lives in the augment package and triples the
+// corpus.
 //
 // Every problem carries a natural-language question, an optional YAML
 // context, a labeled reference YAML and a bash unit test. The corpus
@@ -21,11 +23,15 @@ import (
 // Category is a problem's application family.
 type Category string
 
-// Categories.
+// Categories. Kubernetes, Envoy and Istio are the source paper's
+// families; Compose and Helm are the extension families that prove the
+// scenario-backend abstraction (internal/scenario) end to end.
 const (
 	Kubernetes Category = "kubernetes"
 	Envoy      Category = "envoy"
 	Istio      Category = "istio"
+	Compose    Category = "compose"
+	Helm       Category = "helm"
 )
 
 // Variant distinguishes original questions from practical augmentation.
@@ -135,13 +141,30 @@ var subcategoryCounts = []struct {
 	{Kubernetes, "others", 122},
 	{Envoy, "envoy", 41},
 	{Istio, "istio", 13},
+	{Compose, "compose", 24},
+	{Helm, "helm", 16},
 }
 
-// TotalOriginal is the number of original problems (Table 2).
-const TotalOriginal = 337
+// TotalPaper is the number of paper originals (Table 2's 337 problems
+// across the Kubernetes, Envoy and Istio families).
+const TotalPaper = 337
 
-// Generate materializes the full original corpus: 337 problems with the
-// paper's category distribution. Generation is deterministic.
+// TotalOriginal is the number of original problems across every
+// family, derived from subcategoryCounts so the distribution table
+// stays the single source of truth as families are added.
+var TotalOriginal = func() int {
+	n := 0
+	for _, sc := range subcategoryCounts {
+		n += sc.count
+	}
+	return n
+}()
+
+// Generate materializes the full original corpus: the paper's 337
+// problems with the Table 2 category distribution, followed by the
+// Compose and Helm extension families. Generation is deterministic,
+// and the paper problems keep their IDs and order as families are
+// appended.
 func Generate() []Problem {
 	var out []Problem
 	for _, sc := range subcategoryCounts {
@@ -183,6 +206,10 @@ func seedsFor(cat Category, sub string) []seedFunc {
 		return envoySeeds
 	case cat == Istio:
 		return istioSeeds
+	case cat == Compose:
+		return composeSeeds
+	case cat == Helm:
+		return helmSeeds
 	}
 	switch sub {
 	case "pod":

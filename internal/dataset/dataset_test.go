@@ -17,6 +17,7 @@ func TestGenerateCountsMatchTable2(t *testing.T) {
 	want := map[string]int{
 		"pod": 48, "daemonset": 55, "service": 20, "job": 19,
 		"deployment": 19, "others": 122, "envoy": 41, "istio": 13,
+		"compose": 24, "helm": 16,
 	}
 	for k, n := range want {
 		if got := len(groups[k]); got != n {
@@ -90,10 +91,11 @@ func TestStatsShape(t *testing.T) {
 	if s.AvgUnitTestLines < 5 {
 		t.Errorf("avg unit test lines = %.2f, expected nontrivial scripts", s.AvgUnitTestLines)
 	}
-	// Envoy problems must be the longest, as in the paper.
+	// Envoy problems must be the longest, as in the paper — including
+	// against the extension families.
 	groups := ByGroup(ps)
 	envoyLines := ComputeStats(groups["envoy"]).AvgSolutionLines
-	for _, col := range []string{"pod", "service", "job", "deployment", "istio"} {
+	for _, col := range []string{"pod", "service", "job", "deployment", "istio", "compose", "helm"} {
 		if ComputeStats(groups[col]).AvgSolutionLines >= envoyLines {
 			t.Errorf("%s solutions (%.1f lines) >= envoy (%.1f); envoy should be longest",
 				col, ComputeStats(groups[col]).AvgSolutionLines, envoyLines)
@@ -103,7 +105,7 @@ func TestStatsShape(t *testing.T) {
 
 func TestFormatTable2(t *testing.T) {
 	out := FormatTable2(Generate())
-	for _, want := range []string{"Total Problem Count", "48", "55", "122", "337", "Avg. Lines of Solution"} {
+	for _, want := range []string{"Total Problem Count", "48", "55", "122", "compose", "helm", "377", "Avg. Lines of Solution"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Table 2 output missing %q:\n%s", want, out)
 		}

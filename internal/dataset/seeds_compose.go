@@ -1,0 +1,147 @@
+package dataset
+
+import "fmt"
+
+// composeSeeds generates Docker Compose problems, the first extension
+// family of the scenario-backend registry. Their unit tests validate
+// the file with `docker compose config`, bring the project up, and
+// probe published ports and container logs against the composesim
+// backend — mirroring how the paper's unit tests drive minikube.
+var composeSeeds = []seedFunc{
+	// Single published web service with a restart policy.
+	func(i int) Problem {
+		svc := pick(vocabNames, i)
+		image := pick(vocabImages, i)
+		hostPort := 8080 + i%8*100
+		containerPort := pick(vocabPorts, i)
+		return Problem{
+			Question: fmt.Sprintf(
+				"Write a Docker Compose file with a single service named %q running image %q with restart policy "+
+					"\"always\", publishing host port %d to container port %d.",
+				svc, image, hostPort, containerPort),
+			ReferenceYAML: fmt.Sprintf(`services:
+  %s:
+    image: %s
+    restart: always
+    ports:
+    - "%d:%d"
+`, svc, image, hostPort, containerPort),
+			UnitTest: fmt.Sprintf(`docker compose -f labeled_code.yaml config -q
+if [ $? -ne 0 ]; then
+  exit 1
+fi
+docker compose -f labeled_code.yaml config | grep -q 'image: %s' || exit 1
+docker compose -f labeled_code.yaml config | grep -q 'restart: always' || exit 1
+docker compose -f labeled_code.yaml up -d
+docker compose ps | grep %s | grep -q Up || exit 1
+status=$(curl -s -o /dev/null -w "%%{http_code}" http://localhost:%d/)
+if [ "$status" == "200" ]; then
+  echo unit_test_passed
+fi
+`, image, svc, hostPort),
+			Source: "docs.docker.com/compose/compose-file/05-services",
+		}
+	},
+	// Web service depending on a Redis cache, wired by environment.
+	func(i int) Problem {
+		// The suffix keeps the app service from colliding with the
+		// fixed "cache" service name.
+		web := pick(vocabNames, i+1) + "-app"
+		port := 3000 + i%6*10
+		return Problem{
+			Question: fmt.Sprintf(
+				"Our %q app needs a Compose file with two services: %q (image node:20-alpine, host port %d "+
+					"published to container port 3000, environment variable REDIS_URL=redis://cache:6379) and "+
+					"\"cache\" (image redis:7). The app must start after the cache.",
+				web, web, port),
+			ReferenceYAML: fmt.Sprintf(`services:
+  %s:
+    image: node:20-alpine
+    ports:
+    - "%d:3000"
+    environment:
+      REDIS_URL: redis://cache:6379
+    depends_on:
+    - cache
+  cache:
+    image: redis:7
+`, web, port),
+			UnitTest: fmt.Sprintf(`docker compose -f labeled_code.yaml config | grep -q 'REDIS_URL: redis://cache:6379' || exit 1
+docker compose -f labeled_code.yaml up -d
+docker compose ps | grep cache | grep -q Up || exit 1
+docker compose ps | grep %s | grep -q Up || exit 1
+docker compose logs cache | grep -q 'Ready to accept connections' || exit 1
+status=$(curl -s -o /dev/null -w "%%{http_code}" http://localhost:%d/)
+if [ "$status" == "200" ]; then
+  echo unit_test_passed
+fi
+`, web, port),
+			Source: "docs.docker.com/compose/how-tos/startup-order",
+		}
+	},
+	// Background worker with a command override and a named volume.
+	func(i int) Problem {
+		worker := pick(vocabNames, i+2) + "-worker"
+		queue := pick([]string{"jobs", "emails", "reports", "uploads"}, i)
+		return Problem{
+			Question: fmt.Sprintf(
+				"Define a Compose service %q from image python:3.11-slim that runs the command "+
+					"\"python -m worker --queue %s\", sets the environment variable QUEUE_NAME=%s, and mounts the "+
+					"named volume \"data\" at /var/lib/worker (declare the volume too).",
+				worker, queue, queue),
+			ReferenceYAML: fmt.Sprintf(`services:
+  %s:
+    image: python:3.11-slim
+    command: python -m worker --queue %s
+    environment:
+      QUEUE_NAME: %s
+    volumes:
+    - data:/var/lib/worker
+volumes:
+  data: {}
+`, worker, queue, queue),
+			UnitTest: fmt.Sprintf(`docker compose -f labeled_code.yaml config | grep -q 'command: python -m worker --queue %s' || exit 1
+docker compose -f labeled_code.yaml config | grep -q 'QUEUE_NAME: %s' || exit 1
+docker compose -f labeled_code.yaml config | grep -q 'data:/var/lib/worker' || exit 1
+docker compose -f labeled_code.yaml up -d
+docker compose ps | grep %s | grep -q Up || exit 1
+docker compose logs %s | grep -q 'python -m worker' || exit 1
+echo unit_test_passed
+`, queue, queue, worker, worker),
+			Source: "docs.docker.com/compose/compose-file/07-volumes",
+		}
+	},
+	// Gateway fronting an API service, both probed over the network.
+	func(i int) Problem {
+		api := pick(vocabNames, i+3) + "-api"
+		apiPort := 9000 + i%5*10
+		return Problem{
+			Question: fmt.Sprintf(
+				"Write a Compose file for an edge gateway: service \"gateway\" (image nginx:latest) publishes host "+
+					"port 80 to container port 80 and depends on service %q (image golang:1.21-alpine) which "+
+					"publishes host port %d to container port %d.",
+				api, apiPort, apiPort),
+			ReferenceYAML: fmt.Sprintf(`services:
+  gateway:
+    image: nginx:latest
+    ports:
+    - "80:80"
+    depends_on:
+    - %s
+  %s:
+    image: golang:1.21-alpine
+    ports:
+    - "%d:%d"
+`, api, api, apiPort, apiPort),
+			UnitTest: fmt.Sprintf(`docker compose -f labeled_code.yaml up -d
+gw=$(curl -s -o /dev/null -w "%%{http_code}" http://localhost:80/)
+api=$(curl -s -o /dev/null -w "%%{http_code}" http://localhost:%d/)
+body=$(curl -s http://localhost:%d/)
+if [[ $gw == "200" && $api == "200" && $body == *"%s ok"* ]]; then
+  echo unit_test_passed
+fi
+`, apiPort, apiPort, api),
+			Source: "docs.docker.com/compose/networking",
+		}
+	},
+}

@@ -1,0 +1,176 @@
+package dataset
+
+import "fmt"
+
+// helmSeeds generates Helm chart problems, the second extension family
+// of the scenario-backend registry. The answer is the manifest bundle
+// the chart's templates render; unit tests install it with `helm
+// install -f` into the simulated cluster (helmsim renders into
+// kubesim) and assert on the released resources with kubectl, so helm
+// verbs and kubectl assertions mix exactly as on a real cluster.
+var helmSeeds = []seedFunc{
+	// Deployment + Service release, checked through helm status and
+	// kubectl field assertions.
+	func(i int) Problem {
+		app := pick(vocabNames, i)
+		image := pick(vocabImages, i)
+		replicas := 2 + i%3
+		port := pick(vocabPorts, i)
+		return Problem{
+			Question: fmt.Sprintf(
+				"Write the Kubernetes manifests a Helm chart for %q should render: a Deployment named %q with %d "+
+					"replicas of image %q (selector and pod labels app: %s) and a Service named %q exposing port %d "+
+					"to the pods on the same port. The bundle will be installed as release %q.",
+				app, app, replicas, image, app, app, port, app),
+			ReferenceYAML: fmt.Sprintf(`apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: %s
+spec:
+  replicas: %d
+  selector:
+    matchLabels:
+      app: %s
+  template:
+    metadata:
+      labels:
+        app: %s
+    spec:
+      containers:
+      - name: %s
+        image: %s
+        ports:
+        - containerPort: %d
+---
+apiVersion: v1
+kind: Service
+metadata:
+  name: %s
+spec:
+  selector:
+    app: %s
+  ports:
+  - port: %d
+    targetPort: %d
+`, app, replicas, app, app, app, image, port, app, app, port, port),
+			UnitTest: fmt.Sprintf(`helm install %s -f labeled_code.yaml
+helm status %s | grep -q 'STATUS: deployed' || exit 1
+reps=$(kubectl get deployment %s -o=jsonpath='{.spec.replicas}')
+img=$(kubectl get deployment %s -o=jsonpath='{.spec.template.spec.containers[0].image}')
+port=$(kubectl get service %s -o=jsonpath='{.spec.ports[0].port}')
+if [[ $reps == "%d" && $img == "%s" && $port == "%d" ]]; then
+  echo unit_test_passed
+fi
+`, app, app, app, app, app, replicas, image, port),
+			Source: "helm.sh/docs/chart_template_guide (adapted)",
+		}
+	},
+	// ConfigMap + Deployment release into a dedicated namespace,
+	// rendered first with helm template and listed with helm ls.
+	func(i int) Problem {
+		app := pick(vocabNames, i+1)
+		ns := pick([]string{"apps", "platform", "tools"}, i)
+		level := pick([]string{"debug", "info", "warn"}, i)
+		return Problem{
+			Question: fmt.Sprintf(
+				"Provide the manifest bundle for a Helm release %q installed into namespace %q: a ConfigMap named "+
+					"%q with data key LOG_LEVEL set to %q, and a Deployment named %q (1 replica, image httpd:2.4, "+
+					"labels app: %s).",
+				app, ns, app+"-config", level, app, app),
+			ReferenceYAML: fmt.Sprintf(`apiVersion: v1
+kind: ConfigMap
+metadata:
+  name: %s-config
+data:
+  LOG_LEVEL: %s
+---
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: %s
+spec:
+  replicas: 1
+  selector:
+    matchLabels:
+      app: %s
+  template:
+    metadata:
+      labels:
+        app: %s
+    spec:
+      containers:
+      - name: %s
+        image: httpd:2.4
+`, app, level, app, app, app, app),
+			UnitTest: fmt.Sprintf(`helm template %s -f labeled_code.yaml | grep -q 'kind: ConfigMap' || exit 1
+helm install %s -f labeled_code.yaml -n %s --create-namespace
+helm ls -n %s | grep %s | grep -q deployed || exit 1
+level=$(kubectl get configmap %s-config -n %s -o=jsonpath='{.data.LOG_LEVEL}')
+if [ "$level" == "%s" ]; then
+  echo unit_test_passed
+fi
+`, app, app, ns, ns, app, app, ns, level),
+			Source: "helm.sh/docs/helm/helm_install (adapted)",
+		}
+	},
+	// Cache release whose Deployment pins resources and env; helm
+	// status reports both released resources.
+	func(i int) Problem {
+		name := pick(vocabNames, i+2) + "-cache"
+		maxMem := pick([]string{"64mb", "128mb", "256mb"}, i)
+		cpu := pick(vocabCPU, i)
+		mem := pick(vocabMem, i)
+		return Problem{
+			Question: fmt.Sprintf(
+				"A Helm release %q ships a Redis cache. Render its manifests: a Deployment named %q (1 replica, "+
+					"image redis:7, labels app: %s) whose container sets the environment variable REDIS_MAXMEMORY=%s "+
+					"and requests cpu %s / memory %s, plus a Service named %q on port 6379.",
+				name, name, name, maxMem, cpu, mem, name),
+			ReferenceYAML: fmt.Sprintf(`apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: %s
+spec:
+  replicas: 1
+  selector:
+    matchLabels:
+      app: %s
+  template:
+    metadata:
+      labels:
+        app: %s
+    spec:
+      containers:
+      - name: redis
+        image: redis:7
+        env:
+        - name: REDIS_MAXMEMORY
+          value: %s
+        resources:
+          requests:
+            cpu: %s
+            memory: %s
+---
+apiVersion: v1
+kind: Service
+metadata:
+  name: %s
+spec:
+  selector:
+    app: %s
+  ports:
+  - port: 6379
+    targetPort: 6379
+`, name, name, name, maxMem, cpu, mem, name, name),
+			UnitTest: fmt.Sprintf(`helm install %s -f labeled_code.yaml
+helm status %s | grep -q 'RESOURCES: 2' || exit 1
+maxmem=$(kubectl get deployment %s -o=jsonpath='{.spec.template.spec.containers[0].env[0].value}')
+cpu=$(kubectl get deployment %s -o=jsonpath='{.spec.template.spec.containers[0].resources.requests.cpu}')
+if [[ $maxmem == "%s" && $cpu == "%s" ]]; then
+  echo unit_test_passed
+fi
+`, name, name, name, name, maxMem, cpu),
+			Source: "artifacthub.io/packages/helm/bitnami/redis (adapted)",
+		}
+	},
+}

@@ -2,7 +2,7 @@
 // §3.3 twice over:
 //
 //   - Simulate: a deterministic discrete-event model of N workers
-//     draining the 1011 unit-test jobs behind a shared 100 Mbps uplink,
+//     draining the corpus's unit-test jobs behind a shared 100 Mbps uplink,
 //     with or without the shared Docker image cache — the generator of
 //     Figure 5's evaluation-time curves;
 //   - Master/Worker: real components coordinating through a Redis-

@@ -2,16 +2,20 @@ package k8scmd
 
 import (
 	"strings"
+	"sync"
 	"testing"
 )
 
-// TestPooledEnvNoLeak is the regression test for environment recycling:
-// nothing one execution does — files written, variables exported,
-// namespaces created, workloads applied, envoy started, virtual time
-// consumed — may be visible to the next execution that draws from the
-// pool.
+// TestPooledEnvNoLeak is the regression test for environment
+// recycling: nothing one execution does — files written, variables
+// exported, namespaces created, workloads applied, envoy started,
+// virtual time consumed — may survive Env.Reset, the wipe the
+// per-family scenario pools run on every put (the k8s-tools
+// instantiation of the contract; internal/scenario/pool_test.go
+// checks the same property through every family's registered pool).
 func TestPooledEnvNoLeak(t *testing.T) {
-	first := GetEnv()
+	pool := sync.Pool{New: func() any { return NewEnv() }}
+	first := pool.Get().(*Env)
 	script := `
 kubectl create namespace leaky
 kubectl create deployment web --image=nginx -n leaky
@@ -26,11 +30,11 @@ sleep 5
 	if !first.Cluster.HasNamespace("leaky") {
 		t.Fatal("setup failed: namespace not created")
 	}
-	PutEnv(first)
+	first.Reset()
+	pool.Put(first)
 
 	// The recycled env must be indistinguishable from a fresh one.
-	recycled := GetEnv()
-	defer PutEnv(recycled)
+	recycled := pool.Get().(*Env)
 	fresh := NewEnv()
 	if recycled.Cluster.HasNamespace("leaky") {
 		t.Error("namespace leaked through the pool")
@@ -72,10 +76,11 @@ sleep 5
 // contender reduced to its floor — NewEnv already stamps environments
 // out of shared immutable state (the core builtin table, the cached
 // ASTs and documents), so a structured clone could at best match it —
-// and BenchmarkEnvPooled is the pooled reset. The pooled variant wins
-// because Reset retains map bucket capacity and builtin bindings that
-// a rebuild (or clone) pays for every time; unittest.Run therefore
-// draws from the pool.
+// and BenchmarkEnvPooled is the pooled reset the scenario pools run.
+// The pooled variant wins because Reset retains map bucket capacity
+// and builtin bindings that a rebuild (or clone) pays for every time;
+// scenario.Backend.GetEnv/PutEnv therefore recycle rather than
+// rebuild.
 func BenchmarkEnvFresh(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -88,13 +93,15 @@ func BenchmarkEnvFresh(b *testing.B) {
 }
 
 func BenchmarkEnvPooled(b *testing.B) {
+	pool := sync.Pool{New: func() any { return NewEnv() }}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		e := GetEnv()
+		e := pool.Get().(*Env)
 		e.Shell.FS["labeled_code.yaml"] = "kind: Pod"
 		if _, err := e.Shell.Run("kubectl version"); err != nil {
 			b.Fatal(err)
 		}
-		PutEnv(e)
+		e.Reset()
+		pool.Put(e)
 	}
 }

@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	"cloudeval/internal/envoysim"
@@ -41,39 +40,28 @@ func NewEnv() *Env {
 	return e
 }
 
-// envPool recycles execution environments. Rebuilding an Env per
-// execution re-allocates the cluster maps, the interpreter maps and
-// six builtin bindings; a pooled Env keeps all of that and is wiped by
-// Reset. Measured on the cold path (BenchmarkColdPathUnitTest), the
-// pooled reset beat clone-from-prototype — resetting retains map
-// bucket capacity that a structured clone would re-grow — which is why
-// this is the variant that ships (see DESIGN.md §2.6).
-var envPool = sync.Pool{New: func() any { return NewEnv() }}
-
-// GetEnv returns a pristine environment, reusing a pooled one when
-// available. Callers must return it with PutEnv when the execution is
-// done and must not retain any reference into it afterwards.
-func GetEnv() *Env {
-	return envPool.Get().(*Env)
-}
-
-// PutEnv wipes an environment and recycles it. The wipe happens on Put
-// rather than Get so a leaked reference can at most observe an empty
-// environment, never a later execution's state.
-func PutEnv(e *Env) {
-	e.Reset()
-	envPool.Put(e)
-}
-
 // Reset returns the environment to its pristine NewEnv state: empty
 // cluster at the virtual epoch, no Envoy, cleared shell variables and
 // files. Builtin bindings survive — they are bound to the Env, which
-// is exactly what makes recycling worthwhile.
+// is exactly what makes recycling worthwhile: the per-family scenario
+// pools (scenario.Backend.GetEnv/PutEnv, which generalized this
+// package's former env pool) wipe environments with Reset on put.
+// Rebuilding an Env per execution would re-allocate the cluster maps,
+// the interpreter maps and six builtin bindings; a pooled reset
+// additionally retains map bucket capacity, which is why it beat
+// clone-from-prototype on the cold path (BenchmarkEnvFresh vs
+// BenchmarkEnvPooled; see DESIGN.md §2.6).
 func (e *Env) Reset() {
 	e.Cluster.Reset()
 	e.Envoy = nil
 	e.Shell.Reset()
 }
+
+// Interp returns the environment's shell, satisfying scenario.Env.
+func (e *Env) Interp() *shell.Interp { return e.Shell }
+
+// Now returns the environment's virtual time, satisfying scenario.Env.
+func (e *Env) Now() time.Time { return e.Cluster.Now() }
 
 // flagSet is a tiny kubectl-style flag scanner: it separates positional
 // args from --flag=value / --flag value / -x value forms.

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"cloudeval/internal/dataset"
+	"cloudeval/internal/scenario"
 	"cloudeval/internal/yamlmatch"
 	"cloudeval/internal/yamlx"
 )
@@ -69,16 +70,11 @@ func (m Model) rng(p dataset.Problem, opts GenOptions, perSample bool) *rand.Ran
 	return rand.New(rand.NewSource(int64(h.Sum64())))
 }
 
-// Difficulty scores a problem in [0,1]: Envoy hardest, then by solution
-// length, echoing the paper's Figure 6 analysis.
+// Difficulty scores a problem in [0,1]: the family's base difficulty
+// (Envoy hardest, per its scenario backend), then by solution length,
+// echoing the paper's Figure 6 analysis.
 func Difficulty(p dataset.Problem) float64 {
-	base := 0.0
-	switch p.Category {
-	case dataset.Envoy:
-		base = 0.55
-	case dataset.Istio:
-		base = 0.25
-	}
+	base := scenario.For(p.Category).DifficultyBase
 	lines := p.SolutionLines()
 	var lengthTerm float64
 	switch {
@@ -178,8 +174,9 @@ func (m Model) emit(cat int, p dataset.Problem, latent, rng *rand.Rand) string {
 	case 3: // contains kind but the YAML is cut off / broken
 		return truncateYAML(clean, rng)
 	case 4: // valid YAML, wrong kind
-		if p.Category == dataset.Envoy {
-			// Envoy configs have no kind; a confused answer of the
+		if !scenario.For(p.Category).HasKind {
+			// Families without document kinds (Envoy bootstraps, Compose
+			// files) have nothing to swap; a confused answer of the
 			// "wrong flavor" is a functionally wrong config instead.
 			return corruptYAML(clean, p, latent)
 		}

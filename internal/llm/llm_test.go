@@ -77,7 +77,7 @@ func TestDifficultyOrdering(t *testing.T) {
 			t.Fatalf("difficulty out of range: %v", d)
 		}
 		switch {
-		case p.Category == dataset.Envoy:
+		case p.Subcategory == "envoy":
 			envoySum += d
 			envoyN++
 		case p.Subcategory == "pod":
@@ -116,6 +116,22 @@ func TestPostprocessPolicies(t *testing.T) {
 		if n.Get("kind").ScalarString() != "Pod" {
 			t.Errorf("%s: lost the document: %q", c.name, got)
 		}
+	}
+}
+
+// TestPostprocessForeignMarkerProse: a preamble line that merely
+// begins with another family's document-start marker must not swallow
+// the real document — the policy-2 cut requires the remainder to
+// parse. Truncated documents still fall back to the first marker line.
+func TestPostprocessForeignMarkerProse(t *testing.T) {
+	yaml := "apiVersion: v1\nkind: Pod\nmetadata:\n  name: x\n"
+	got := Postprocess("services: web and db, wired as follows\n" + yaml)
+	if got != yaml {
+		t.Errorf("prose marker swallowed the document: %q", got)
+	}
+	truncated := "apiVersion: v1\nkind: Pod\nmetadata:\n  spec: [unterminated\n"
+	if got := Postprocess("preamble text\n" + truncated); !strings.HasPrefix(got, "apiVersion: v1") {
+		t.Errorf("truncated document lost its marker fallback: %q", got)
 	}
 }
 

@@ -1,13 +1,19 @@
 package llm
 
-import "strings"
+import (
+	"strings"
+
+	"cloudeval/internal/scenario"
+)
 
 // Postprocess extracts clean YAML from a raw model response, applying
 // the policies of §3.1 in order:
 //
 //  1. remove content before a line containing the keyword "Here";
-//  2. remove content before the first line starting with "apiVersion:"
-//     (Kubernetes) or "static_resources:" (Envoy);
+//  2. remove content before the first line starting with a registered
+//     family's document-start marker — "apiVersion:" (Kubernetes),
+//     "static_resources:" (Envoy), "services:" (Compose), ... — as
+//     declared by the scenario backends;
 //  3. extract text enclosed by ``` fences, <code></code>,
 //     \begin{code}\end{code}, or START SOLUTION / END SOLUTION.
 func Postprocess(response string) string {
@@ -31,11 +37,13 @@ func Postprocess(response string) string {
 			break
 		}
 	}
-	// Policy 2: cut to the first apiVersion:/static_resources: line.
+	// Policy 2: cut to the first family document-start line. Postprocess
+	// has no problem context, so every family's marker applies to every
+	// answer; scenario.IsDocStartLine keeps prose that merely begins
+	// with a block marker from matching.
 	lines = strings.Split(out, "\n")
 	for i, ln := range lines {
-		t := strings.TrimSpace(ln)
-		if strings.HasPrefix(t, "apiVersion:") || strings.HasPrefix(t, "static_resources:") {
+		if scenario.IsDocStartLine(strings.TrimSpace(ln)) {
 			out = strings.Join(lines[i:], "\n")
 			break
 		}

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"cloudeval/internal/dataset"
+	"cloudeval/internal/scenario"
 )
 
 // Template is the paper's Appendix B prompt template, prepended to every
@@ -110,10 +111,16 @@ spec:
 }
 
 // Build renders the full prompt for a problem with the requested number
-// of few-shot examples (0–3).
+// of few-shot examples (0–3). Extension families append their
+// scenario backend's scaffolding line to the template; the paper
+// families declare none, keeping their prompts pinned to Appendix B.
 func Build(p dataset.Problem, shots int) string {
 	var b strings.Builder
 	b.WriteString(Template)
+	if hint := scenario.For(p.Category).PromptHint; hint != "" {
+		b.WriteString(hint)
+		b.WriteString("\n")
+	}
 	if shots > len(DefaultShots) {
 		shots = len(DefaultShots)
 	}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"cloudeval/internal/dataset"
+	"cloudeval/internal/scenario"
 	"cloudeval/internal/yamlx"
 )
 
@@ -38,14 +39,35 @@ var Catalog = map[string]float64{
 	"envoyproxy/envoy:v1.27":    62,
 	"istio/pilot:1.19":          85,
 	"registry.k8s.io/pause:3.9": 1,
+	"docker/compose-bin:v2.24":  25,
+	"alpine/helm:3.14":          78,
 }
 
 // DefaultImageMB is the size assumed for uncataloged images.
 const DefaultImageMB = 60
 
-// SizeMB returns an image's size.
+// NormalizeRef canonicalizes an image reference the way Docker does:
+// a reference without a tag (or digest) means ":latest". Manifests
+// routinely write bare "nginx"; without normalization those miss the
+// catalog and silently fall back to DefaultImageMB.
+func NormalizeRef(image string) string {
+	// The tag separator is a colon after the last slash; a colon before
+	// it is a registry port (localhost:5000/app), and "@" marks a
+	// digest reference, which is already fully qualified.
+	rest := image
+	if i := strings.LastIndexByte(image, '/'); i >= 0 {
+		rest = image[i+1:]
+	}
+	if strings.ContainsAny(rest, ":@") {
+		return image
+	}
+	return image + ":latest"
+}
+
+// SizeMB returns an image's size, normalizing untagged references so
+// "nginx" hits the "nginx:latest" catalog entry.
 func SizeMB(image string) float64 {
-	if s, ok := Catalog[image]; ok {
+	if s, ok := Catalog[NormalizeRef(image)]; ok {
 		return s
 	}
 	return DefaultImageMB
@@ -53,8 +75,9 @@ func SizeMB(image string) float64 {
 
 // ImagesFor extracts the container images a problem's environment must
 // pull: every container image in the reference manifest, plus the tool
-// images its category implies (Envoy problems run the Envoy image;
-// every Kubernetes test node pulls the pause image).
+// images the problem's workload family implies (Envoy problems run the
+// Envoy image; every Kubernetes test node pulls the pause image) —
+// declared by the family's scenario backend.
 func ImagesFor(p dataset.Problem) []string {
 	set := map[string]bool{}
 	docs, err := yamlx.ParseAllCached([]byte(p.ReferenceYAML))
@@ -63,13 +86,8 @@ func ImagesFor(p dataset.Problem) []string {
 			collectImages(d, set)
 		}
 	}
-	switch p.Category {
-	case dataset.Envoy:
-		set["envoyproxy/envoy:v1.27"] = true
-	case dataset.Istio:
-		set["istio/pilot:1.19"] = true
-	default:
-		set["registry.k8s.io/pause:3.9"] = true
+	for _, img := range scenario.For(p.Category).ImpliedImages {
+		set[img] = true
 	}
 	out := make([]string, 0, len(set))
 	for img := range set {

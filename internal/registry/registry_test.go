@@ -5,24 +5,52 @@ import (
 	"time"
 
 	"cloudeval/internal/dataset"
+	"cloudeval/internal/scenario"
 )
 
+// TestImagesForExtractsContainers checks every problem's image set
+// includes the tool images its family's scenario backend implies —
+// the registry-driven generalization of the old per-category switch.
 func TestImagesForExtractsContainers(t *testing.T) {
 	for _, p := range dataset.Generate() {
 		imgs := ImagesFor(p)
 		if len(imgs) == 0 {
 			t.Errorf("%s: no images derived", p.ID)
 		}
-		switch p.Category {
-		case dataset.Envoy:
-			if !contains(imgs, "envoyproxy/envoy:v1.27") {
-				t.Errorf("%s: envoy problems need the envoy image: %v", p.ID, imgs)
-			}
-		case dataset.Kubernetes:
-			if !contains(imgs, "registry.k8s.io/pause:3.9") {
-				t.Errorf("%s: k8s problems pull the pause image: %v", p.ID, imgs)
+		for _, implied := range scenario.For(p.Category).ImpliedImages {
+			if !contains(imgs, implied) {
+				t.Errorf("%s: family-implied image %s missing: %v", p.ID, implied, imgs)
 			}
 		}
+	}
+}
+
+func TestNormalizeRef(t *testing.T) {
+	cases := map[string]string{
+		"nginx":                   "nginx:latest",
+		"nginx:1.25":              "nginx:1.25",
+		"envoyproxy/envoy":        "envoyproxy/envoy:latest",
+		"envoyproxy/envoy:v1.27":  "envoyproxy/envoy:v1.27",
+		"localhost:5000/app":      "localhost:5000/app:latest",
+		"localhost:5000/app:v2":   "localhost:5000/app:v2",
+		"repo/app@sha256:deadbee": "repo/app@sha256:deadbee",
+	}
+	for in, want := range cases {
+		if got := NormalizeRef(in); got != want {
+			t.Errorf("NormalizeRef(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestSizeMBNormalizesUntagged is the satellite fix: a bare "nginx"
+// must hit the nginx:latest catalog entry instead of silently falling
+// back to DefaultImageMB.
+func TestSizeMBNormalizesUntagged(t *testing.T) {
+	if got := SizeMB("nginx"); got != Catalog["nginx:latest"] {
+		t.Errorf("SizeMB(nginx) = %v, want catalog nginx:latest = %v", got, Catalog["nginx:latest"])
+	}
+	if got := SizeMB("mysql"); got != Catalog["mysql:latest"] {
+		t.Errorf("SizeMB(mysql) = %v, want catalog mysql:latest = %v", got, Catalog["mysql:latest"])
 	}
 }
 

@@ -6,6 +6,7 @@
 //	POST /v1/campaign        start (or resume) an async experiment campaign
 //	GET  /v1/campaign/{id}   poll campaign status and outputs
 //	GET  /v1/leaderboard     the cached Table 4 (byte-identical to core.Benchmark)
+//	GET  /v1/leaderboard/families  per-workload-family rows (one column per scenario backend)
 //	GET  /v1/stats           engine counters (executed / cache / store hits)
 //	GET  /healthz            liveness
 //
@@ -89,6 +90,7 @@ func New(bench *core.Benchmark, dataDir string) *Server {
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/leaderboard", s.handleLeaderboard)
+	s.mux.HandleFunc("GET /v1/leaderboard/families", s.handleFamilyLeaderboard)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/eval", s.handleEval)
 	s.mux.HandleFunc("POST /v1/campaign", s.handleCampaignStart)
@@ -150,6 +152,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // core.Benchmark.Table4, cached and coalesced.
 func (s *Server) handleLeaderboard(w http.ResponseWriter, r *http.Request) {
 	out, err := s.experiment("table4")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, out)
+}
+
+// handleFamilyLeaderboard serves the per-workload-family breakdown
+// (core.Benchmark.FamilyLeaderboard): one column per registered
+// scenario backend, including the extension families the pinned
+// Table 4 excludes. It shares the ZeroShot campaign with the main
+// leaderboard, so serving both costs one evaluation.
+func (s *Server) handleFamilyLeaderboard(w http.ResponseWriter, r *http.Request) {
+	out, err := s.experiment("families")
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return

@@ -141,6 +141,33 @@ func TestLeaderboardByteIdentical(t *testing.T) {
 	}
 }
 
+// TestFamilyLeaderboardEndpoint: /v1/leaderboard/families serves the
+// per-workload-family rows, one column per registered scenario backend
+// (including the compose and helm extension families), byte-identical
+// to core.Benchmark.FamilyLeaderboard.
+func TestFamilyLeaderboardEndpoint(t *testing.T) {
+	// A cross-family slice of the corpus: two problems per family.
+	var subset []dataset.Problem
+	seen := map[dataset.Category]int{}
+	for _, p := range dataset.Generate() {
+		if seen[p.Category] < 2 {
+			seen[p.Category]++
+			subset = append(subset, p)
+		}
+	}
+	bench := core.NewCustomWith(engine.New(), subset, llm.Models[:2])
+	ts := newTestServer(t, bench)
+	body := getBody(t, ts.URL+"/v1/leaderboard/families", http.StatusOK)
+	for _, col := range []string{"kubernetes", "envoy", "istio", "compose", "helm", "overall"} {
+		if !strings.Contains(body, col) {
+			t.Errorf("family leaderboard missing %q column:\n%s", col, body)
+		}
+	}
+	if want := bench.FamilyLeaderboard(); body != want {
+		t.Fatalf("family leaderboard differs from core:\n--- got ---\n%s--- want ---\n%s", body, want)
+	}
+}
+
 func waitCampaignDone(t *testing.T, base, id string) string {
 	t.Helper()
 	deadline := time.Now().Add(60 * time.Second)

@@ -8,7 +8,7 @@ import (
 )
 
 // The AST cache: scripts are content-addressed by digest and compiled
-// exactly once per process. CloudEval-YAML runs the same 1011 unit-test
+// exactly once per process. CloudEval-YAML runs the same corpus of unit-test
 // scripts for every (model, answer) pair, so on the cold evaluation
 // path each script would otherwise be re-lexed and re-parsed thousands
 // of times. Cached programs are shared across goroutines; this is safe

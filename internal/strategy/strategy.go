@@ -14,31 +14,32 @@ package strategy
 import (
 	"cloudeval/internal/dataset"
 	"cloudeval/internal/llm"
+	"cloudeval/internal/scenario"
 	"cloudeval/internal/yamlmatch"
 	"cloudeval/internal/yamlx"
 )
 
 // FormatCheck reports whether an answer passes the basic structural
-// filter: non-trivial length, parses as YAML, and carries the domain's
-// top-level marker (kind / static_resources). This is exactly the check
-// that would catch the paper's failure categories 1-3 without any
-// cluster access.
+// filter: non-trivial length, parses as YAML, and carries the problem
+// family's top-level marker (kind+apiVersion for manifest families,
+// static_resources for Envoy, services for Compose — declared by the
+// scenario backend). This is exactly the check that would catch the
+// paper's failure categories 1-3 without any cluster access.
 func FormatCheck(answer string, p dataset.Problem) bool {
 	docs, err := yamlx.ParseAllCached([]byte(answer))
 	if err != nil {
 		return false
 	}
-	nonNull := 0
+	backend := scenario.For(p.Category)
 	for _, d := range docs {
 		if d == nil || d.Kind == yamlx.NullKind {
 			continue
 		}
-		nonNull++
 		if d.Kind != yamlx.MapKind {
 			return false
 		}
-		if p.Category == dataset.Envoy {
-			if d.Has("static_resources") {
+		if !backend.HasKind {
+			if d.Has(backend.Marker) {
 				return true
 			}
 			continue

@@ -9,13 +9,21 @@ import (
 )
 
 func TestFormatCheck(t *testing.T) {
-	var k8s, envoy dataset.Problem
+	var k8s, envoy, compose dataset.Problem
 	for _, p := range dataset.Generate() {
-		if p.Category == dataset.Kubernetes && k8s.ID == "" {
-			k8s = p
-		}
-		if p.Category == dataset.Envoy && envoy.ID == "" {
-			envoy = p
+		switch p.Subcategory {
+		case "pod":
+			if k8s.ID == "" {
+				k8s = p
+			}
+		case "envoy":
+			if envoy.ID == "" {
+				envoy = p
+			}
+		case "compose":
+			if compose.ID == "" {
+				compose = p
+			}
 		}
 	}
 	cases := []struct {
@@ -31,6 +39,9 @@ func TestFormatCheck(t *testing.T) {
 		{"kind-without-apiversion", "kind: Pod\nmetadata:\n  name: x\n", k8s, false},
 		{"valid-envoy", "static_resources:\n  listeners: []\n", envoy, true},
 		{"k8s-answer-for-envoy", "apiVersion: v1\nkind: Pod\nmetadata:\n  name: x\n", envoy, false},
+		{"valid-compose", "services:\n  web:\n    image: nginx:latest\n", compose, true},
+		{"k8s-answer-for-compose", "apiVersion: v1\nkind: Pod\nmetadata:\n  name: x\n", compose, false},
+		{"compose-answer-for-k8s", "services:\n  web:\n    image: nginx:latest\n", k8s, false},
 	}
 	for _, c := range cases {
 		if got := FormatCheck(c.answer, c.p); got != c.want {

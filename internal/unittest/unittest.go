@@ -1,6 +1,10 @@
 // Package unittest executes a problem's bash unit-test script against a
 // candidate YAML answer inside a fresh simulated environment, the
-// function-level scoring backend of CloudEval-YAML (§3.2).
+// function-level scoring backend of CloudEval-YAML (§3.2). The
+// environment comes from the problem's workload-family backend
+// (internal/scenario), so Kubernetes problems run against kubesim,
+// Envoy problems against envoysim, Compose problems against composesim,
+// and so on — each family drawing from its own environment pool.
 package unittest
 
 import (
@@ -8,7 +12,7 @@ import (
 	"time"
 
 	"cloudeval/internal/dataset"
-	"cloudeval/internal/k8scmd"
+	"cloudeval/internal/scenario"
 )
 
 // Result captures one unit-test execution.
@@ -26,15 +30,18 @@ type Result struct {
 }
 
 // Run executes the problem's unit test with answerYAML installed as
-// labeled_code.yaml. Success means the script printed a line containing
+// labeled_code.yaml, in an environment drawn from the problem family's
+// pool. Success means the script printed a line containing
 // "unit_test_passed" (some problems use prefixed markers such as
 // cn1000_unit_test_passed, as in the paper's Figure 1).
 func Run(p dataset.Problem, answerYAML string) Result {
-	env := k8scmd.GetEnv()
-	defer k8scmd.PutEnv(env)
-	env.Shell.FS["labeled_code.yaml"] = answerYAML
-	start := env.Cluster.Now()
-	res, err := env.Shell.Run(p.UnitTest)
+	backend := scenario.For(p.Category)
+	env := backend.GetEnv()
+	defer backend.PutEnv(env)
+	sh := env.Interp()
+	sh.FS["labeled_code.yaml"] = answerYAML
+	start := env.Now()
+	res, err := sh.Run(p.UnitTest)
 	if err != nil {
 		return Result{Err: err}
 	}
@@ -42,7 +49,7 @@ func Run(p dataset.Problem, answerYAML string) Result {
 		Passed:      strings.Contains(res.Stdout, "unit_test_passed"),
 		Output:      res.Stdout,
 		ExitCode:    res.ExitCode,
-		VirtualTime: env.Cluster.Now().Sub(start),
+		VirtualTime: env.Now().Sub(start),
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"cloudeval/internal/dataset"
+	"cloudeval/internal/scenario"
 	"cloudeval/internal/yamlmatch"
 )
 
@@ -26,6 +27,43 @@ func TestEveryReferencePassesItsUnitTest(t *testing.T) {
 					res.ExitCode, res.Output, clean, p.UnitTest)
 			}
 		})
+	}
+}
+
+// TestCorpusInvariantPerFamily is the registry-generalized corpus
+// invariant: every registered workload family contributes problems,
+// and each family's references pass their own unit tests inside that
+// family's simulated environment. A new backend whose corpus or
+// environment is broken fails here by name instead of vanishing into
+// the flat corpus sweep above.
+func TestCorpusInvariantPerFamily(t *testing.T) {
+	byFamily := map[dataset.Category][]dataset.Problem{}
+	for _, p := range dataset.Generate() {
+		byFamily[p.Category] = append(byFamily[p.Category], p)
+	}
+	for _, b := range scenario.All() {
+		b := b
+		t.Run(string(b.Category), func(t *testing.T) {
+			problems := byFamily[b.Category]
+			if len(problems) == 0 {
+				t.Fatalf("family %s has no problems in the corpus", b.Category)
+			}
+			for _, p := range problems {
+				clean := yamlmatch.StripLabels(p.ReferenceYAML)
+				res := Run(p, clean)
+				if res.Err != nil {
+					t.Fatalf("%s: script error: %v", p.ID, res.Err)
+				}
+				if !res.Passed {
+					t.Fatalf("%s: reference failed its unit test (exit %d):\n%s", p.ID, res.ExitCode, res.Output)
+				}
+			}
+		})
+	}
+	for cat := range byFamily {
+		if scenario.For(cat).Category != cat {
+			t.Errorf("category %s falls back to another family's backend", cat)
+		}
 	}
 }
 
