@@ -6,6 +6,7 @@
 package cloudeval_test
 
 import (
+	"context"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -18,6 +19,7 @@ import (
 	"cloudeval/internal/dataset"
 	"cloudeval/internal/engine"
 	"cloudeval/internal/evalcluster"
+	"cloudeval/internal/inference"
 	"cloudeval/internal/llm"
 	"cloudeval/internal/repostats"
 	"cloudeval/internal/score"
@@ -309,6 +311,40 @@ func BenchmarkFigure9Predictor(b *testing.B) {
 	b.ReportMetric(kvwImportance, "kv-wildcard-shap")
 }
 
+// BenchmarkGenerateBatched measures the inference dispatcher's
+// batched generation path: a 4-model x 64-problem request matrix
+// fanned out through GenerateBatch with the generation cache disabled,
+// so every request pays a live sim call under the concurrency limit —
+// the dispatch overhead a real-API campaign rides on. Runs under
+// -benchmem in CI; benchguard gates its allocs/op against
+// ci/bench-baseline.json.
+func BenchmarkGenerateBatched(b *testing.B) {
+	originals, _ := fixtures()
+	modelNames := []string{"gpt-4", "gpt-3.5", "llama-2-70b-chat", "codellama-7b-instruct"}
+	var reqs []inference.Request
+	for _, name := range modelNames {
+		for _, p := range originals[:64] {
+			reqs = append(reqs, inference.Request{Model: name, Problem: p})
+		}
+	}
+	var toks float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := inference.NewDispatcher(inference.NewSim(llm.Models), inference.WithoutGenCache())
+		resps, err := d.GenerateBatch(context.Background(), reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total := 0
+		for _, r := range resps {
+			total += r.Usage.Total()
+		}
+		toks = float64(total)
+	}
+	b.ReportMetric(toks, "tokens-per-batch")
+	b.ReportMetric(float64(len(reqs)), "requests-per-batch")
+}
+
 // --- Ablation benches (design choices called out in DESIGN.md §4) ---
 
 // BenchmarkAblationPostprocessing quantifies §3.1's extraction policies:
@@ -396,15 +432,24 @@ func BenchmarkAblationCacheBandwidth(b *testing.B) {
 func BenchmarkAblationFormatRetry(b *testing.B) {
 	originals, _ := fixtures()
 	m, _ := llm.ByName("gpt-4")
+	gen := inference.Default()
 	slice := originals[:150]
 	var greedyPass, retryPass int
 	for i := 0; i < b.N; i++ {
 		greedyPass, retryPass = 0, 0
 		for _, p := range slice {
-			if unittest.Run(p, strategy.Greedy(m, p).Answer).Passed {
+			g, err := strategy.Greedy(gen, m, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if unittest.Run(p, g.Answer).Passed {
 				greedyPass++
 			}
-			if unittest.Run(p, strategy.FormatRetry(m, p, 4, 0.75).Answer).Passed {
+			r, err := strategy.FormatRetry(gen, m, p, 4, 0.75)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if unittest.Run(p, r.Answer).Passed {
 				retryPass++
 			}
 		}

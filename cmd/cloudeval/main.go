@@ -7,9 +7,13 @@
 //	cloudeval dataset            # Table 2 statistics
 //	cloudeval bench              # Table 4 zero-shot leaderboard
 //	cloudeval bench -store eval.store      # ... with the persistent store (warm reruns execute nothing)
+//	cloudeval bench -record gen.trace      # ... recording every generation to a JSONL trace
+//	cloudeval bench -replay gen.trace      # ... replaying generations from the trace (zero live calls)
+//	cloudeval bench -provider http:http://127.0.0.1:8000/v1   # ... against a live OpenAI-compatible API
 //	cloudeval figures -id table5 # one experiment by ID
 //	cloudeval figures -all       # every table and figure
 //	cloudeval campaign -dir run1 # resumable checkpointed campaign
+//	cloudeval models             # the model zoo and the configured provider
 //	cloudeval cost               # Table 3 cost breakdown
 //	cloudeval cluster -workers 64 -cache   # one Figure 5 point
 //	cloudeval eval -problem k8s-pod-001 -f answer.yaml
@@ -25,7 +29,12 @@ import (
 
 	"cloudeval"
 	"cloudeval/internal/core"
+	"cloudeval/internal/cost"
+	"cloudeval/internal/engine"
 	"cloudeval/internal/evalcluster"
+	"cloudeval/internal/inference"
+	"cloudeval/internal/llm"
+	"cloudeval/internal/store"
 )
 
 func main() {
@@ -44,6 +53,8 @@ func main() {
 		err = cmdFigures(args)
 	case "campaign":
 		err = cmdCampaign(args)
+	case "models":
+		err = cmdModels(args)
 	case "cost":
 		err = cmdCost()
 	case "cluster":
@@ -73,13 +84,50 @@ Commands:
   figures -id <id>    regenerate one experiment (table1..table9, figure5..figure9)
   figures -all        regenerate every table and figure (both accept -store F)
   campaign -dir <d>   run a resumable checkpointed campaign [-ids a,b,...] [-store F]
+  models              list the model zoo and the configured inference provider
   cost                print the running-cost breakdown (Table 3)
   cluster [-workers N] [-cache]   simulate one evaluation campaign (Figure 5 point)
   eval -problem <id> -f <file>    run one answer through the full scoring pipeline
 
 -store attaches the persistent evaluation store at F: unit-test
-results persist across invocations, so a warm re-run executes nothing.
+results and generations persist across invocations, so a warm re-run
+neither executes nor generates anything.
+
+bench, figures, campaign and models take inference provider flags:
+  -provider sim              the deterministic model zoo (default)
+  -provider http:<base-url>  a live OpenAI-compatible endpoint
+                             (API key from $CLOUDEVAL_API_KEY)
+  -replay F                  serve every generation from the JSONL trace at F
+                             (zero live calls; overrides -provider)
+  -record F                  record every live generation to the trace at F
 `)
+}
+
+// providerFlags carries the inference provider selection shared by
+// bench, figures, campaign and models.
+type providerFlags struct {
+	provider *string
+	record   *string
+	replay   *string
+}
+
+func addProviderFlags(fs *flag.FlagSet) providerFlags {
+	return providerFlags{
+		provider: fs.String("provider", "sim", `inference provider: "sim" or "http:<base-url>"`),
+		record:   fs.String("record", "", "record generations to this JSONL trace file"),
+		replay:   fs.String("replay", "", "replay generations from this JSONL trace file"),
+	}
+}
+
+// configured reports whether any non-default provider flag is set.
+func (pf providerFlags) configured() bool {
+	return *pf.provider != "sim" || *pf.record != "" || *pf.replay != ""
+}
+
+// open builds the provider the flags select: replay trace > live
+// provider, optionally wrapped in a recorder.
+func (pf providerFlags) open() (inference.Provider, error) {
+	return inference.OpenSpec(*pf.provider, *pf.record, *pf.replay, os.Getenv("CLOUDEVAL_API_KEY"))
 }
 
 func cmdDataset() error {
@@ -91,25 +139,67 @@ func cmdDataset() error {
 	return nil
 }
 
-// newBench builds a benchmark, optionally backed by the persistent
-// evaluation store at storePath. The returned closer flushes the store
-// (a no-op without one) and must run after the last evaluation.
-func newBench(storePath string) (*cloudeval.Benchmark, func() error, error) {
-	if storePath == "" {
-		return cloudeval.New(), func() error { return nil }, nil
-	}
-	b, st, err := cloudeval.NewPersistent(storePath)
+// newBench builds a benchmark over the provider the flags select,
+// optionally backed by the persistent evaluation store at storePath
+// (which then caches both unit-test results and generations). The
+// returned closer flushes the trace/store and surfaces any latched
+// generation error; it must run after the last evaluation.
+func newBench(storePath string, pf providerFlags) (*cloudeval.Benchmark, func() error, error) {
+	prov, err := pf.open()
 	if err != nil {
 		return nil, nil, err
 	}
-	return b, st.Close, nil
+	var dopts []inference.DispatchOption
+	var st *store.Store
+	if storePath != "" {
+		st, err = store.Open(storePath)
+		if err != nil {
+			prov.Close()
+			return nil, nil, err
+		}
+		dopts = append(dopts, inference.WithGenStore(st))
+	}
+	disp := inference.NewDispatcher(prov, dopts...)
+	eng := engine.Default()
+	if st != nil {
+		eng = engine.New(engine.WithStore(st))
+	}
+	closer := func() error {
+		err := disp.Close()
+		if st != nil {
+			if serr := st.Close(); err == nil {
+				err = serr
+			}
+		}
+		if gerr := disp.Err(); err == nil {
+			err = gerr
+		}
+		return err
+	}
+	return core.NewVia(eng, disp), closer, nil
 }
 
-func cmdBench(args []string) error {
+// reportGeneration prints the dispatcher counters and the metered
+// inference cost whenever a non-default provider or a store is in
+// play — the observability end of the provider layer.
+func reportGeneration(b *cloudeval.Benchmark) {
+	stats := b.Generator().Stats()
+	fmt.Fprintf(os.Stderr, "inference (%s): %d generated, %d memory hits, %d store hits, %d errors\n",
+		b.Generator().Provider().Name(), stats.Generated, stats.CacheHits, stats.StoreHits, stats.Errors)
+	if stats.Usage.Total() > 0 {
+		fmt.Fprintf(os.Stderr, "tokens: %d prompt + %d completion; metered cost: $%.2f at %s rates\n",
+			stats.Usage.PromptTokens, stats.Usage.CompletionTokens,
+			cost.MeteredCost(cost.InferenceGPT35, stats.Usage.PromptTokens, stats.Usage.CompletionTokens),
+			cost.InferenceGPT35.Name)
+	}
+}
+
+func cmdBench(args []string) (retErr error) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	storePath := fs.String("store", "", "persistent evaluation store path")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the campaign here")
 	memProfile := fs.String("memprofile", "", "write an allocation profile here after the campaign")
+	pf := addProviderFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -118,17 +208,27 @@ func cmdBench(args []string) error {
 		return err
 	}
 	defer stopProfiles()
-	b, closeStore, err := newBench(*storePath)
+	b, closeBench, err := newBench(*storePath, pf)
 	if err != nil {
 		return err
 	}
+	// Deferred so an error mid-campaign still flushes the trace
+	// recorder and closes the store.
+	defer func() {
+		if cerr := closeBench(); retErr == nil {
+			retErr = cerr
+		}
+	}()
 	fmt.Println(b.Table4())
 	if *storePath != "" {
 		stats := b.Engine().Stats()
 		fmt.Printf("engine: %d executed, %d memory hits, %d store hits\n",
 			stats.Executed, stats.CacheHits, stats.StoreHits)
 	}
-	return closeStore()
+	if *storePath != "" || pf.configured() {
+		reportGeneration(b)
+	}
+	return nil
 }
 
 // startProfiles starts a CPU profile and arranges a heap snapshot, so
@@ -171,37 +271,41 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 	}, nil
 }
 
-func cmdFigures(args []string) error {
+func cmdFigures(args []string) (retErr error) {
 	fs := flag.NewFlagSet("figures", flag.ExitOnError)
 	id := fs.String("id", "", "experiment id (table1..table9, figure5..figure9)")
 	all := fs.Bool("all", false, "run every experiment")
 	storePath := fs.String("store", "", "persistent evaluation store path")
+	pf := addProviderFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	b, closeStore, err := newBench(*storePath)
+	b, closeBench, err := newBench(*storePath, pf)
 	if err != nil {
 		return err
 	}
-	if *all {
-		if err := b.RunAll(os.Stdout); err != nil {
-			return err
+	defer func() {
+		if cerr := closeBench(); retErr == nil {
+			retErr = cerr
 		}
-		return closeStore()
+	}()
+	if *all {
+		return b.RunAll(os.Stdout)
 	}
 	gen, ok := b.Experiments()[strings.ToLower(*id)]
 	if !ok {
 		return fmt.Errorf("unknown experiment %q (known: %s)", *id, strings.Join(core.ExperimentIDs, ", "))
 	}
 	fmt.Println(gen())
-	return closeStore()
+	return nil
 }
 
-func cmdCampaign(args []string) error {
+func cmdCampaign(args []string) (retErr error) {
 	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
 	dir := fs.String("dir", "", "campaign directory (checkpoints + outputs)")
 	idsFlag := fs.String("ids", "", "comma-separated experiment ids (default: all)")
 	storePath := fs.String("store", "", "persistent evaluation store path")
+	pf := addProviderFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -214,17 +318,66 @@ func cmdCampaign(args []string) error {
 			ids = append(ids, strings.ToLower(strings.TrimSpace(id)))
 		}
 	}
-	b, closeStore, err := newBench(*storePath)
+	b, closeBench, err := newBench(*storePath, pf)
 	if err != nil {
 		return err
 	}
+	// Deferred: a campaign that fails mid-run (dead endpoint, trace
+	// miss) must still flush the recorded-so-far trace and close the
+	// store cleanly.
+	defer func() {
+		if cerr := closeBench(); retErr == nil {
+			retErr = cerr
+		}
+	}()
 	report, err := b.RunCampaign(*dir, ids, os.Stdout)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "campaign: %d ran, %d resumed from checkpoint\n",
 		len(report.Ran), len(report.Skipped))
-	return closeStore()
+	if *storePath != "" || pf.configured() {
+		reportGeneration(b)
+	}
+	return nil
+}
+
+// cmdModels lists the model zoo in ranking order and describes the
+// provider the flags configure.
+func cmdModels(args []string) error {
+	fs := flag.NewFlagSet("models", flag.ExitOnError)
+	pf := addProviderFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// models never generates, so -record must not truncate an existing
+	// trace just to print the listing: describe the provider without
+	// the recorder wrapper.
+	prov, err := inference.OpenSpec(*pf.provider, "", *pf.replay, os.Getenv("CLOUDEVAL_API_KEY"))
+	if err != nil {
+		return err
+	}
+	defer prov.Close()
+	fmt.Printf("%-4s %-24s %-5s %-5s %-8s\n", "Rank", "Model", "Size", "Open", "English")
+	for i, m := range llm.Models {
+		open, english := "N", "any"
+		if m.OpenSource {
+			open = "Y"
+		}
+		if m.EnglishOnly {
+			english = "only"
+		}
+		fmt.Printf("%-4d %-24s %-5s %-5s %-8s\n", i+1, m.Name, m.Size, open, english)
+	}
+	fmt.Printf("\nprovider: %s", prov.Name())
+	switch p := prov.(type) {
+	case *inference.Sim:
+		fmt.Printf(" (%d simulated models)", len(llm.Models))
+	case *inference.Replay:
+		fmt.Printf(" (%d recorded generations from %s)", p.Len(), *pf.replay)
+	}
+	fmt.Println()
+	return nil
 }
 
 func cmdCost() error {

@@ -18,7 +18,14 @@
 //
 // The store lives at <data>/eval.store and campaign checkpoints under
 // <data>/campaigns/; point -data at a CI cache or shared volume to
-// carry warm state across runs.
+// carry warm state across runs. The store caches generations alongside
+// unit-test results, so a warm daemon neither generates nor executes.
+//
+// The inference provider is fixed at construction: -provider sim (the
+// default zoo), -provider http:<base-url> (an OpenAI-compatible
+// endpoint, key from $CLOUDEVAL_API_KEY), -replay trace.jsonl (serve a
+// recorded transcript with zero live calls), optionally -record
+// trace.jsonl to capture one.
 package main
 
 import (
@@ -31,10 +38,12 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"cloudeval/internal/core"
 	"cloudeval/internal/engine"
+	"cloudeval/internal/inference"
 	"cloudeval/internal/server"
 	"cloudeval/internal/store"
 )
@@ -76,6 +85,9 @@ func run() error {
 	addr := flag.String("addr", ":8080", "listen address")
 	data := flag.String("data", "cloudevald-data", "data directory (store + campaign checkpoints)")
 	storePath := flag.String("store", "", "evaluation store path (default <data>/eval.store)")
+	provider := flag.String("provider", "sim", `inference provider: "sim" or "http:<base-url>" (key from $CLOUDEVAL_API_KEY)`)
+	record := flag.String("record", "", "record every live generation to this JSONL trace")
+	replay := flag.String("replay", "", "serve generations from this JSONL trace (overrides -provider)")
 	warm := flag.Bool("warm", false, "run the Table 4 campaign at startup so the first request is cheap")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (off by default)")
 	flag.Parse()
@@ -93,18 +105,36 @@ func run() error {
 	}
 	defer st.Close()
 
+	// The inference provider is fixed at construction: every generation
+	// the daemon performs — warmups, campaigns, /v1/eval model requests
+	// — routes through one dispatcher whose generation cache is backed
+	// by the same store as the unit-test results.
+	prov, err := inference.OpenSpec(*provider, *record, *replay, os.Getenv("CLOUDEVAL_API_KEY"))
+	if err != nil {
+		return err
+	}
+	disp := inference.NewDispatcher(prov, inference.WithGenStore(st))
+	defer disp.Close()
+
 	eng := engine.New(engine.WithStore(st))
-	bench := core.NewWith(eng)
+	bench := core.NewVia(eng, disp)
 	srv := server.New(bench, *data)
 
-	fmt.Printf("cloudevald: store %s (%d records), %d problems, %d models\n",
-		path, st.Len(), len(bench.Problems), len(bench.Models))
+	fmt.Printf("cloudevald: store %s (%d results, %d generations), provider %s, %d problems, %d models\n",
+		path, st.Len(), st.GenLen(), prov.Name(), len(bench.Problems), len(bench.Models))
 	if *warm {
 		start := time.Now()
 		bench.ZeroShot()
+		if err := disp.Err(); err != nil {
+			// A daemon warmed on an incomplete trace or a failing
+			// endpoint would serve zero-scored tables; refuse to start.
+			return fmt.Errorf("warmup generation failed: %w", err)
+		}
 		stats := eng.Stats()
-		fmt.Printf("cloudevald: warmed Table 4 in %v (%d executed, %d memory hits, %d store hits)\n",
-			time.Since(start).Round(time.Millisecond), stats.Executed, stats.CacheHits, stats.StoreHits)
+		gst := disp.Stats()
+		fmt.Printf("cloudevald: warmed Table 4 in %v (%d executed, %d memory hits, %d store hits; %d generated, %d gen store hits)\n",
+			time.Since(start).Round(time.Millisecond), stats.Executed, stats.CacheHits, stats.StoreHits,
+			gst.Generated, gst.StoreHits)
 	}
 
 	handler := srv.Handler()
@@ -122,7 +152,9 @@ func run() error {
 	fmt.Printf("cloudevald: listening on %s\n", *addr)
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	// SIGTERM too: docker/systemd stop with it, and the deferred
+	// closes (store sync, trace recorder flush) must run.
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
 		return err

@@ -24,6 +24,7 @@ import (
 	"cloudeval/internal/dataset"
 	"cloudeval/internal/engine"
 	"cloudeval/internal/evalcluster"
+	"cloudeval/internal/inference"
 	"cloudeval/internal/llm"
 	"cloudeval/internal/miniredis"
 	"cloudeval/internal/store"
@@ -96,6 +97,10 @@ func runMaster(args []string) error {
 	eng := engine.New(engine.WithExecutor(exec), engine.WithWorkers(*inflight))
 	defer eng.Close()
 
+	// Generation routes through the inference dispatcher — the same
+	// provider seam the in-process campaigns use, so a master could
+	// just as well replay a recorded trace.
+	gen := inference.NewDispatcher(inference.NewSim(llm.Models))
 	index := make(map[string]dataset.Problem, len(problems))
 	jobs := make([]engine.Job, len(problems))
 	for i, p := range problems {
@@ -103,7 +108,7 @@ func runMaster(args []string) error {
 		jobs[i] = engine.Job{
 			ID:        fmt.Sprintf("job-%d", i+1),
 			ProblemID: p.ID,
-			Answer:    llm.Postprocess(model.Generate(p, llm.GenOptions{})),
+			Answer:    gen.Answer(model, p, llm.GenOptions{}),
 		}
 	}
 	fmt.Printf("dispatching %d jobs for %s (%d in flight); waiting for workers...\n",

@@ -16,6 +16,7 @@ import (
 	"cloudeval/internal/dataset"
 	"cloudeval/internal/engine"
 	"cloudeval/internal/evalcluster"
+	"cloudeval/internal/inference"
 	"cloudeval/internal/llm"
 	"cloudeval/internal/miniredis"
 )
@@ -42,6 +43,7 @@ func main() {
 	eng := engine.New(engine.WithExecutor(exec), engine.WithWorkers(2*workers))
 	defer eng.Close()
 
+	gen := inference.NewDispatcher(inference.NewSim(llm.Models))
 	index := make(map[string]dataset.Problem, len(problems))
 	jobs := make([]engine.Job, len(problems))
 	for i, p := range problems {
@@ -49,7 +51,7 @@ func main() {
 		jobs[i] = engine.Job{
 			ID:        fmt.Sprintf("job-%d", i+1),
 			ProblemID: p.ID,
-			Answer:    llm.Postprocess(model.Generate(p, llm.GenOptions{})),
+			Answer:    gen.Answer(model, p, llm.GenOptions{}),
 		}
 	}
 

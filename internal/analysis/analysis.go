@@ -11,6 +11,7 @@ import (
 
 	"cloudeval/internal/dataset"
 	"cloudeval/internal/engine"
+	"cloudeval/internal/inference"
 	"cloudeval/internal/llm"
 	"cloudeval/internal/scenario"
 	"cloudeval/internal/score"
@@ -227,18 +228,23 @@ func PassAtK(m llm.Model, problems []dataset.Problem, maxK int, temperature floa
 	return PassAtKWith(engine.Default(), m, problems, maxK, temperature)
 }
 
-// PassAtKWith schedules the multi-sample study on eng: problems fan out
-// across the pool while each problem's sample loop stays sequential, so
-// the early exit after the first passing sample — the paper's lazy
-// sampling — is preserved and the counts match the serial path exactly.
+// PassAtKWith is PassAtKVia on the process-wide default dispatcher.
 func PassAtKWith(eng *engine.Engine, m llm.Model, problems []dataset.Problem, maxK int, temperature float64) []int {
+	return PassAtKVia(eng, inference.Default(), m, problems, maxK, temperature)
+}
+
+// PassAtKVia schedules the multi-sample study on eng with samples
+// drawn through gen: problems fan out across the pool while each
+// problem's sample loop stays sequential, so the early exit after the
+// first passing sample — the paper's lazy sampling — is preserved and
+// the counts match the serial path exactly.
+func PassAtKVia(eng *engine.Engine, gen *inference.Dispatcher, m llm.Model, problems []dataset.Problem, maxK int, temperature float64) []int {
 	firstPass := make([]int, len(problems)) // index of first passing sample, or -1
 	eng.ForEach(len(problems), func(i int) {
 		p := problems[i]
 		idx := -1
 		for k := 0; k < maxK; k++ {
-			raw := m.Generate(p, llm.GenOptions{Sample: k, Temperature: temperature})
-			ans := llm.Postprocess(raw)
+			ans := gen.Answer(m, p, llm.GenOptions{Sample: k, Temperature: temperature})
 			if eng.UnitTest(p, ans).Passed {
 				idx = k
 				break
@@ -300,8 +306,15 @@ func VariantPassCounts(m llm.Model, all []dataset.Problem) map[dataset.Variant]i
 	return VariantPassCountsWith(engine.Default(), m, all)
 }
 
-// VariantPassCountsWith is VariantPassCounts on a caller-owned engine.
+// VariantPassCountsWith is VariantPassCounts on a caller-owned engine
+// and the default dispatcher.
 func VariantPassCountsWith(eng *engine.Engine, m llm.Model, all []dataset.Problem) map[dataset.Variant]int {
+	return VariantPassCountsVia(eng, inference.Default(), m, all)
+}
+
+// VariantPassCountsVia is VariantPassCounts with generations drawn
+// through gen.
+func VariantPassCountsVia(eng *engine.Engine, gen *inference.Dispatcher, m llm.Model, all []dataset.Problem) map[dataset.Variant]int {
 	out := map[dataset.Variant]int{}
 	for _, variant := range []dataset.Variant{dataset.Original, dataset.Simplified, dataset.Translated} {
 		if m.EnglishOnly && variant == dataset.Translated {
@@ -314,7 +327,7 @@ func VariantPassCountsWith(eng *engine.Engine, m llm.Model, all []dataset.Proble
 				subset = append(subset, p)
 			}
 		}
-		scores := score.EvaluateModelWith(eng, m, subset, llm.GenOptions{})
+		scores := score.EvaluateModelVia(eng, gen, m, subset, llm.GenOptions{})
 		out[variant] = PassCount(scores)
 	}
 	return out
@@ -344,11 +357,18 @@ func FewShotPassCounts(m llm.Model, originals []dataset.Problem, maxShots int) [
 	return FewShotPassCountsWith(engine.Default(), m, originals, maxShots)
 }
 
-// FewShotPassCountsWith is FewShotPassCounts on a caller-owned engine.
+// FewShotPassCountsWith is FewShotPassCounts on a caller-owned engine
+// and the default dispatcher.
 func FewShotPassCountsWith(eng *engine.Engine, m llm.Model, originals []dataset.Problem, maxShots int) []int {
+	return FewShotPassCountsVia(eng, inference.Default(), m, originals, maxShots)
+}
+
+// FewShotPassCountsVia is FewShotPassCounts with generations drawn
+// through gen.
+func FewShotPassCountsVia(eng *engine.Engine, gen *inference.Dispatcher, m llm.Model, originals []dataset.Problem, maxShots int) []int {
 	out := make([]int, maxShots+1)
 	for shots := 0; shots <= maxShots; shots++ {
-		scores := score.EvaluateModelWith(eng, m, originals, llm.GenOptions{Shots: shots})
+		scores := score.EvaluateModelVia(eng, gen, m, originals, llm.GenOptions{Shots: shots})
 		out[shots] = PassCount(scores)
 	}
 	return out

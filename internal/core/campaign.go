@@ -152,7 +152,19 @@ func (b *Benchmark) runCampaign(dir string, ids []string, w io.Writer, gen func(
 					return report, fmt.Errorf("core: generate %s: %w", id, err)
 				}
 			} else {
+				// An experiment whose generations failed (replay-trace
+				// miss, dead endpoint) scores empty answers; it must
+				// fail the campaign here, not be checkpointed as
+				// complete and replayed as authoritative forever. The
+				// delta is over the dispatcher's process-wide counter,
+				// so a concurrent failing campaign on the same
+				// benchmark can fail this one too — conservative: a
+				// clean retry succeeds, corrupt output never persists.
+				errsBefore := b.gen.Stats().Errors
 				out = gens[id]()
+				if failed := b.gen.Stats().Errors - errsBefore; failed > 0 {
+					return report, fmt.Errorf("core: experiment %s: %d generation failures (first: %v)", id, failed, b.gen.Err())
+				}
 			}
 			name := id + ".txt"
 			if err := writeAtomic(filepath.Join(dir, name), []byte(out)); err != nil {

@@ -1,6 +1,9 @@
 package core_test
 
 import (
+	"context"
+	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -10,6 +13,7 @@ import (
 	"cloudeval/internal/core"
 	"cloudeval/internal/dataset"
 	"cloudeval/internal/engine"
+	"cloudeval/internal/inference"
 	"cloudeval/internal/llm"
 )
 
@@ -89,5 +93,45 @@ func TestCampaignMissingOutputFileReruns(t *testing.T) {
 func TestCampaignUnknownExperiment(t *testing.T) {
 	if _, err := smallBench().RunCampaign(t.TempDir(), []string{"table99"}, nil); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// failingGenProvider errors on every generation.
+type failingGenProvider struct{}
+
+func (failingGenProvider) Name() string { return "failing" }
+func (failingGenProvider) Generate(ctx context.Context, req inference.Request) (inference.Response, error) {
+	return inference.Response{}, fmt.Errorf("backend down")
+}
+func (failingGenProvider) Close() error { return nil }
+
+// TestCampaignFailsOnGenerationErrors pins the CLI campaign path: an
+// experiment whose generations fail must fail the campaign without
+// being checkpointed, so a retry after the provider recovers re-runs
+// it instead of replaying zero-scored output as complete.
+func TestCampaignFailsOnGenerationErrors(t *testing.T) {
+	dir := t.TempDir()
+	disp := inference.NewDispatcher(failingGenProvider{})
+	b := core.NewCustomVia(engine.New(), disp, dataset.Generate()[:4], llm.Models[:2])
+	_, err := b.RunCampaign(dir, []string{"table4"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "generation failures") {
+		t.Fatalf("campaign over a dead provider: err = %v, want generation failures", err)
+	}
+	completed, err := core.CampaignCompleted(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(completed) != 0 {
+		t.Fatalf("failed experiment checkpointed as complete: %v", completed)
+	}
+
+	// After the provider recovers, the same campaign runs clean.
+	healthy := core.NewCustomVia(engine.New(), inference.NewDispatcher(inference.NewSim(llm.Models[:2])), dataset.Generate()[:4], llm.Models[:2])
+	report, err := healthy.RunCampaign(dir, []string{"table4"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Ran) != 1 || len(report.Skipped) != 0 {
+		t.Fatalf("recovered campaign report = %+v, want table4 freshly run", report)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"cloudeval/internal/dataset"
 	"cloudeval/internal/engine"
 	"cloudeval/internal/evalcluster"
+	"cloudeval/internal/inference"
 	"cloudeval/internal/llm"
 	"cloudeval/internal/related"
 	"cloudeval/internal/repostats"
@@ -38,6 +39,7 @@ type Benchmark struct {
 	Models    []llm.Model
 
 	eng *engine.Engine
+	gen *inference.Dispatcher
 
 	mu       sync.Mutex
 	rows     []score.ModelAggregate
@@ -46,19 +48,26 @@ type Benchmark struct {
 }
 
 // New builds the default benchmark: full corpus, twelve-model zoo, the
-// process-wide in-process evaluation engine.
+// process-wide in-process evaluation engine and inference dispatcher.
 func New() *Benchmark { return NewWith(engine.Default()) }
 
 // NewWith builds a benchmark that submits every evaluation through eng
 // — e.g. an engine wrapping evalcluster.ClusterExecutor to fan the
-// campaigns out over a real worker fleet.
-func NewWith(eng *engine.Engine) *Benchmark {
+// campaigns out over a real worker fleet — generating through the
+// default sim dispatcher.
+func NewWith(eng *engine.Engine) *Benchmark { return NewVia(eng, inference.Default()) }
+
+// NewVia builds a benchmark whose generations route through gen — the
+// sim zoo, a record/replay trace, or a live HTTP provider, behind the
+// dispatcher's batching and caches — and whose evaluations run on eng.
+func NewVia(eng *engine.Engine, gen *inference.Dispatcher) *Benchmark {
 	originals := dataset.Generate()
 	return &Benchmark{
 		Originals: originals,
 		Problems:  augment.ExpandCorpus(originals),
 		Models:    llm.Models,
 		eng:       eng,
+		gen:       gen,
 	}
 }
 
@@ -67,16 +76,26 @@ func NewWith(eng *engine.Engine) *Benchmark {
 // augmentation. Smaller corpora keep daemon tests and examples fast
 // while exercising the full pipeline.
 func NewCustomWith(eng *engine.Engine, originals []dataset.Problem, models []llm.Model) *Benchmark {
+	return NewCustomVia(eng, inference.NewDispatcher(inference.NewSim(models)), originals, models)
+}
+
+// NewCustomVia is NewCustomWith with generations routed through gen.
+func NewCustomVia(eng *engine.Engine, gen *inference.Dispatcher, originals []dataset.Problem, models []llm.Model) *Benchmark {
 	return &Benchmark{
 		Originals: originals,
 		Problems:  augment.ExpandCorpus(originals),
 		Models:    models,
 		eng:       eng,
+		gen:       gen,
 	}
 }
 
 // Engine returns the engine the benchmark's campaigns run on.
 func (b *Benchmark) Engine() *engine.Engine { return b.eng }
+
+// Generator returns the inference dispatcher the benchmark's
+// campaigns generate through.
+func (b *Benchmark) Generator() *inference.Dispatcher { return b.gen }
 
 // ZeroShot runs (and caches) the Table 4 campaign: every model over the
 // full corpus with all six metrics, every (model, problem) pair one
@@ -85,7 +104,17 @@ func (b *Benchmark) ZeroShot() ([]score.ModelAggregate, map[string][]score.Probl
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.rows == nil {
-		b.rows, b.rawByMod = score.BenchmarkWith(b.eng, b.Models, b.Problems)
+		errsBefore := b.gen.Stats().Errors
+		rows, raw := score.BenchmarkVia(b.eng, b.gen, b.Models, b.Problems)
+		if b.gen.Stats().Errors != errsBefore {
+			// Failed generations scored as empty answers: serve the rows
+			// (the campaign completes deterministically) but do not
+			// memoize them — a retry after the provider recovers must
+			// recompute, not replay zeroes. The dispatcher's Err carries
+			// the cause for callers that want to fail hard.
+			return rows, raw
+		}
+		b.rows, b.rawByMod = rows, raw
 	}
 	return b.rows, b.rawByMod
 }
@@ -183,7 +212,7 @@ func (b *Benchmark) FamilyLeaderboard() string {
 func (b *Benchmark) Table5() string {
 	counts := map[string]map[dataset.Variant]int{}
 	for _, m := range b.Models {
-		counts[m.Name] = analysis.VariantPassCountsWith(b.eng, m, b.Problems)
+		counts[m.Name] = analysis.VariantPassCountsVia(b.eng, b.gen, m, b.Problems)
 	}
 	return analysis.FormatTable5(counts, b.ModelNames())
 }
@@ -195,7 +224,7 @@ var Table6Models = []string{"gpt-3.5", "llama-2-70b-chat", "llama-2-7b-chat"}
 func (b *Benchmark) Table6() string {
 	counts := map[string][]int{}
 	for _, name := range Table6Models {
-		counts[name] = analysis.FewShotPassCountsWith(b.eng, b.model(name), b.Originals, 3)
+		counts[name] = analysis.FewShotPassCountsVia(b.eng, b.gen, b.model(name), b.Originals, 3)
 	}
 	return analysis.FormatTable6(counts, Table6Models)
 }
@@ -262,7 +291,7 @@ func (b *Benchmark) Figure7() string {
 	byID := analysis.ProblemIndex(b.Originals)
 	counts := map[string][6]int{}
 	for _, name := range Figure7Models {
-		scores := score.EvaluateModelWith(b.eng, b.model(name), b.Originals, llm.GenOptions{})
+		scores := score.EvaluateModelVia(b.eng, b.gen, b.model(name), b.Originals, llm.GenOptions{})
 		counts[name] = analysis.FailureCounts(scores, byID)
 	}
 	return analysis.FormatFigure7(counts, Figure7Models)
@@ -292,7 +321,7 @@ func (b *Benchmark) Figure8(cfg Figure8Config) string {
 		if name == "gpt-4" {
 			k = cfg.GPT4MaxK
 		}
-		series[name] = analysis.PassAtKWith(b.eng, b.model(name), b.Originals, k, cfg.Temperature)
+		series[name] = analysis.PassAtKVia(b.eng, b.gen, b.model(name), b.Originals, k, cfg.Temperature)
 	}
 	return analysis.FormatFigure8(series, Figure8Models)
 }

@@ -44,18 +44,30 @@ var (
 	EvalOptions = []EvalOption{EvalSpot1, EvalSpot64, EvalStd64}
 )
 
-// InferenceCost prices generating one answer per problem.
+// InferenceCost prices generating one answer per problem, estimating
+// token counts from the corpus; the pricing itself is MeteredCost's.
 func InferenceCost(opt InferenceOption, problems []dataset.Problem) float64 {
 	var inToks, outToks int
 	for _, p := range problems {
 		inToks += p.QuestionTokens() + 120 // template overhead
 		outToks += p.SolutionTokens()
 	}
+	return MeteredCost(opt, inToks, outToks)
+}
+
+// MeteredCost prices actual accounted tokens — the inference
+// dispatcher's metered Usage — under an inference option. Where
+// InferenceCost estimates a run's price from corpus statistics before
+// it happens, MeteredCost prices what a campaign actually spent, so
+// Table 3's inference numbers can come from real token accounting
+// (the paper's published columns stay on the corpus estimate and are
+// unchanged).
+func MeteredCost(opt InferenceOption, promptTokens, completionTokens int) float64 {
 	if opt.USDPerHour > 0 {
-		secs := float64(inToks+outToks) / opt.TokensPerSecond
+		secs := float64(promptTokens+completionTokens) / opt.TokensPerSecond
 		return opt.USDPerHour * secs / 3600
 	}
-	return float64(inToks)/1e6*opt.USDPerMTokensIn + float64(outToks)/1e6*opt.USDPerMTokensOut
+	return float64(promptTokens)/1e6*opt.USDPerMTokensIn + float64(completionTokens)/1e6*opt.USDPerMTokensOut
 }
 
 // EvalCost prices running all unit tests on a cluster option, using the

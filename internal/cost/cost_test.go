@@ -60,3 +60,31 @@ func TestTable3EndToEnd(t *testing.T) {
 		}
 	}
 }
+
+// TestMeteredCostMatchesEstimator pins metered pricing to the corpus
+// estimator: feeding MeteredCost the exact token counts InferenceCost
+// derives from the corpus must reproduce its price, for both API and
+// hosted pricing models — the contract that lets Table 3's inference
+// numbers come from the dispatcher's accounted usage.
+func TestMeteredCostMatchesEstimator(t *testing.T) {
+	problems := augment.ExpandCorpus(dataset.Generate())
+	var inToks, outToks int
+	for _, p := range problems {
+		inToks += p.QuestionTokens() + 120
+		outToks += p.SolutionTokens()
+	}
+	for _, opt := range []InferenceOption{InferenceGPT35, InferenceLlama} {
+		est := InferenceCost(opt, problems)
+		met := MeteredCost(opt, inToks, outToks)
+		if diff := met - est; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%s: metered $%.6f != estimated $%.6f", opt.Name, met, est)
+		}
+	}
+	if MeteredCost(InferenceGPT35, 0, 0) != 0 {
+		t.Error("zero usage must price to zero")
+	}
+	// More completion tokens cost more at API rates.
+	if MeteredCost(InferenceGPT35, 1000, 2000) <= MeteredCost(InferenceGPT35, 1000, 1000) {
+		t.Error("completion tokens must be priced")
+	}
+}

@@ -1,0 +1,279 @@
+package inference
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cloudeval/internal/dataset"
+	"cloudeval/internal/llm"
+)
+
+// GenStore is the persistent second cache tier under the dispatcher's
+// in-memory map, implemented by store.Store as a generation record
+// kind alongside unit-test records. Like engine.CacheStore, Put is
+// advisory: a failed append degrades to a smaller cache, never fails
+// the generation.
+type GenStore interface {
+	GetGen(key Key) (Response, bool)
+	PutGen(key Key, resp Response)
+}
+
+// Stats counts dispatcher activity since construction.
+type Stats struct {
+	// Generated is the number of live provider calls; CacheHits the
+	// number served from memory and StoreHits from the persistent
+	// store. Errors counts failed generations (also latched into Err).
+	Generated int64
+	CacheHits int64
+	StoreHits int64
+	Errors    int64
+	// Usage accumulates the metered tokens of live generations only —
+	// what a real API would actually bill (cache and store hits are
+	// free), priced by cost.MeteredCost.
+	Usage Usage
+}
+
+// Dispatcher is the batched async front-end over a Provider: a
+// per-provider concurrency limit, a content-addressed generation
+// cache with singleflight (mirroring engine's execution cache, so
+// re-campaigns regenerate nothing), an optional persistent tier, and
+// metered usage accounting. The zero value is not usable; construct
+// with NewDispatcher.
+type Dispatcher struct {
+	prov    Provider
+	sem     chan struct{}
+	noCache bool
+	store   GenStore
+
+	mu    sync.Mutex
+	cache map[Key]*genEntry
+
+	generated      atomic.Int64
+	cacheHits      atomic.Int64
+	storeHits      atomic.Int64
+	errors         atomic.Int64
+	promptToks     atomic.Int64
+	completionToks atomic.Int64
+	errOnce        sync.Mutex
+	firstGenerr    error
+}
+
+type genEntry struct {
+	done chan struct{}
+	resp Response
+	err  error
+}
+
+// DispatchOption configures a Dispatcher.
+type DispatchOption func(*Dispatcher)
+
+// WithConcurrency caps live in-flight provider calls (default
+// GOMAXPROCS). Real APIs rate-limit; the sim does not care.
+func WithConcurrency(n int) DispatchOption {
+	return func(d *Dispatcher) {
+		if n > 0 {
+			d.sem = make(chan struct{}, n)
+		}
+	}
+}
+
+// WithGenStore attaches a persistent generation cache (store.Store):
+// on an in-memory miss the dispatcher consults the store before the
+// provider, and records every live generation back. A warm store lets
+// a repeated campaign issue zero provider calls.
+func WithGenStore(s GenStore) DispatchOption { return func(d *Dispatcher) { d.store = s } }
+
+// WithoutGenCache disables memoization and the persistent tier,
+// forcing every request to the provider (benchmarking the raw
+// dispatch path).
+func WithoutGenCache() DispatchOption { return func(d *Dispatcher) { d.noCache = true } }
+
+// NewDispatcher builds a dispatcher over prov.
+func NewDispatcher(prov Provider, opts ...DispatchOption) *Dispatcher {
+	d := &Dispatcher{
+		prov:  prov,
+		sem:   make(chan struct{}, runtime.GOMAXPROCS(0)),
+		cache: make(map[Key]*genEntry),
+	}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+var (
+	defaultOnce sync.Once
+	defaultDisp *Dispatcher
+)
+
+// Default returns the process-wide dispatcher: the sim provider over
+// the full Table 4 zoo with a shared generation cache. Entry points
+// that predate the provider layer (score.EvaluateModel,
+// strategy calls in older examples) route through it, so a process
+// shares one cache the way engine.Default shares one execution cache.
+func Default() *Dispatcher {
+	defaultOnce.Do(func() { defaultDisp = NewDispatcher(NewSim(llm.Models)) })
+	return defaultDisp
+}
+
+// Provider returns the dispatcher's provider.
+func (d *Dispatcher) Provider() Provider { return d.prov }
+
+// Concurrency reports the live-call limit.
+func (d *Dispatcher) Concurrency() int { return cap(d.sem) }
+
+// Stats snapshots the dispatcher counters.
+func (d *Dispatcher) Stats() Stats {
+	return Stats{
+		Generated: d.generated.Load(),
+		CacheHits: d.cacheHits.Load(),
+		StoreHits: d.storeHits.Load(),
+		Errors:    d.errors.Load(),
+		Usage: Usage{
+			PromptTokens:     int(d.promptToks.Load()),
+			CompletionTokens: int(d.completionToks.Load()),
+		},
+	}
+}
+
+// Err reports the first generation failure, if any. Campaign paths
+// (score, analysis, core) render an errored generation as an empty
+// answer so the run completes; callers check Err afterwards, the same
+// latching contract as store.Store.
+func (d *Dispatcher) Err() error {
+	d.errOnce.Lock()
+	defer d.errOnce.Unlock()
+	return d.firstGenerr
+}
+
+func (d *Dispatcher) latch(err error) {
+	d.errors.Add(1)
+	d.errOnce.Lock()
+	if d.firstGenerr == nil {
+		d.firstGenerr = err
+	}
+	d.errOnce.Unlock()
+}
+
+// Close releases the underlying provider.
+func (d *Dispatcher) Close() error { return d.prov.Close() }
+
+// Generate produces one response through the cache and the
+// concurrency limit. Concurrent calls with the same key collapse into
+// one provider call; errors are returned, latched into Err, and never
+// cached, so a transient API failure is retried on the next request.
+func (d *Dispatcher) Generate(ctx context.Context, req Request) (Response, error) {
+	resp, err := d.generate(ctx, req)
+	if err != nil {
+		d.latch(err)
+	}
+	return resp, err
+}
+
+func (d *Dispatcher) generate(ctx context.Context, req Request) (Response, error) {
+	if d.noCache {
+		return d.live(ctx, req)
+	}
+	key := req.Key()
+	d.mu.Lock()
+	if ent, ok := d.cache[key]; ok {
+		d.mu.Unlock()
+		<-ent.done
+		if ent.err == nil {
+			d.cacheHits.Add(1)
+		}
+		return ent.resp, ent.err
+	}
+	ent := &genEntry{done: make(chan struct{})}
+	d.cache[key] = ent
+	d.mu.Unlock()
+
+	// Second tier: a generation persisted by an earlier process (or a
+	// CI cache restore) short-circuits the provider entirely.
+	if d.store != nil {
+		if resp, ok := d.store.GetGen(key); ok {
+			ent.resp = resp
+			close(ent.done)
+			d.storeHits.Add(1)
+			// A recording provider never sees store-served generations;
+			// hand them over anyway, or -record over a warm -store
+			// would write an incomplete trace.
+			if ob, ok := d.prov.(traceObserver); ok {
+				ob.observe(req, resp)
+			}
+			return ent.resp, nil
+		}
+	}
+
+	ent.resp, ent.err = d.live(ctx, req)
+	if ent.err != nil {
+		// Waiters parked on this entry share the error, but future
+		// requests re-generate.
+		d.mu.Lock()
+		delete(d.cache, key)
+		d.mu.Unlock()
+	} else if d.store != nil {
+		d.store.PutGen(key, ent.resp)
+	}
+	close(ent.done)
+	return ent.resp, ent.err
+}
+
+// live performs one provider call under the concurrency limit.
+func (d *Dispatcher) live(ctx context.Context, req Request) (Response, error) {
+	select {
+	case d.sem <- struct{}{}:
+	case <-ctx.Done():
+		return Response{}, ctx.Err()
+	}
+	defer func() { <-d.sem }()
+	resp, err := d.prov.Generate(ctx, req)
+	if err != nil {
+		return resp, err
+	}
+	d.generated.Add(1)
+	d.promptToks.Add(int64(resp.Usage.PromptTokens))
+	d.completionToks.Add(int64(resp.Usage.CompletionTokens))
+	return resp, nil
+}
+
+// GenerateBatch fans a batch of requests out asynchronously under the
+// concurrency limit and returns responses in request order. The batch
+// always drains; the first error is returned (and latched), with the
+// failed slots left zero — the same poisoned-batch contract as
+// engine.Run.
+func (d *Dispatcher) GenerateBatch(ctx context.Context, reqs []Request) ([]Response, error) {
+	out := make([]Response, len(reqs))
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	wg.Add(len(reqs))
+	for i := range reqs {
+		go func(i int) {
+			defer wg.Done()
+			out[i], errs[i] = d.Generate(ctx, reqs[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// Answer is the shared generate-and-postprocess path every campaign
+// uses: generate (model, problem, opts) and extract clean YAML via
+// the §3.1 policies. A provider failure yields an empty answer (which
+// scores zero) and latches into Err, so a campaign completes
+// deterministically instead of aborting mid-table; callers that need
+// hard failures check Err after the run.
+func (d *Dispatcher) Answer(m llm.Model, p dataset.Problem, opts llm.GenOptions) string {
+	resp, err := d.Generate(context.Background(), Request{Model: m.Name, Problem: p, Opts: opts})
+	if err != nil {
+		return ""
+	}
+	return llm.Postprocess(resp.Text)
+}

@@ -1,0 +1,132 @@
+package inference
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cloudeval/internal/dataset"
+	"cloudeval/internal/llm"
+)
+
+// TestHTTPProvider drives the OpenAI-compatible adapter against an
+// httptest server: request shape, auth header, response text and
+// usage parsing.
+func TestHTTPProvider(t *testing.T) {
+	p := dataset.Generate()[0]
+	wantPrompt := (Request{Problem: p}).Prompt()
+	var gotAuth string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/chat/completions" {
+			t.Errorf("path = %s", r.URL.Path)
+		}
+		gotAuth = r.Header.Get("Authorization")
+		var req chatRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Error(err)
+		}
+		if req.Model != "gpt-4" {
+			t.Errorf("model = %q", req.Model)
+		}
+		if req.Temperature != 0.75 {
+			t.Errorf("temperature = %g", req.Temperature)
+		}
+		if len(req.Messages) != 1 || req.Messages[0].Role != "user" || req.Messages[0].Content != wantPrompt {
+			t.Error("request messages do not carry the rendered prompt")
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"choices": []map[string]any{{"message": map[string]any{"role": "assistant", "content": "apiVersion: v1\nkind: Pod\n"}}},
+			"usage":   map[string]any{"prompt_tokens": 123, "completion_tokens": 45},
+		})
+	}))
+	defer ts.Close()
+
+	h := NewHTTP(ts.URL+"/v1", WithAPIKey("sk-test"))
+	resp, err := h.Generate(context.Background(), Request{Model: "gpt-4", Problem: p, Opts: llm.GenOptions{Temperature: 0.75}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotAuth != "Bearer sk-test" {
+		t.Errorf("Authorization = %q", gotAuth)
+	}
+	if resp.Text != "apiVersion: v1\nkind: Pod\n" {
+		t.Errorf("text = %q", resp.Text)
+	}
+	if resp.Usage != (Usage{PromptTokens: 123, CompletionTokens: 45}) {
+		t.Errorf("usage = %+v", resp.Usage)
+	}
+	if resp.Latency <= 0 {
+		t.Error("latency not measured")
+	}
+}
+
+func TestHTTPProviderEstimatesMissingUsage(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{
+			"choices": []map[string]any{{"message": map[string]any{"role": "assistant", "content": "kind: Pod\n"}}},
+		})
+	}))
+	defer ts.Close()
+	h := NewHTTP(ts.URL)
+	resp, err := h.Generate(context.Background(), Request{Model: "m", Problem: dataset.Generate()[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Usage.Total() == 0 {
+		t.Fatal("usage should be estimated when the endpoint omits it")
+	}
+}
+
+func TestHTTPProviderErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(map[string]any{"error": map[string]any{"message": "rate limited"}})
+	}))
+	defer ts.Close()
+	h := NewHTTP(ts.URL)
+	_, err := h.Generate(context.Background(), Request{Model: "m", Problem: dataset.Generate()[0]})
+	if err == nil || !strings.Contains(err.Error(), "rate limited") {
+		t.Fatalf("err = %v, want rate-limit message", err)
+	}
+
+	empty := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"choices": []any{}})
+	}))
+	defer empty.Close()
+	if _, err := NewHTTP(empty.URL).Generate(context.Background(), Request{Model: "m", Problem: dataset.Generate()[0]}); err == nil {
+		t.Fatal("empty choices must error")
+	}
+}
+
+// TestHTTPThroughDispatcher runs a small campaign slice end to end
+// against a fake endpoint: the dispatcher's cache must collapse
+// repeated requests, and usage must accumulate from the endpoint's
+// metering.
+func TestHTTPThroughDispatcher(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		json.NewEncoder(w).Encode(map[string]any{
+			"choices": []map[string]any{{"message": map[string]any{"role": "assistant", "content": "kind: Pod\napiVersion: v1\n"}}},
+			"usage":   map[string]any{"prompt_tokens": 10, "completion_tokens": 5},
+		})
+	}))
+	defer ts.Close()
+	d := NewDispatcher(NewHTTP(ts.URL), WithConcurrency(1))
+	p := dataset.Generate()[0]
+	for i := 0; i < 4; i++ {
+		if _, err := d.Generate(context.Background(), Request{Model: "gpt-4", Problem: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("endpoint saw %d calls, want 1", calls)
+	}
+	st := d.Stats()
+	if st.Usage != (Usage{PromptTokens: 10, CompletionTokens: 5}) {
+		t.Fatalf("usage = %+v", st.Usage)
+	}
+}

@@ -5,7 +5,9 @@
 package prompt
 
 import (
+	"crypto/sha256"
 	"fmt"
+	"io"
 	"strings"
 
 	"cloudeval/internal/dataset"
@@ -116,23 +118,42 @@ spec:
 // families declare none, keeping their prompts pinned to Appendix B.
 func Build(p dataset.Problem, shots int) string {
 	var b strings.Builder
-	b.WriteString(Template)
+	write(&b, p, shots)
+	return b.String()
+}
+
+// Digest returns the SHA-256 of Build(p, shots) without materializing
+// the prompt text — the inference layer's cache key component, called
+// once per generation request (cache hits included), where Build runs
+// only on live provider calls. TestDigestMatchesBuild pins the two
+// together.
+func Digest(p dataset.Problem, shots int) [sha256.Size]byte {
+	h := sha256.New()
+	write(h, p, shots)
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return sum
+}
+
+// write streams the prompt to w; Build and Digest share it so the
+// digest is by construction the hash of the rendered text.
+func write(w io.Writer, p dataset.Problem, shots int) {
+	io.WriteString(w, Template)
 	if hint := scenario.For(p.Category).PromptHint; hint != "" {
-		b.WriteString(hint)
-		b.WriteString("\n")
+		io.WriteString(w, hint)
+		io.WriteString(w, "\n")
 	}
 	if shots > len(DefaultShots) {
 		shots = len(DefaultShots)
 	}
 	for i := 0; i < shots; i++ {
-		fmt.Fprintf(&b, "\nExample question #%d:\n%s\nExample answer #%d:\n%s\n", i+1, DefaultShots[i].Question, i+1, DefaultShots[i].Answer)
+		fmt.Fprintf(w, "\nExample question #%d:\n%s\nExample answer #%d:\n%s\n", i+1, DefaultShots[i].Question, i+1, DefaultShots[i].Answer)
 	}
-	b.WriteString("\n")
-	b.WriteString(p.Question)
+	io.WriteString(w, "\n")
+	io.WriteString(w, p.Question)
 	if p.ContextYAML != "" {
-		b.WriteString("\n```\n")
-		b.WriteString(p.ContextYAML)
-		b.WriteString("```\n")
+		io.WriteString(w, "\n```\n")
+		io.WriteString(w, p.ContextYAML)
+		io.WriteString(w, "```\n")
 	}
-	return b.String()
 }

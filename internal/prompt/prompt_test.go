@@ -1,6 +1,7 @@
 package prompt
 
 import (
+	"crypto/sha256"
 	"strings"
 	"testing"
 
@@ -69,5 +70,18 @@ func TestShotAnswersAreValidYAML(t *testing.T) {
 	}
 	if len(DefaultShots) != 3 {
 		t.Errorf("paper uses 3 shots, have %d", len(DefaultShots))
+	}
+}
+
+// TestDigestMatchesBuild pins the streamed digest to the rendered
+// prompt: the two share one writer, and this guards against drift.
+func TestDigestMatchesBuild(t *testing.T) {
+	for _, p := range dataset.Generate()[:60] {
+		for shots := 0; shots <= 3; shots++ {
+			want := sha256.Sum256([]byte(Build(p, shots)))
+			if got := Digest(p, shots); got != want {
+				t.Fatalf("%s shots=%d: Digest != sha256(Build)", p.ID, shots)
+			}
+		}
 	}
 }

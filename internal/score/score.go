@@ -13,6 +13,7 @@ import (
 
 	"cloudeval/internal/dataset"
 	"cloudeval/internal/engine"
+	"cloudeval/internal/inference"
 	"cloudeval/internal/llm"
 	"cloudeval/internal/textmetrics"
 	"cloudeval/internal/unittest"
@@ -142,21 +143,29 @@ func evalProblems(m llm.Model, problems []dataset.Problem) []dataset.Problem {
 }
 
 // EvaluateModel runs a model over a problem set with the given
-// generation options through the default engine.
+// generation options through the default engine and the default
+// inference dispatcher (sim zoo).
 func EvaluateModel(m llm.Model, problems []dataset.Problem, opts llm.GenOptions) []ProblemScore {
 	return EvaluateModelWith(engine.Default(), m, problems, opts)
 }
 
-// EvaluateModelWith turns every kept problem into an evaluation job —
-// generate, post-process, score — and schedules them on eng. Results
-// land in problem order, so the output is byte-identical to the serial
-// path regardless of schedule.
+// EvaluateModelWith is EvaluateModelVia on the process-wide default
+// dispatcher.
 func EvaluateModelWith(eng *engine.Engine, m llm.Model, problems []dataset.Problem, opts llm.GenOptions) []ProblemScore {
+	return EvaluateModelVia(eng, inference.Default(), m, problems, opts)
+}
+
+// EvaluateModelVia turns every kept problem into an evaluation job —
+// generate through gen's provider and caches, post-process, score —
+// and schedules them on eng. Results land in problem order, so the
+// output is byte-identical to the serial path regardless of schedule.
+// Generation failures score as empty answers and latch into gen.Err.
+func EvaluateModelVia(eng *engine.Engine, gen *inference.Dispatcher, m llm.Model, problems []dataset.Problem, opts llm.GenOptions) []ProblemScore {
 	kept := evalProblems(m, problems)
 	out := make([]ProblemScore, len(kept))
 	eng.ForEach(len(kept), func(i int) {
 		p := kept[i]
-		answer := llm.Postprocess(m.Generate(p, opts))
+		answer := gen.Answer(m, p, opts)
 		s := ScoreAnswerWith(eng, p, answer)
 		s.Model = m.Name
 		out[i] = s
@@ -238,19 +247,27 @@ func Aggregate(m llm.Model, scores []ProblemScore) ModelAggregate {
 }
 
 // Benchmark runs the full zero-shot benchmark through the default
-// engine: every model over every problem, returning rows sorted by
-// unit-test score (Table 4) plus the raw per-problem scores for
-// downstream analysis.
+// engine and inference dispatcher: every model over every problem,
+// returning rows sorted by unit-test score (Table 4) plus the raw
+// per-problem scores for downstream analysis.
 func Benchmark(models []llm.Model, problems []dataset.Problem) ([]ModelAggregate, map[string][]ProblemScore) {
 	return BenchmarkWith(engine.Default(), models, problems)
 }
 
-// BenchmarkWith flattens the campaign into one job per (model, problem)
+// BenchmarkWith is BenchmarkVia on the process-wide default
+// dispatcher.
+func BenchmarkWith(eng *engine.Engine, models []llm.Model, problems []dataset.Problem) ([]ModelAggregate, map[string][]ProblemScore) {
+	return BenchmarkVia(eng, inference.Default(), models, problems)
+}
+
+// BenchmarkVia flattens the campaign into one job per (model, problem)
 // pair and schedules the whole matrix on eng at once, so a slow model
 // cannot leave workers idle while another still has problems queued.
-// Scores are written to pair-indexed slots and regrouped afterwards:
-// the rows and raw map are byte-identical to BenchmarkSerial's.
-func BenchmarkWith(eng *engine.Engine, models []llm.Model, problems []dataset.Problem) ([]ModelAggregate, map[string][]ProblemScore) {
+// Generations route through gen — the sim zoo, a recorded trace, or a
+// live endpoint, plus the generation caches. Scores are written to
+// pair-indexed slots and regrouped afterwards: the rows and raw map
+// are byte-identical to BenchmarkSerial's.
+func BenchmarkVia(eng *engine.Engine, gen *inference.Dispatcher, models []llm.Model, problems []dataset.Problem) ([]ModelAggregate, map[string][]ProblemScore) {
 	type pair struct {
 		model   int
 		problem dataset.Problem
@@ -268,7 +285,7 @@ func BenchmarkWith(eng *engine.Engine, models []llm.Model, problems []dataset.Pr
 	eng.ForEach(len(pairs), func(i int) {
 		pr := pairs[i]
 		m := models[pr.model]
-		answer := llm.Postprocess(m.Generate(pr.problem, llm.GenOptions{}))
+		answer := gen.Answer(m, pr.problem, llm.GenOptions{})
 		s := ScoreAnswerWith(eng, pr.problem, answer)
 		s.Model = m.Name
 		scores[i] = s

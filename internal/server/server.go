@@ -7,8 +7,15 @@
 //	GET  /v1/campaign/{id}   poll campaign status and outputs
 //	GET  /v1/leaderboard     the cached Table 4 (byte-identical to core.Benchmark)
 //	GET  /v1/leaderboard/families  per-workload-family rows (one column per scenario backend)
-//	GET  /v1/stats           engine counters (executed / cache / store hits)
+//	GET  /v1/stats           engine counters (executed / cache / store hits) plus
+//	                         inference counters (generated / generation cache and
+//	                         store hits / metered token usage)
 //	GET  /healthz            liveness
+//
+// The inference provider — sim zoo, replayed trace, or live HTTP
+// endpoint — is configured at construction via the benchmark's
+// dispatcher (core.NewVia); every model generation the server performs
+// routes through it and its generation cache.
 //
 // Every experiment computation is coalesced: concurrent requests for
 // the same experiment share one in-flight generation, and completed
@@ -31,6 +38,7 @@ import (
 
 	"cloudeval/internal/core"
 	"cloudeval/internal/dataset"
+	"cloudeval/internal/inference"
 	"cloudeval/internal/llm"
 	"cloudeval/internal/score"
 )
@@ -124,6 +132,15 @@ func (s *Server) experiment(id string) (string, error) {
 	s.flights[id] = f
 	s.mu.Unlock()
 
+	// Generation failures surface as failed experiments, not as
+	// silently zero-scored tables: campaign paths render an errored
+	// generation as an empty answer so the run completes, latching the
+	// error into the dispatcher — so count failures across the run and
+	// refuse to cache (or checkpoint) an output produced with any. The
+	// counter is process-wide, so a concurrent failing request can fail
+	// an unrelated clean experiment — deliberately conservative: a
+	// retry succeeds, a corrupt output is never cached.
+	genStats := s.bench.Generator().Stats()
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -132,6 +149,12 @@ func (s *Server) experiment(id string) (string, error) {
 		}()
 		f.out = gen()
 	}()
+	if f.err == nil {
+		if failed := s.bench.Generator().Stats().Errors - genStats.Errors; failed > 0 {
+			f.err = fmt.Errorf("experiment %s: %d generation failures (first: %v)",
+				id, failed, s.bench.Generator().Err())
+		}
+	}
 	close(f.done)
 
 	s.mu.Lock()
@@ -175,24 +198,44 @@ func (s *Server) handleFamilyLeaderboard(w http.ResponseWriter, r *http.Request)
 	fmt.Fprint(w, out)
 }
 
-// statsResponse is the engine counter snapshot.
+// statsResponse is the engine and inference counter snapshot.
 type statsResponse struct {
 	Executor  string `json:"executor"`
 	Workers   int    `json:"workers"`
 	Executed  int64  `json:"executed"`
 	CacheHits int64  `json:"cache_hits"`
 	StoreHits int64  `json:"store_hits"`
+
+	// Inference-side counters: live provider calls, generation cache
+	// tiers, and the metered token usage of live generations.
+	Provider         string `json:"provider"`
+	Generated        int64  `json:"generated"`
+	GenCacheHits     int64  `json:"gen_cache_hits"`
+	GenStoreHits     int64  `json:"gen_store_hits"`
+	GenErrors        int64  `json:"gen_errors,omitempty"`
+	PromptTokens     int64  `json:"prompt_tokens"`
+	CompletionTokens int64  `json:"completion_tokens"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	eng := s.bench.Engine()
 	st := eng.Stats()
+	gen := s.bench.Generator()
+	gst := gen.Stats()
 	writeJSON(w, http.StatusOK, statsResponse{
 		Executor:  eng.Executor().Name(),
 		Workers:   eng.Workers(),
 		Executed:  st.Executed,
 		CacheHits: st.CacheHits,
 		StoreHits: st.StoreHits,
+
+		Provider:         gen.Provider().Name(),
+		Generated:        gst.Generated,
+		GenCacheHits:     gst.CacheHits,
+		GenStoreHits:     gst.StoreHits,
+		GenErrors:        gst.Errors,
+		PromptTokens:     int64(gst.Usage.PromptTokens),
+		CompletionTokens: int64(gst.Usage.CompletionTokens),
 	})
 }
 
@@ -234,7 +277,12 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, fmt.Sprintf("unknown model %q", req.Model), http.StatusNotFound)
 			return
 		}
-		answer = llm.Postprocess(m.Generate(p, llm.GenOptions{}))
+		resp, err := s.bench.Generator().Generate(r.Context(), inference.Request{Model: m.Name, Problem: p})
+		if err != nil {
+			http.Error(w, "generation failed: "+err.Error(), http.StatusBadGateway)
+			return
+		}
+		answer = llm.Postprocess(resp.Text)
 	}
 	sc := score.ScoreAnswerWith(s.bench.Engine(), p, answer)
 	scores := make(map[string]float64, len(score.Metrics))

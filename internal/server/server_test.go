@@ -1,6 +1,7 @@
 package server_test
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -15,6 +16,7 @@ import (
 	"cloudeval/internal/core"
 	"cloudeval/internal/dataset"
 	"cloudeval/internal/engine"
+	"cloudeval/internal/inference"
 	"cloudeval/internal/llm"
 	"cloudeval/internal/server"
 	"cloudeval/internal/store"
@@ -316,5 +318,121 @@ func TestColdStartWarmStore(t *testing.T) {
 	}
 	if stats.StoreHits == 0 {
 		t.Error("cold-start daemon recorded no store hits")
+	}
+}
+
+// TestStatsExposeGenerationCounters verifies /v1/stats carries the
+// inference-side counters: provider name, live generations, generation
+// cache tiers and metered token usage.
+func TestStatsExposeGenerationCounters(t *testing.T) {
+	eng := engine.New()
+	bench := smallBench(eng)
+	ts := newTestServer(t, bench)
+
+	getBody(t, ts.URL+"/v1/leaderboard", http.StatusOK)
+
+	var stats struct {
+		Provider         string `json:"provider"`
+		Generated        int64  `json:"generated"`
+		GenCacheHits     int64  `json:"gen_cache_hits"`
+		GenStoreHits     int64  `json:"gen_store_hits"`
+		PromptTokens     int64  `json:"prompt_tokens"`
+		CompletionTokens int64  `json:"completion_tokens"`
+	}
+	if err := json.Unmarshal([]byte(getBody(t, ts.URL+"/v1/stats", http.StatusOK)), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Provider != "sim" {
+		t.Errorf("provider = %q, want sim", stats.Provider)
+	}
+	if stats.Generated == 0 {
+		t.Error("leaderboard campaign reported zero generations")
+	}
+	if stats.PromptTokens == 0 || stats.CompletionTokens == 0 {
+		t.Errorf("no token usage metered: %+v", stats)
+	}
+}
+
+// TestColdStartWarmGenerationStore extends the warm-store contract to
+// the generation side: a cold-started daemon whose dispatcher sits on
+// a store warmed by a previous process serves the leaderboard with
+// zero live generations.
+func TestColdStartWarmGenerationStore(t *testing.T) {
+	storePath := filepath.Join(t.TempDir(), "eval.store")
+	originals := dataset.Generate()[:10]
+	models := llm.Models[:3]
+
+	st, err := store.Open(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmDisp := inference.NewDispatcher(inference.NewSim(models), inference.WithGenStore(st))
+	warmBench := core.NewCustomVia(engine.New(engine.WithStore(st)), warmDisp, originals, models)
+	want := warmBench.Table4()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	coldDisp := inference.NewDispatcher(inference.NewSim(models), inference.WithGenStore(st2))
+	bench := core.NewCustomVia(engine.New(engine.WithStore(st2)), coldDisp, originals, models)
+	ts := newTestServer(t, bench)
+
+	if got := getBody(t, ts.URL+"/v1/leaderboard", http.StatusOK); got != want {
+		t.Error("cold-start leaderboard differs from the warm campaign")
+	}
+	var stats struct {
+		Generated    int64 `json:"generated"`
+		GenStoreHits int64 `json:"gen_store_hits"`
+	}
+	if err := json.Unmarshal([]byte(getBody(t, ts.URL+"/v1/stats", http.StatusOK)), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Generated != 0 {
+		t.Errorf("cold-start daemon generated %d live responses, want 0", stats.Generated)
+	}
+	if stats.GenStoreHits == 0 {
+		t.Error("cold-start daemon recorded no generation store hits")
+	}
+}
+
+// failingProvider errors on every generation.
+type failingProvider struct{}
+
+func (failingProvider) Name() string { return "failing" }
+func (failingProvider) Generate(ctx context.Context, req inference.Request) (inference.Response, error) {
+	return inference.Response{}, fmt.Errorf("backend down")
+}
+func (failingProvider) Close() error { return nil }
+
+// TestGenerationFailuresFailExperiments pins the daemon's error
+// surfacing: a campaign whose provider fails must produce a 500 with
+// the generation-failure count — never a silently zero-scored
+// leaderboard cached as complete.
+func TestGenerationFailuresFailExperiments(t *testing.T) {
+	disp := inference.NewDispatcher(failingProvider{})
+	bench := core.NewCustomVia(engine.New(), disp, dataset.Generate()[:4], llm.Models[:2])
+	ts := newTestServer(t, bench)
+
+	resp, err := http.Get(ts.URL + "/v1/leaderboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("leaderboard over a dead provider = %d, want 500: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "generation failures") {
+		t.Errorf("error does not name the cause: %s", body)
+	}
+	// The model-generation eval path reports the failure directly.
+	status, body2 := postJSON(t, ts.URL+"/v1/eval", `{"problem":"`+bench.Problems[0].ID+`","model":"`+bench.Models[0].Name+`"}`)
+	if status != http.StatusBadGateway {
+		t.Fatalf("eval with dead provider = %d, want 502: %s", status, body2)
 	}
 }

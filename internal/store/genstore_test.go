@@ -1,0 +1,171 @@
+package store_test
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cloudeval/internal/inference"
+	"cloudeval/internal/store"
+	"cloudeval/internal/unittest"
+)
+
+func genKey(s string) inference.Key { return inference.Key(sha256.Sum256([]byte(s))) }
+
+func genResp(text string) inference.Response {
+	return inference.Response{
+		Text:    text,
+		Usage:   inference.Usage{PromptTokens: 120, CompletionTokens: 34},
+		Latency: 1234567891 * time.Nanosecond, // sub-second precision must survive
+	}
+}
+
+// TestGenPutGetAcrossReopen proves the generation record kind
+// round-trips the log exactly, coexisting with unit-test records in
+// one file.
+func TestGenPutGetAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "eval.store")
+	s, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave kinds: one unit-test record between two generations.
+	k1, k2 := genKey("req-1"), genKey("req-2")
+	r1, r2 := genResp("apiVersion: v1\nkind: Pod\n"), genResp("services:\n  web: {}\n")
+	s.PutGen(k1, r1)
+	tk, ak := digests("echo unit_test_passed", "kind: Pod")
+	ut := unittest.Result{Passed: true, Output: "unit_test_passed\n", VirtualTime: 9 * time.Second}
+	s.Put(tk, ak, ut)
+	s.PutGen(k2, r2)
+	if got, ok := s.GetGen(k1); !ok || got != r1 {
+		t.Fatalf("in-process GetGen = %+v, %v", got, ok)
+	}
+	if s.GenLen() != 2 || s.Len() != 1 {
+		t.Fatalf("GenLen/Len = %d/%d, want 2/1", s.GenLen(), s.Len())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for _, c := range []struct {
+		key  inference.Key
+		want inference.Response
+	}{{k1, r1}, {k2, r2}} {
+		if got, ok := s2.GetGen(c.key); !ok || got != c.want {
+			t.Fatalf("reopened GetGen = %+v, %v; want %+v", got, ok, c.want)
+		}
+	}
+	if got, ok := s2.Get(tk, ak); !ok || got != ut {
+		t.Fatalf("unit-test record lost among generations: %+v, %v", got, ok)
+	}
+	if _, ok := s2.GetGen(genKey("absent")); ok {
+		t.Fatal("absent generation key must miss")
+	}
+}
+
+func TestGenIdenticalRecordDoesNotGrowLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "eval.store")
+	s, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	k, r := genKey("req"), genResp("kind: Pod\n")
+	s.PutGen(k, r)
+	size := func() int64 {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fi.Size()
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	before := size()
+	for i := 0; i < 10; i++ {
+		s.PutGen(k, r)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if after := size(); after != before {
+		t.Fatalf("identical re-records grew the log: %d -> %d bytes", before, after)
+	}
+}
+
+// TestCompactPreservesGenerations verifies compaction rewrites both
+// record kinds, keeping the newest generation per key.
+func TestCompactPreservesGenerations(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "eval.store")
+	s, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := genKey("req")
+	tk, ak := digests("echo x", "answer")
+	s.Put(tk, ak, unittest.Result{Passed: false, Output: "no"})
+	for i := 0; i < 5; i++ {
+		s.PutGen(k, genResp(fmt.Sprintf("kind: Pod # rev %d\n", i)))
+	}
+	newest := genResp("kind: Pod # rev 4\n")
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.GetGen(k); !ok || got != newest {
+		t.Fatalf("post-compaction GetGen = %+v, %v", got, ok)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got, ok := s2.GetGen(k); !ok || got != newest {
+		t.Fatalf("reopened compacted GetGen = %+v, %v", got, ok)
+	}
+	if _, ok := s2.Get(tk, ak); !ok {
+		t.Fatal("compaction lost the unit-test record")
+	}
+	if s2.GenLen() != 1 {
+		t.Fatalf("compacted GenLen = %d, want 1", s2.GenLen())
+	}
+}
+
+// TestPreGenerationLogReplays pins backward compatibility: a log
+// written with only unit-test frames (the pre-provider format, no
+// kind field) opens and serves normally, with zero generations.
+func TestPreGenerationLogReplays(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "eval.store")
+	s, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, ak := digests("echo unit_test_passed", "kind: Pod")
+	want := unittest.Result{Passed: true, VirtualTime: 3 * time.Second}
+	s.Put(tk, ak, want)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got, ok := s2.Get(tk, ak); !ok || got != want {
+		t.Fatalf("Get = %+v, %v", got, ok)
+	}
+	if s2.GenLen() != 0 {
+		t.Fatalf("GenLen = %d, want 0", s2.GenLen())
+	}
+}

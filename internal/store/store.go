@@ -6,6 +6,13 @@
 // and across CI runs via cache restore — hit disk instead of the
 // simulated cluster.
 //
+// The log holds two record kinds sharing one frame format: unit-test
+// results (the original kind, engine.CacheStore) and generation
+// results (inference.GenStore — model responses keyed by the
+// generation request's content address), so one store file carries a
+// campaign's full warm state: a re-campaign neither generates nor
+// executes anything.
+//
 // On-disk format: a sequence of length-prefixed, checksummed records —
 //
 //	[4-byte LE payload length][4-byte LE CRC-32C of payload][JSON payload]
@@ -36,6 +43,7 @@ import (
 	"sync"
 	"time"
 
+	"cloudeval/internal/inference"
 	"cloudeval/internal/unittest"
 )
 
@@ -54,15 +62,31 @@ type Record struct {
 	VirtualTime time.Duration
 }
 
-// frame is the JSON payload of one on-disk record.
+// frame is the JSON payload of one on-disk record. Kind selects the
+// record type: "" (absent, the original format) is a unit-test
+// result, "gen" a generation result. Logs written before the
+// generation kind existed replay unchanged.
 type frame struct {
-	Test        string  `json:"test"`   // hex sha256 of the unit-test script
-	Answer      string  `json:"answer"` // hex sha256 of the answer
-	Passed      bool    `json:"passed"`
+	Kind string `json:"kind,omitempty"`
+
+	// Unit-test fields.
+	Test        string  `json:"test,omitempty"`   // hex sha256 of the unit-test script
+	Answer      string  `json:"answer,omitempty"` // hex sha256 of the answer
+	Passed      bool    `json:"passed,omitempty"`
 	Output      string  `json:"output,omitempty"`
 	ExitCode    int     `json:"exit_code,omitempty"`
-	VirtualSecs float64 `json:"virtual_secs"`
+	VirtualSecs float64 `json:"virtual_secs,omitempty"`
+
+	// Generation fields.
+	Gen              string `json:"gen,omitempty"` // hex generation key
+	Text             string `json:"text,omitempty"`
+	PromptTokens     int    `json:"prompt_tokens,omitempty"`
+	CompletionTokens int    `json:"completion_tokens,omitempty"`
+	LatencyNs        int64  `json:"latency_ns,omitempty"`
 }
+
+// genKind tags generation frames.
+const genKind = "gen"
 
 const frameHeaderSize = 8
 
@@ -79,6 +103,7 @@ type Store struct {
 	f     *os.File
 	path  string
 	index map[Key]Record
+	gens  map[inference.Key]inference.Response
 	// appendErr latches the first failed append so a sick disk surfaces
 	// on Sync/Close instead of being silently swallowed by the cache
 	// interface.
@@ -100,7 +125,12 @@ func Open(path string) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{f: f, path: path, index: make(map[Key]Record)}
+	s := &Store{
+		f:     f,
+		path:  path,
+		index: make(map[Key]Record),
+		gens:  make(map[inference.Key]inference.Response),
+	}
 	good, err := s.replay()
 	if err != nil {
 		f.Close()
@@ -142,15 +172,31 @@ func (s *Store) replay() (int64, error) {
 		if err := json.Unmarshal(payload, &fr); err != nil {
 			return off, nil
 		}
-		key, err := keyFromHex(fr.Test, fr.Answer)
-		if err != nil {
-			return off, nil
-		}
-		s.index[key] = Record{
-			Passed:      fr.Passed,
-			Output:      fr.Output,
-			ExitCode:    fr.ExitCode,
-			VirtualTime: time.Duration(fr.VirtualSecs * float64(time.Second)),
+		switch fr.Kind {
+		case genKind:
+			key, err := genKeyFromHex(fr.Gen)
+			if err != nil {
+				return off, nil
+			}
+			s.gens[key] = inference.Response{
+				Text: fr.Text,
+				Usage: inference.Usage{
+					PromptTokens:     fr.PromptTokens,
+					CompletionTokens: fr.CompletionTokens,
+				},
+				Latency: time.Duration(fr.LatencyNs),
+			}
+		default:
+			key, err := keyFromHex(fr.Test, fr.Answer)
+			if err != nil {
+				return off, nil
+			}
+			s.index[key] = Record{
+				Passed:      fr.Passed,
+				Output:      fr.Output,
+				ExitCode:    fr.ExitCode,
+				VirtualTime: time.Duration(fr.VirtualSecs * float64(time.Second)),
+			}
 		}
 		off += frameHeaderSize + int64(n)
 	}
@@ -171,8 +217,18 @@ func keyFromHex(test, answer string) (Key, error) {
 	return k, nil
 }
 
+func genKeyFromHex(s string) (inference.Key, error) {
+	var k inference.Key
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != sha256.Size {
+		return k, fmt.Errorf("store: bad generation key %q", s)
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
 func encodeFrame(key Key, rec Record) ([]byte, error) {
-	payload, err := json.Marshal(frame{
+	return framePayload(frame{
 		Test:        hex.EncodeToString(key.Test[:]),
 		Answer:      hex.EncodeToString(key.Answer[:]),
 		Passed:      rec.Passed,
@@ -180,6 +236,21 @@ func encodeFrame(key Key, rec Record) ([]byte, error) {
 		ExitCode:    rec.ExitCode,
 		VirtualSecs: rec.VirtualTime.Seconds(),
 	})
+}
+
+func encodeGenFrame(key inference.Key, resp inference.Response) ([]byte, error) {
+	return framePayload(frame{
+		Kind:             genKind,
+		Gen:              hex.EncodeToString(key[:]),
+		Text:             resp.Text,
+		PromptTokens:     resp.Usage.PromptTokens,
+		CompletionTokens: resp.Usage.CompletionTokens,
+		LatencyNs:        resp.Latency.Nanoseconds(),
+	})
+}
+
+func framePayload(fr frame) ([]byte, error) {
+	payload, err := json.Marshal(fr)
 	if err != nil {
 		return nil, err
 	}
@@ -229,30 +300,67 @@ func (s *Store) Put(test, answer [sha256.Size]byte, res unittest.Result) {
 	if old, ok := s.index[key]; ok && old == rec {
 		return
 	}
+	if s.appendFrame(func() ([]byte, error) { return encodeFrame(key, rec) }) {
+		s.appended++
+	}
+	s.index[key] = rec
+}
+
+// appendFrame encodes and appends one frame, latching failures into
+// appendErr. It reports whether the frame landed on disk; on a broken
+// log the caller still updates the in-memory index, but must not
+// pretend the append persisted. Callers hold s.mu.
+func (s *Store) appendFrame(encode func() ([]byte, error)) bool {
 	if s.appendErr != nil {
 		// The log is broken (failed append or a lost post-compaction
 		// reopen): keep serving the in-memory index, but don't pretend
 		// further appends persist.
-		s.index[key] = rec
-		return
+		return false
 	}
-	buf, err := encodeFrame(key, rec)
+	buf, err := encode()
 	if err != nil {
-		if s.appendErr == nil {
-			s.appendErr = err
-		}
-		return
+		s.appendErr = err
+		return false
 	}
 	// One write syscall per record: either the whole frame lands or the
 	// checksum catches the tear on the next Open.
 	if _, err := s.f.Write(buf); err != nil {
-		if s.appendErr == nil {
-			s.appendErr = fmt.Errorf("store: append: %w", err)
-		}
+		s.appendErr = fmt.Errorf("store: append: %w", err)
+		return false
+	}
+	return true
+}
+
+// GetGen implements inference.GenStore: the persisted generation for
+// the given request key, if any.
+func (s *Store) GetGen(key inference.Key) (inference.Response, bool) {
+	s.mu.Lock()
+	resp, ok := s.gens[key]
+	s.mu.Unlock()
+	return resp, ok
+}
+
+// PutGen implements inference.GenStore: persist one live generation.
+// An identical re-record is a no-op; append failures latch into
+// Err/Sync/Close, never failing the generation that produced the
+// response — the same advisory contract as Put.
+func (s *Store) PutGen(key inference.Key, resp inference.Response) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.gens[key]; ok && old == resp {
 		return
 	}
-	s.index[key] = rec
-	s.appended++
+	if s.appendFrame(func() ([]byte, error) { return encodeGenFrame(key, resp) }) {
+		s.appended++
+	}
+	s.gens[key] = resp
+}
+
+// GenLen reports how many distinct generations the store holds.
+func (s *Store) GenLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.gens)
 }
 
 // Len reports how many distinct keys the store holds.
@@ -296,22 +404,40 @@ func (s *Store) Compact() error {
 		return bytes.Compare(keys[i].Answer[:], keys[j].Answer[:]) < 0
 	})
 
+	genKeys := make([]inference.Key, 0, len(s.gens))
+	for k := range s.gens {
+		genKeys = append(genKeys, k)
+	}
+	sort.Slice(genKeys, func(i, j int) bool {
+		return bytes.Compare(genKeys[i][:], genKeys[j][:]) < 0
+	})
+
 	tmpPath := s.path + ".compact"
 	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
 	for _, k := range keys {
 		buf, err := encodeFrame(k, s.index[k])
 		if err != nil {
-			tmp.Close()
-			os.Remove(tmpPath)
-			return err
+			return fail(err)
 		}
 		if _, err := tmp.Write(buf); err != nil {
-			tmp.Close()
-			os.Remove(tmpPath)
-			return err
+			return fail(err)
+		}
+	}
+	for _, k := range genKeys {
+		buf, err := encodeGenFrame(k, s.gens[k])
+		if err != nil {
+			return fail(err)
+		}
+		if _, err := tmp.Write(buf); err != nil {
+			return fail(err)
 		}
 	}
 	if err := tmp.Sync(); err != nil {

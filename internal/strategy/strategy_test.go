@@ -1,9 +1,12 @@
 package strategy
 
 import (
+	"context"
+	"sync/atomic"
 	"testing"
 
 	"cloudeval/internal/dataset"
+	"cloudeval/internal/inference"
 	"cloudeval/internal/llm"
 	"cloudeval/internal/unittest"
 )
@@ -50,18 +53,46 @@ func TestFormatCheck(t *testing.T) {
 	}
 }
 
+// countingProvider counts live generations, the quantity the
+// FormatRetry budget regression is about.
+type countingProvider struct {
+	inner inference.Provider
+	calls atomic.Int64
+}
+
+func (c *countingProvider) Name() string { return "counting" }
+func (c *countingProvider) Generate(ctx context.Context, req inference.Request) (inference.Response, error) {
+	c.calls.Add(1)
+	return c.inner.Generate(ctx, req)
+}
+func (c *countingProvider) Close() error { return c.inner.Close() }
+
+// runOK returns a helper that unwraps a strategy result, failing the
+// test on a generation error.
+func runOK(t *testing.T) func(Result, error) Result {
+	return func(r Result, err error) Result {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+}
+
 // TestFormatRetryImprovesWeakModels verifies the paper's observation 1:
 // filtering category 1-3 failures and regenerating lifts pass rates,
 // especially for models that frequently emit malformed output.
 func TestFormatRetryImprovesWeakModels(t *testing.T) {
 	problems := dataset.Generate()[:150]
 	m, _ := llm.ByName("gpt-4") // makes category-1 mistakes, per Figure 7
+	gen := inference.NewDispatcher(inference.NewSim(llm.Models))
+	ok := runOK(t)
 	basePass, retryPass, retryBudget := 0, 0, 0
 	for _, p := range problems {
-		if unittest.Run(p, Greedy(m, p).Answer).Passed {
+		if unittest.Run(p, ok(Greedy(gen, m, p)).Answer).Passed {
 			basePass++
 		}
-		r := FormatRetry(m, p, 4, 0.75)
+		r := ok(FormatRetry(gen, m, p, 4, 0.75))
 		retryBudget += r.Samples
 		if unittest.Run(p, r.Answer).Passed {
 			retryPass++
@@ -79,7 +110,7 @@ func TestFormatRetryImprovesWeakModels(t *testing.T) {
 	// can produce one at all.
 	formatOK := 0
 	for _, p := range problems {
-		if FormatCheck(FormatRetry(m, p, 4, 0.75).Answer, p) {
+		if FormatCheck(ok(FormatRetry(gen, m, p, 4, 0.75)).Answer, p) {
 			formatOK++
 		}
 	}
@@ -88,17 +119,75 @@ func TestFormatRetryImprovesWeakModels(t *testing.T) {
 	}
 }
 
+// TestFormatRetryShortCircuitsAtTemperatureZero is the budget
+// regression test: at temperature 0 every sample is the pinned greedy
+// answer, so a failing format check must not burn the remaining
+// sample budget regenerating it — one live generation, never four.
+// The strategy is driven by a bare counting provider (no dispatcher
+// cache), so the count measures the short-circuit itself rather than
+// cache hits.
+func TestFormatRetryShortCircuitsAtTemperatureZero(t *testing.T) {
+	m, _ := llm.ByName("llama-13b-lora") // weak: plenty of category 1-3 answers
+	cp := &countingProvider{inner: inference.NewSim(llm.Models)}
+	ok := runOK(t)
+	failing := 0
+	for _, p := range dataset.Generate()[:150] {
+		cp.calls.Store(0)
+		r := ok(FormatRetry(cp, m, p, 4, 0))
+		if FormatCheck(r.Answer, p) {
+			continue
+		}
+		failing++
+		if got := cp.calls.Load(); got != 1 {
+			t.Fatalf("%s: FormatRetry at temperature 0 spent %d generations, want 1", p.ID, got)
+		}
+		if r.Samples != 1 {
+			t.Fatalf("%s: Samples = %d, want 1", p.ID, r.Samples)
+		}
+	}
+	if failing == 0 {
+		t.Fatal("test needs at least one problem whose greedy answer fails the format check")
+	}
+}
+
+// TestFormatRetryShortCircuitsOnRepeat covers the generic repeat
+// detection: a provider that keeps returning the same malformed text
+// at temperature > 0 stops the loop after the first repeated sample.
+func TestFormatRetryShortCircuitsOnRepeat(t *testing.T) {
+	p := dataset.Generate()[0]
+	m, _ := llm.ByName("gpt-4")
+	cp := &countingProvider{inner: constantProvider{text: "not yaml at all"}}
+	ok := runOK(t)
+	r := ok(FormatRetry(cp, m, p, 8, 0.75))
+	if got := cp.calls.Load(); got != 2 {
+		t.Fatalf("FormatRetry spent %d generations on a constant stream, want 2 (sample + repeat)", got)
+	}
+	if r.Samples != 2 {
+		t.Fatalf("Samples = %d, want 2", r.Samples)
+	}
+}
+
+type constantProvider struct{ text string }
+
+func (c constantProvider) Name() string { return "constant" }
+func (c constantProvider) Generate(ctx context.Context, req inference.Request) (inference.Response, error) {
+	return inference.Response{Text: c.text}, nil
+}
+func (c constantProvider) Close() error { return nil }
+
 // TestBestOfKBeatsGreedy verifies the cheap-metric selector captures
 // most of the multi-sample gain without running unit tests.
 func TestBestOfKBeatsGreedy(t *testing.T) {
 	problems := dataset.Generate()[:150]
 	m, _ := llm.ByName("gpt-3.5")
+	gen := inference.NewDispatcher(inference.NewSim(llm.Models))
+	ok := runOK(t)
 	greedy, best := 0, 0
 	for _, p := range problems {
-		if unittest.Run(p, Greedy(m, p).Answer).Passed {
+		if unittest.Run(p, ok(Greedy(gen, m, p)).Answer).Passed {
 			greedy++
 		}
-		if unittest.Run(p, BestOfK(m, p, 6, 0.75).Answer).Passed {
+		if unittest.Run(p, ok(BestOfK(gen, m, p, 6, 0.75)).Answer).Passed {
 			best++
 		}
 	}
@@ -110,7 +199,9 @@ func TestBestOfKBeatsGreedy(t *testing.T) {
 func TestGreedyDeterministic(t *testing.T) {
 	p := dataset.Generate()[0]
 	m, _ := llm.ByName("gpt-4")
-	if Greedy(m, p).Answer != Greedy(m, p).Answer {
+	gen := inference.NewDispatcher(inference.NewSim(llm.Models))
+	ok := runOK(t)
+	if ok(Greedy(gen, m, p)).Answer != ok(Greedy(gen, m, p)).Answer {
 		t.Error("greedy strategy must be deterministic")
 	}
 }
