@@ -7,8 +7,11 @@ package cloudeval_test
 
 import (
 	"context"
+	"crypto/sha256"
+	"fmt"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -343,6 +346,81 @@ func BenchmarkGenerateBatched(b *testing.B) {
 	}
 	b.ReportMetric(toks, "tokens-per-batch")
 	b.ReportMetric(float64(len(reqs)), "requests-per-batch")
+}
+
+// BenchmarkCampaignParallel runs a 4-model campaign slice through a
+// fresh engine and dispatcher each iteration — the contention profile
+// of a cold fleet-concurrency campaign. Run it at -cpu 1,4 to expose
+// lock-behavior regressions: the sharded caches and group-commit
+// store are what let the 4-core run beat the 1-core run by the
+// >=2.5x benchguard gates (parallel_scaling in ci/bench-baseline.json).
+func BenchmarkCampaignParallel(b *testing.B) {
+	originals, _ := fixtures()
+	models := llm.Models[:4]
+	var gpt4 float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := engine.New()
+		gen := inference.NewDispatcher(inference.NewSim(llm.Models))
+		rows, _ := score.BenchmarkVia(eng, gen, models, originals)
+		gpt4 = rows[0].UnitTest
+	}
+	b.ReportMetric(gpt4, "gpt4-unit-test")
+}
+
+// BenchmarkStoreAppendParallel hammers the store's append path from
+// every core: distinct keys, so each Put encodes a frame and rides a
+// group-commit batch to disk. Flushes()/Appended() is the measured
+// batching factor — a group-commit regression shows up here as ns/op
+// collapsing toward one syscall per record.
+func BenchmarkStoreAppendParallel(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.store")
+	s, err := store.Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := seq.Add(1)
+			tk := sha256.Sum256([]byte(fmt.Sprintf("bench-test-%d", i%977)))
+			ak := sha256.Sum256([]byte(fmt.Sprintf("bench-answer-%d", i)))
+			s.Put(tk, ak, unittest.Result{Passed: i%2 == 0, VirtualTime: time.Second})
+		}
+	})
+	b.StopTimer()
+	if f := s.Flushes(); f > 0 {
+		b.ReportMetric(float64(s.Appended())/float64(f), "frames-per-flush")
+	}
+}
+
+// BenchmarkDispatcherContention measures the generation cache's warm
+// hit path under full parallelism: every request is a cache hit, so
+// the only cost is key derivation plus shard lookup — the path a
+// re-campaign or multi-turn repair loop hammers hardest. Before
+// sharding, every hit serialized on one dispatcher mutex.
+func BenchmarkDispatcherContention(b *testing.B) {
+	originals, _ := fixtures()
+	d := inference.NewDispatcher(inference.NewSim(llm.Models))
+	probs := originals[:64]
+	ctx := context.Background()
+	for _, p := range probs {
+		if _, err := d.Generate(ctx, inference.Request{Model: "gpt-4", Problem: p}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			p := probs[int(seq.Add(1))%len(probs)]
+			if _, err := d.Generate(ctx, inference.Request{Model: "gpt-4", Problem: p}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- Ablation benches (design choices called out in DESIGN.md §4) ---

@@ -7,7 +7,9 @@
 //
 // The artifact records ns/op, B/op, allocs/op and every ReportMetric
 // value (cache hit counts, unit-tests-executed, ...) for each
-// benchmark. Three gates run against the checked-in baseline:
+// benchmark. Benchmarks run at several -cpu values fold into one
+// entry whose ns_per_op_by_cpu map keeps each GOMAXPROCS point.
+// Five gates run against the checked-in baseline:
 //
 //  1. Engine ratio (-max-regress): the machine-independent ratio
 //     engine-ns ÷ serial-ns from the same run must not exceed the
@@ -26,6 +28,15 @@
 //     hardware-sensitive gate — the recorded speedup is ~4x and the
 //     required factor 2x, which leaves room for runner variance while
 //     still catching a real cold-path regression.
+//  4. Parallel scaling (-min-parallel-speedup): CampaignParallel run
+//     with -cpu 1,4 must be at least the given factor faster at 4
+//     cores. This is the contention gate — it catches a reintroduced
+//     global lock even when single-thread ns/op stays flat. Skipped
+//     (loudly) on runners with fewer than 4 CPUs.
+//  5. Allocation hard cap (no flag): when the baseline records
+//     generate_batched_max_allocs, GenerateBatched allocs/op must stay
+//     at or under it. Unlike gate 2 this cap does not ratchet with
+//     baseline re-records.
 package main
 
 import (
@@ -36,16 +47,22 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 )
 
-// BenchResult is one benchmark's measurements.
+// BenchResult is one benchmark's measurements. When a benchmark runs
+// at several -cpu values, the headline fields hold the last line
+// parsed (the highest requested GOMAXPROCS, matching go test's output
+// order) and ByCPU records ns/op per GOMAXPROCS — the raw material of
+// the parallel-scaling gate.
 type BenchResult struct {
 	Iterations  int64              `json:"iterations"`
 	NsPerOp     float64            `json:"ns_per_op"`
 	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	ByCPU       map[string]float64 `json:"ns_per_op_by_cpu,omitempty"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
@@ -63,15 +80,35 @@ type Artifact struct {
 	// The cold gate requires ColdPathUnitTest to stay at least
 	// -min-cold-speedup times below it.
 	ColdPrePRNs float64 `json:"cold_unittest_pre_pr_ns,omitempty"`
+	// CampaignParallelScaling is CampaignParallel's 1-core ns/op
+	// divided by its 4-core ns/op from this run — the lock-behavior
+	// quantity the parallel gate tracks (higher is better). Recorded
+	// only when the run included -cpu 1,4.
+	CampaignParallelScaling float64 `json:"campaign_parallel_scaling,omitempty"`
+	// GenerateBatchedMaxAllocs is the hard allocs/op ceiling for
+	// BenchmarkGenerateBatched, recorded once in the baseline (PR 6
+	// set it to 50% of the pre-diet 71,015). Unlike the relative
+	// -max-alloc-regress gate, this cap cannot drift upward by
+	// re-recording the baseline from a regressed run.
+	GenerateBatchedMaxAllocs float64 `json:"generate_batched_max_allocs,omitempty"`
 }
 
 // coldBench is the benchmark the cold-speedup gate inspects.
 const coldBench = "ColdPathUnitTest"
 
+// parallelBench is the benchmark the parallel-scaling gate inspects.
+const parallelBench = "CampaignParallel"
+
+// allocCapBench is the benchmark the hard allocation cap inspects.
+const allocCapBench = "GenerateBatched"
+
 // benchLine matches e.g.
 //
 //	BenchmarkZeroShotSerial-8  1  537016704 ns/op  128 B/op  7 allocs/op  0.483 gpt4-unit-test
-var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+//
+// The -8 suffix is GOMAXPROCS (absent when 1); under -cpu 1,4 the same
+// benchmark emits one line per value, folded into one BenchResult.
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-(\d+))?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
 
 func parseBench(r io.Reader) (map[string]BenchResult, error) {
 	out := map[string]BenchResult{}
@@ -82,18 +119,18 @@ func parseBench(r io.Reader) (map[string]BenchResult, error) {
 		if m == nil {
 			continue
 		}
-		iters, err := strconv.ParseInt(m[2], 10, 64)
+		iters, err := strconv.ParseInt(m[3], 10, 64)
 		if err != nil {
 			continue
 		}
-		ns, err := strconv.ParseFloat(m[3], 64)
+		ns, err := strconv.ParseFloat(m[4], 64)
 		if err != nil {
 			continue
 		}
 		res := BenchResult{Iterations: iters, NsPerOp: ns}
 		// The remainder alternates "value unit" pairs: -benchmem's
 		// B/op and allocs/op columns plus any ReportMetric values.
-		fields := strings.Fields(m[4])
+		fields := strings.Fields(m[5])
 		for i := 0; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
@@ -111,6 +148,21 @@ func parseBench(r io.Reader) (map[string]BenchResult, error) {
 				res.Metrics[fields[i+1]] = v
 			}
 		}
+		cpu := m[2]
+		if cpu == "" {
+			cpu = "1"
+		}
+		// Later lines for the same name (higher -cpu values) take the
+		// headline fields; ByCPU accumulates across them.
+		if prev, ok := out[m[1]]; ok {
+			if res.ByCPU == nil {
+				res.ByCPU = prev.ByCPU
+			}
+		}
+		if res.ByCPU == nil {
+			res.ByCPU = map[string]float64{}
+		}
+		res.ByCPU[cpu] = ns
 		out[m[1]] = res
 	}
 	return out, sc.Err()
@@ -134,9 +186,10 @@ func ratio(benchmarks map[string]BenchResult) (float64, error) {
 // gates holds the regression thresholds; a zero (or negative) value
 // disables the corresponding gate.
 type gates struct {
-	maxRegress      float64 // engine/serial ns ratio, percent over baseline
-	maxAllocRegress float64 // per-benchmark allocs/op, percent over baseline
-	minColdSpeedup  float64 // ColdPathUnitTest ns vs baseline cold_unittest_pre_pr_ns
+	maxRegress       float64 // engine/serial ns ratio, percent over baseline
+	maxAllocRegress  float64 // per-benchmark allocs/op, percent over baseline
+	minColdSpeedup   float64 // ColdPathUnitTest ns vs baseline cold_unittest_pre_pr_ns
+	minParallelScale float64 // CampaignParallel 1-core ns vs 4-core ns
 }
 
 func main() {
@@ -148,6 +201,7 @@ func main() {
 	flag.Float64Var(&g.maxRegress, "max-regress", 20, "fail when the engine/serial ratio regresses more than this percent over baseline (0 disables)")
 	flag.Float64Var(&g.maxAllocRegress, "max-alloc-regress", 15, "fail when any benchmark's allocs/op regresses more than this percent over its baseline (0 disables)")
 	flag.Float64Var(&g.minColdSpeedup, "min-cold-speedup", 2, "fail when ColdPathUnitTest ns/op is not at least this factor below the baseline's cold_unittest_pre_pr_ns (0 disables)")
+	flag.Float64Var(&g.minParallelScale, "min-parallel-speedup", 2.5, "fail when CampaignParallel at 4 cores is not at least this factor faster than at 1 core (0 disables; skipped on machines with fewer than 4 CPUs)")
 	flag.Parse()
 	if err := run(*in, *out, *sha, *baselinePath, g); err != nil {
 		fmt.Fprintln(os.Stderr, "benchguard:", err)
@@ -176,6 +230,9 @@ func run(in, out, sha, baselinePath string, g gates) error {
 	if rat, err := ratio(benchmarks); err == nil {
 		art.EngineVsSerial = rat
 	}
+	if scale, ok := parallelScale(benchmarks); ok {
+		art.CampaignParallelScaling = scale
+	}
 
 	// The baseline is loaded before the artifact is written only so the
 	// historical cold_unittest_pre_pr_ns can be carried into the
@@ -193,6 +250,7 @@ func run(in, out, sha, baselinePath string, g gates) error {
 			baselineErr = fmt.Errorf("parse baseline: %w", err)
 		} else {
 			art.ColdPrePRNs = baseline.ColdPrePRNs
+			art.GenerateBatchedMaxAllocs = baseline.GenerateBatchedMaxAllocs
 		}
 	}
 
@@ -220,7 +278,75 @@ func run(in, out, sha, baselinePath string, g gates) error {
 	if err := gateAllocs(benchmarks, baseline, g.maxAllocRegress); err != nil {
 		return err
 	}
+	if err := gateAllocCap(benchmarks, baseline); err != nil {
+		return err
+	}
+	if err := gateParallelScale(benchmarks, g.minParallelScale); err != nil {
+		return err
+	}
 	return gateColdSpeedup(benchmarks, baseline, g.minColdSpeedup)
+}
+
+// parallelScale computes CampaignParallel's 1-core / 4-core ns ratio
+// when the run recorded both -cpu points.
+func parallelScale(benchmarks map[string]BenchResult) (float64, bool) {
+	cur, ok := benchmarks[parallelBench]
+	if !ok {
+		return 0, false
+	}
+	one, four := cur.ByCPU["1"], cur.ByCPU["4"]
+	if one <= 0 || four <= 0 {
+		return 0, false
+	}
+	return one / four, true
+}
+
+// gateParallelScale enforces lock behavior: the 4-core CampaignParallel
+// run must beat the 1-core run by at least minScale even when
+// single-thread ns/op is flat. The gate needs real cores to mean
+// anything, so it announces itself skipped (rather than passing
+// silently) on machines with fewer than 4 CPUs — including the
+// single-core box the committed baseline was recorded on.
+func gateParallelScale(benchmarks map[string]BenchResult, minScale float64) error {
+	if minScale <= 0 {
+		return nil
+	}
+	if runtime.NumCPU() < 4 {
+		fmt.Printf("benchguard: parallel-scaling gate skipped: %d CPUs (< 4) cannot exercise -cpu 4\n", runtime.NumCPU())
+		return nil
+	}
+	scale, ok := parallelScale(benchmarks)
+	if !ok {
+		return fmt.Errorf("%s missing -cpu 1,4 measurements (parallel gate active)", parallelBench)
+	}
+	fmt.Printf("benchguard: %s 4-core speedup %.2fx over 1-core (required %.1fx)\n",
+		parallelBench, scale, minScale)
+	if scale < minScale {
+		return fmt.Errorf("parallel scaling regressed: %s runs only %.2fx faster at 4 cores (need %.1fx) — a shared lock is serializing the campaign",
+			parallelBench, scale, minScale)
+	}
+	return nil
+}
+
+// gateAllocCap enforces the baseline's hard allocs/op ceiling on
+// GenerateBatched. Active whenever the baseline records
+// generate_batched_max_allocs; no flag, because a hard cap that can
+// be flag-disabled in CI is not a hard cap.
+func gateAllocCap(benchmarks map[string]BenchResult, baseline Artifact) error {
+	cap := baseline.GenerateBatchedMaxAllocs
+	if cap <= 0 {
+		return nil
+	}
+	cur, ok := benchmarks[allocCapBench]
+	if !ok || cur.AllocsPerOp <= 0 {
+		return nil // not measured this run (e.g. a bench subset)
+	}
+	fmt.Printf("benchguard: %s allocs/op %.0f (hard cap %.0f)\n", allocCapBench, cur.AllocsPerOp, cap)
+	if cur.AllocsPerOp > cap {
+		return fmt.Errorf("%s allocations exceed the hard cap: %.0f allocs/op > %.0f (the cap is 50%% of the pre-diet 71,015 and does not move with baseline re-records)",
+			allocCapBench, cur.AllocsPerOp, cap)
+	}
+	return nil
 }
 
 func gateEngineRatio(benchmarks map[string]BenchResult, baseline Artifact, maxRegress float64) error {

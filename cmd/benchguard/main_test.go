@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -168,6 +169,123 @@ func TestArtifactWrittenOnBadBaseline(t *testing.T) {
 	}
 	if _, err := os.Stat(outPath); err != nil {
 		t.Fatalf("artifact not written on bad baseline: %v", err)
+	}
+}
+
+const parallelSample = `goos: linux
+pkg: cloudeval
+BenchmarkCampaignParallel    	       3	 320000000 ns/op	 4000000 B/op	   20000 allocs/op
+BenchmarkCampaignParallel-4  	       4	 100000000 ns/op	 4100000 B/op	   20500 allocs/op
+BenchmarkGenerateBatched-4   	      50	  11000000 ns/op	 4340000 B/op	   15729 allocs/op
+PASS
+`
+
+func TestParseBenchFoldsCPUVariants(t *testing.T) {
+	got, err := parseBench(strings.NewReader(parallelSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, ok := got["CampaignParallel"]
+	if !ok {
+		t.Fatalf("CampaignParallel missing; parsed %v", got)
+	}
+	if cp.ByCPU["1"] != 3.2e8 || cp.ByCPU["4"] != 1e8 {
+		t.Errorf("ByCPU = %v, want 1:3.2e8 4:1e8", cp.ByCPU)
+	}
+	// Headline fields hold the last -cpu line parsed.
+	if cp.NsPerOp != 1e8 || cp.AllocsPerOp != 20500 {
+		t.Errorf("headline = %+v, want the -4 line", cp)
+	}
+	scale, ok := parallelScale(got)
+	if !ok || scale != 3.2 {
+		t.Errorf("parallelScale = %v, %v; want 3.2", scale, ok)
+	}
+	// A single-cpu run (no -4 line) yields no scaling figure.
+	single, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := parallelScale(single); ok {
+		t.Error("parallelScale reported a figure without -cpu 1,4 data")
+	}
+}
+
+func TestParallelScaleGate(t *testing.T) {
+	good, err := parseBench(strings.NewReader(parallelSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := parseBench(strings.NewReader(strings.ReplaceAll(
+		parallelSample, " 100000000 ns/op", " 200000000 ns/op")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gateParallelScale(good, 0); err != nil {
+		t.Fatalf("disabled gate failed: %v", err)
+	}
+	if runtime.NumCPU() < 4 {
+		// The gate must announce itself skipped, not fail, on small
+		// runners — including this one.
+		if err := gateParallelScale(bad, 2.5); err != nil {
+			t.Fatalf("gate did not skip on a %d-CPU machine: %v", runtime.NumCPU(), err)
+		}
+		t.Skipf("%d CPUs: enforcement paths need >= 4", runtime.NumCPU())
+	}
+	if err := gateParallelScale(good, 2.5); err != nil {
+		t.Fatalf("gate failed a 3.2x speedup: %v", err)
+	}
+	if err := gateParallelScale(bad, 2.5); err == nil {
+		t.Fatal("gate passed a 1.6x speedup")
+	}
+	if err := gateParallelScale(map[string]BenchResult{}, 2.5); err == nil {
+		t.Fatal("gate passed with no CampaignParallel measurements")
+	}
+}
+
+func TestAllocCapGate(t *testing.T) {
+	benchmarks, err := parseBench(strings.NewReader(parallelSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample GenerateBatched is 15729 allocs/op; cap 35500 passes.
+	if err := gateAllocCap(benchmarks, Artifact{GenerateBatchedMaxAllocs: 35500}); err != nil {
+		t.Fatalf("cap gate failed under the cap: %v", err)
+	}
+	if err := gateAllocCap(benchmarks, Artifact{GenerateBatchedMaxAllocs: 15000}); err == nil {
+		t.Fatal("cap gate passed 15729 allocs/op against a 15000 cap")
+	}
+	// No recorded cap, or a run that skipped the benchmark: inactive.
+	if err := gateAllocCap(benchmarks, Artifact{}); err != nil {
+		t.Fatalf("cap gate tripped without a baseline record: %v", err)
+	}
+	if err := gateAllocCap(map[string]BenchResult{}, Artifact{GenerateBatchedMaxAllocs: 100}); err != nil {
+		t.Fatalf("cap gate tripped on a run without the benchmark: %v", err)
+	}
+
+	// End to end: the cap is carried from baseline into the artifact.
+	dir := t.TempDir()
+	benchPath := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(benchPath, []byte(parallelSample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := Artifact{GenerateBatchedMaxAllocs: 35500}
+	outPath := filepath.Join(dir, "BENCH_cap.json")
+	if err := run(benchPath, outPath, "cap", writeBaseline(t, dir, base), gates{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art Artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatal(err)
+	}
+	if art.GenerateBatchedMaxAllocs != 35500 {
+		t.Errorf("artifact cap = %v, want 35500", art.GenerateBatchedMaxAllocs)
+	}
+	if art.CampaignParallelScaling != 3.2 {
+		t.Errorf("artifact scaling = %v, want 3.2", art.CampaignParallelScaling)
 	}
 }
 

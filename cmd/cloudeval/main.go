@@ -79,7 +79,7 @@ func usage() {
 
 Commands:
   dataset             print dataset statistics (Table 2) and augmentation stats (Table 1)
-  bench [-store F] [-cpuprofile F] [-memprofile F]
+  bench [-store F] [-cpuprofile F] [-memprofile F] [-mutexprofile F] [-blockprofile F]
                       run the zero-shot benchmark (Table 4), optionally profiled
   figures -id <id>    regenerate one experiment (table1..table9, figure5..figure9)
   figures -all        regenerate every table and figure (both accept -store F)
@@ -199,11 +199,13 @@ func cmdBench(args []string) (retErr error) {
 	storePath := fs.String("store", "", "persistent evaluation store path")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the campaign here")
 	memProfile := fs.String("memprofile", "", "write an allocation profile here after the campaign")
+	mutexProfile := fs.String("mutexprofile", "", "write a mutex-contention profile here after the campaign")
+	blockProfile := fs.String("blockprofile", "", "write a blocking profile here after the campaign")
 	pf := addProviderFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile, *mutexProfile, *blockProfile)
 	if err != nil {
 		return err
 	}
@@ -231,12 +233,15 @@ func cmdBench(args []string) (retErr error) {
 	return nil
 }
 
-// startProfiles starts a CPU profile and arranges a heap snapshot, so
-// perf work on the evaluation path begins from a profile instead of a
-// guess (see CONTRIBUTING.md "Profiling the evaluation path"). The
+// startProfiles starts a CPU profile and arranges heap, mutex, and
+// block snapshots, so perf work on the evaluation path begins from a
+// profile instead of a guess (see CONTRIBUTING.md "Profiling the
+// evaluation path" and "Profiling contention"). Mutex and block
+// sampling is enabled only when the matching path is set — both add
+// per-contention overhead that would distort the CPU profile. The
 // returned stop function is safe to call once whether or not profiling
 // is active.
-func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+func startProfiles(cpuPath, memPath, mutexPath, blockPath string) (stop func(), err error) {
 	var cpuFile *os.File
 	if cpuPath != "" {
 		cpuFile, err = os.Create(cpuPath)
@@ -247,6 +252,30 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 			cpuFile.Close()
 			return nil, err
 		}
+	}
+	if mutexPath != "" {
+		// Sample every contention event: the campaign is short-lived,
+		// so full sampling beats statistical fidelity concerns.
+		runtime.SetMutexProfileFraction(1)
+	}
+	if blockPath != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	writeLookup := func(name, path string) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cloudeval: %sprofile: %v\n", name, err)
+			return
+		}
+		defer f.Close()
+		if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "cloudeval: %sprofile: %v\n", name, err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "cloudeval: wrote %s profile to %s\n", name, path)
 	}
 	return func() {
 		if cpuFile != nil {
@@ -268,6 +297,8 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 			}
 			fmt.Fprintf(os.Stderr, "cloudeval: wrote allocation profile to %s\n", memPath)
 		}
+		writeLookup("mutex", mutexPath)
+		writeLookup("block", blockPath)
 	}, nil
 }
 

@@ -37,6 +37,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -143,8 +144,14 @@ func run() error {
 		// slow eval can be profiled in place instead of reproduced in a
 		// bench harness. Off by default: the daemon may face networks
 		// where exposing goroutine dumps and heap contents is unwanted.
+		// Sampling for /debug/pprof/mutex and /debug/pprof/block is
+		// enabled alongside the endpoints — those profiles are empty
+		// without it, and the per-contention overhead only matters when
+		// someone has already opted into profiling.
+		runtime.SetMutexProfileFraction(1)
+		runtime.SetBlockProfileRate(1)
 		handler = withPprof(handler)
-		fmt.Println("cloudevald: pprof enabled at /debug/pprof/")
+		fmt.Println("cloudevald: pprof enabled at /debug/pprof/ (mutex and block sampling on)")
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)

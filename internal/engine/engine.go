@@ -21,11 +21,13 @@ package engine
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"cloudeval/internal/dataset"
+	"cloudeval/internal/memo"
 	"cloudeval/internal/unittest"
 )
 
@@ -114,8 +116,11 @@ type Engine struct {
 	noCache bool
 	store   CacheStore
 
-	mu    sync.Mutex
-	cache map[cacheKey]*cacheEntry
+	// cache is the sharded singleflight execution cache: keys hash by
+	// digest prefix into GOMAXPROCS-scaled shards, so a fleet of
+	// workers hitting distinct keys never serializes on one mutex the
+	// way the original single-lock map did.
+	cache *memo.Sharded[cacheKey, unittest.Result]
 
 	executed  atomic.Int64
 	cacheHits atomic.Int64
@@ -133,9 +138,33 @@ type cacheKey struct {
 	answer [sha256.Size]byte
 }
 
-type cacheEntry struct {
-	done chan struct{}
-	res  unittest.Result
+// shardOf maps a key to a shard by the leading bytes of its digests —
+// uniformly distributed by construction, so shards stay balanced.
+func shardOf(k cacheKey) uint32 {
+	return binary.LittleEndian.Uint32(k.test[:4]) ^ binary.LittleEndian.Uint32(k.answer[:4])
+}
+
+// digests memoizes content → SHA-256 so a campaign hashes each unit
+// test script and each candidate answer once instead of once per job:
+// the same few hundred scripts and answers recur across models,
+// samples and augmented variants. Keys alias the corpus and answer
+// strings already held by the campaign, so the cache adds counters
+// and headers, not text copies. The cap bounds a long-lived daemon
+// fed unbounded generated answers.
+var digests = memo.New[string, [sha256.Size]byte](1 << 16)
+
+func digestOf(s string) [sha256.Size]byte {
+	return digests.Do(s, func() [sha256.Size]byte { return sha256.Sum256([]byte(s)) })
+}
+
+// WarmDigests primes the digest cache with every problem's unit-test
+// script in one pass — called at campaign start so the parallel phase
+// begins with a warm read-only cache instead of singleflighting the
+// first touch of each script across workers.
+func WarmDigests(problems []dataset.Problem) {
+	for _, p := range problems {
+		digestOf(p.UnitTest)
+	}
 }
 
 // Option configures an Engine.
@@ -173,7 +202,7 @@ func New(opts ...Option) *Engine {
 	e := &Engine{
 		exec:    PoolExecutor{},
 		workers: runtime.GOMAXPROCS(0),
-		cache:   make(map[cacheKey]*cacheEntry),
+		cache:   memo.NewSharded[cacheKey, unittest.Result](shardOf),
 	}
 	for _, o := range opts {
 		o(e)
@@ -229,43 +258,36 @@ func (e *Engine) unitTest(p dataset.Problem, answer string) (unittest.Result, bo
 		e.executed.Add(1)
 		return e.exec.RunUnitTest(p, answer), false
 	}
-	key := cacheKey{test: sha256.Sum256([]byte(p.UnitTest)), answer: sha256.Sum256([]byte(answer))}
-	e.mu.Lock()
-	if ent, ok := e.cache[key]; ok {
-		e.mu.Unlock()
-		<-ent.done
+	key := cacheKey{test: digestOf(p.UnitTest), answer: digestOf(answer)}
+	fromStore := false
+	// Returning res.Err as the singleflight error keeps the old
+	// contract: transient executor failures (cluster submit errors,
+	// per-job timeouts) are shared with parked waiters but never
+	// cached — future calls re-execute.
+	res, _, hit := e.cache.Do(key, func() (unittest.Result, error) {
+		// Second tier: a result persisted by an earlier process (or a
+		// CI cache restore) short-circuits execution entirely.
+		if e.store != nil {
+			if res, ok := e.store.Get(key.test, key.answer); ok {
+				fromStore = true
+				return res, nil
+			}
+		}
+		res := e.exec.RunUnitTest(p, answer)
+		return res, res.Err
+	})
+	switch {
+	case hit:
 		e.cacheHits.Add(1)
-		return ent.res, true
-	}
-	ent := &cacheEntry{done: make(chan struct{})}
-	e.cache[key] = ent
-	e.mu.Unlock()
-
-	// Second tier: a result persisted by an earlier process (or a CI
-	// cache restore) short-circuits execution entirely.
-	if e.store != nil {
-		if res, ok := e.store.Get(key.test, key.answer); ok {
-			ent.res = res
-			close(ent.done)
-			e.storeHits.Add(1)
-			return ent.res, true
+	case fromStore:
+		e.storeHits.Add(1)
+	default:
+		e.executed.Add(1)
+		if res.Err == nil && e.store != nil {
+			e.store.Put(key.test, key.answer, res)
 		}
 	}
-
-	ent.res = e.exec.RunUnitTest(p, answer)
-	if ent.res.Err != nil {
-		// Transient executor failures (cluster submit errors, per-job
-		// timeouts) must not be frozen in: waiters already parked on
-		// this entry share the error, but future calls re-execute.
-		e.mu.Lock()
-		delete(e.cache, key)
-		e.mu.Unlock()
-	} else if e.store != nil {
-		e.store.Put(key.test, key.answer, ent.res)
-	}
-	close(ent.done)
-	e.executed.Add(1)
-	return ent.res, false
+	return res, hit || fromStore
 }
 
 // Run executes a batch of jobs, resolving problems by ID, and returns

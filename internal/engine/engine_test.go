@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"reflect"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -13,6 +14,7 @@ import (
 	"cloudeval/internal/dataset"
 	"cloudeval/internal/engine"
 	"cloudeval/internal/evalcluster"
+	"cloudeval/internal/inference"
 	"cloudeval/internal/llm"
 	"cloudeval/internal/miniredis"
 	"cloudeval/internal/score"
@@ -176,17 +178,31 @@ func TestParallelMatchesSerialTable4(t *testing.T) {
 	}
 	full := augment.ExpandCorpus(dataset.Generate())
 	serialRows, serialRaw := score.BenchmarkSerial(llm.Models, full)
-	eng := engine.New(engine.WithWorkers(4))
-	parRows, parRaw := score.BenchmarkWith(eng, llm.Models, full)
+	serialTable := score.FormatTable4(serialRows)
 
-	if serial, parallel := score.FormatTable4(serialRows), score.FormatTable4(parRows); serial != parallel {
-		t.Errorf("Table 4 differs between serial and parallel runs:\n--- serial ---\n%s--- parallel ---\n%s", serial, parallel)
-	}
-	if !reflect.DeepEqual(serialRaw, parRaw) {
-		t.Error("raw per-problem scores differ between serial and parallel runs")
-	}
-	if st := eng.Stats(); st.Executed == 0 {
-		t.Error("engine executed nothing")
+	// 4 workers is the shipped default shape; 16 workers with
+	// GOMAXPROCS raised to match oversubscribes this test machine and
+	// hammers the sharded caches from more goroutines than shards on
+	// small boxes — the configuration most likely to surface an
+	// ordering or lost-update bug under -race.
+	for _, workers := range []int{4, 16} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			prev := runtime.GOMAXPROCS(workers)
+			defer runtime.GOMAXPROCS(prev)
+			eng := engine.New(engine.WithWorkers(workers))
+			gen := inference.NewDispatcher(inference.NewSim(llm.Models), inference.WithConcurrency(workers))
+			parRows, parRaw := score.BenchmarkVia(eng, gen, llm.Models, full)
+
+			if parallel := score.FormatTable4(parRows); serialTable != parallel {
+				t.Errorf("Table 4 differs between serial and parallel runs:\n--- serial ---\n%s--- parallel ---\n%s", serialTable, parallel)
+			}
+			if !reflect.DeepEqual(serialRaw, parRaw) {
+				t.Error("raw per-problem scores differ between serial and parallel runs")
+			}
+			if st := eng.Stats(); st.Executed == 0 {
+				t.Error("engine executed nothing")
+			}
+		})
 	}
 }
 

@@ -2,12 +2,14 @@ package inference
 
 import (
 	"context"
+	"encoding/binary"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"cloudeval/internal/dataset"
 	"cloudeval/internal/llm"
+	"cloudeval/internal/memo"
 )
 
 // GenStore is the persistent second cache tier under the dispatcher's
@@ -47,8 +49,11 @@ type Dispatcher struct {
 	noCache bool
 	store   GenStore
 
-	mu    sync.Mutex
-	cache map[Key]*genEntry
+	// cache is the sharded singleflight generation cache: keys hash
+	// by digest prefix into GOMAXPROCS-scaled shards, so a batched
+	// campaign's hit traffic never serializes on one mutex the way
+	// the original single-lock map did.
+	cache *memo.Sharded[Key, Response]
 
 	generated      atomic.Int64
 	cacheHits      atomic.Int64
@@ -58,12 +63,6 @@ type Dispatcher struct {
 	completionToks atomic.Int64
 	errOnce        sync.Mutex
 	firstGenerr    error
-}
-
-type genEntry struct {
-	done chan struct{}
-	resp Response
-	err  error
 }
 
 // DispatchOption configures a Dispatcher.
@@ -95,7 +94,7 @@ func NewDispatcher(prov Provider, opts ...DispatchOption) *Dispatcher {
 	d := &Dispatcher{
 		prov:  prov,
 		sem:   make(chan struct{}, runtime.GOMAXPROCS(0)),
-		cache: make(map[Key]*genEntry),
+		cache: memo.NewSharded[Key, Response](keyShard),
 	}
 	for _, o := range opts {
 		o(d)
@@ -172,53 +171,49 @@ func (d *Dispatcher) Generate(ctx context.Context, req Request) (Response, error
 	return resp, err
 }
 
+// keyShard maps a content-addressed key to a shard by its leading
+// bytes — uniformly distributed by construction.
+func keyShard(k Key) uint32 { return binary.LittleEndian.Uint32(k[:4]) }
+
 func (d *Dispatcher) generate(ctx context.Context, req Request) (Response, error) {
 	if d.noCache {
 		return d.live(ctx, req)
 	}
 	key := req.Key()
-	d.mu.Lock()
-	if ent, ok := d.cache[key]; ok {
-		d.mu.Unlock()
-		<-ent.done
-		if ent.err == nil {
+	fromStore := false
+	// The singleflight error path preserves the old contract: waiters
+	// parked on a failed generation share its error, but the entry is
+	// never cached — future requests re-generate.
+	resp, err, hit := d.cache.Do(key, func() (Response, error) {
+		// Second tier: a generation persisted by an earlier process
+		// (or a CI cache restore) short-circuits the provider entirely.
+		if d.store != nil {
+			if resp, ok := d.store.GetGen(key); ok {
+				fromStore = true
+				// A recording provider never sees store-served
+				// generations; hand them over anyway, or -record over a
+				// warm -store would write an incomplete trace.
+				if ob, ok := d.prov.(traceObserver); ok {
+					ob.observe(req, resp)
+				}
+				return resp, nil
+			}
+		}
+		return d.live(ctx, req)
+	})
+	switch {
+	case hit:
+		if err == nil {
 			d.cacheHits.Add(1)
 		}
-		return ent.resp, ent.err
-	}
-	ent := &genEntry{done: make(chan struct{})}
-	d.cache[key] = ent
-	d.mu.Unlock()
-
-	// Second tier: a generation persisted by an earlier process (or a
-	// CI cache restore) short-circuits the provider entirely.
-	if d.store != nil {
-		if resp, ok := d.store.GetGen(key); ok {
-			ent.resp = resp
-			close(ent.done)
-			d.storeHits.Add(1)
-			// A recording provider never sees store-served generations;
-			// hand them over anyway, or -record over a warm -store
-			// would write an incomplete trace.
-			if ob, ok := d.prov.(traceObserver); ok {
-				ob.observe(req, resp)
-			}
-			return ent.resp, nil
+	case fromStore:
+		d.storeHits.Add(1)
+	case err == nil:
+		if d.store != nil {
+			d.store.PutGen(key, resp)
 		}
 	}
-
-	ent.resp, ent.err = d.live(ctx, req)
-	if ent.err != nil {
-		// Waiters parked on this entry share the error, but future
-		// requests re-generate.
-		d.mu.Lock()
-		delete(d.cache, key)
-		d.mu.Unlock()
-	} else if d.store != nil {
-		d.store.PutGen(key, ent.resp)
-	}
-	close(ent.done)
-	return ent.resp, ent.err
+	return resp, err
 }
 
 // live performs one provider call under the concurrency limit.
@@ -243,17 +238,32 @@ func (d *Dispatcher) live(ctx context.Context, req Request) (Response, error) {
 // concurrency limit and returns responses in request order. The batch
 // always drains; the first error is returned (and latched), with the
 // failed slots left zero — the same poisoned-batch contract as
-// engine.Run.
+// engine.Run. Work is pulled by a bounded worker pool rather than one
+// goroutine per request: extra goroutines beyond the live-call limit
+// only ever park on the semaphore or on in-flight cache entries, so a
+// 256-request batch paid 256 goroutine spawns for at most
+// Concurrency() of actual parallelism.
 func (d *Dispatcher) GenerateBatch(ctx context.Context, reqs []Request) ([]Response, error) {
 	out := make([]Response, len(reqs))
 	errs := make([]error, len(reqs))
+	workers := max(cap(d.sem), runtime.GOMAXPROCS(0))
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	wg.Add(len(reqs))
-	for i := range reqs {
-		go func(i int) {
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
 			defer wg.Done()
-			out[i], errs[i] = d.Generate(ctx, reqs[i])
-		}(i)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reqs) {
+					return
+				}
+				out[i], errs[i] = d.Generate(ctx, reqs[i])
+			}
+		}()
 	}
 	wg.Wait()
 	for _, err := range errs {

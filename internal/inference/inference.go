@@ -29,7 +29,9 @@ package inference
 import (
 	"context"
 	"crypto/sha256"
-	"fmt"
+	"encoding/hex"
+	"strconv"
+	"sync"
 	"time"
 
 	"cloudeval/internal/dataset"
@@ -76,22 +78,47 @@ type Key [sha256.Size]byte
 // prompt text is needed only on live provider calls.
 func (r Request) Key() Key { return r.keyFor(r.promptDigest()) }
 
-// promptDigest is the SHA-256 of Prompt() computed without building
-// the string.
+// promptDigest is the SHA-256 of Prompt(), served from the
+// process-wide prompt cache — equal to prompt.Digest(r.Problem,
+// r.Opts.Shots) but computed once per unique prompt content.
 func (r Request) promptDigest() [sha256.Size]byte {
-	return prompt.Digest(r.Problem, r.Opts.Shots)
+	return promptInfoFor(r.Problem, r.Opts.Shots).digest
 }
 
+// keyBufs pools the preimage scratch buffers keyFor assembles the key
+// material in; keys are computed on every request, hits included.
+var keyBufs = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+// keyFor hashes the key preimage "gen|model|id|variant|digest-hex|
+// sample|temp|shots" — assembled by hand into a pooled buffer rather
+// than through fmt, which boxes every argument. The preimage bytes
+// are pinned by TestKeyForMatchesFmt: persisted generation records
+// and recorded traces are addressed by this hash, so changing a
+// single byte would orphan every existing store and trace.
 func (r Request) keyFor(promptDigest [sha256.Size]byte) Key {
 	sample := r.Opts.Sample
 	if r.Opts.Temperature == 0 {
 		sample = 0
 	}
-	h := sha256.New()
-	fmt.Fprintf(h, "gen|%s|%s|%s|%x|%d|%g|%d",
-		r.Model, r.Problem.ID, r.Problem.Variant, promptDigest, sample, r.Opts.Temperature, r.Opts.Shots)
-	var k Key
-	h.Sum(k[:0])
+	bp := keyBufs.Get().(*[]byte)
+	b := (*bp)[:0]
+	b = append(b, "gen|"...)
+	b = append(b, r.Model...)
+	b = append(b, '|')
+	b = append(b, r.Problem.ID...)
+	b = append(b, '|')
+	b = append(b, r.Problem.Variant...)
+	b = append(b, '|')
+	b = hex.AppendEncode(b, promptDigest[:])
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(sample), 10)
+	b = append(b, '|')
+	b = strconv.AppendFloat(b, r.Opts.Temperature, 'g', -1, 64)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(r.Opts.Shots), 10)
+	k := Key(sha256.Sum256(b))
+	*bp = b
+	keyBufs.Put(bp)
 	return k
 }
 

@@ -2,6 +2,7 @@ package inference
 
 import (
 	"context"
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"sync"
@@ -10,6 +11,8 @@ import (
 
 	"cloudeval/internal/dataset"
 	"cloudeval/internal/llm"
+	"cloudeval/internal/prompt"
+	"cloudeval/internal/textmetrics"
 )
 
 // TestSimByteIdentical pins the Sim provider to the zoo: the provider
@@ -40,6 +43,58 @@ func TestSimByteIdentical(t *testing.T) {
 				if resp.Latency <= 0 {
 					t.Fatalf("%s/%s: no latency", m, p.ID)
 				}
+			}
+		}
+	}
+}
+
+// TestPromptInfoMatchesBuild pins the prompt cache to the uncached
+// definitions: for every corpus problem and shot count, the cached
+// digest must equal prompt.Digest and the cached token count must
+// equal EstimateTokens over the rendered prompt. Sim usage and every
+// cache key flow through these values, so a mismatch here would skew
+// Table 4 byte-identity.
+func TestPromptInfoMatchesBuild(t *testing.T) {
+	for _, p := range dataset.Generate()[:60] {
+		for _, shots := range []int{0, 1, 3, 5} {
+			info := promptInfoFor(p, shots)
+			if want := prompt.Digest(p, shots); info.digest != want {
+				t.Fatalf("%s shots=%d: cached digest differs from prompt.Digest", p.ID, shots)
+			}
+			if want := textmetrics.EstimateTokens(prompt.Build(p, shots)); info.tokens != want {
+				t.Fatalf("%s shots=%d: cached tokens %d, want %d", p.ID, shots, info.tokens, want)
+			}
+		}
+	}
+}
+
+// TestKeyForMatchesFmt pins the hand-assembled key preimage to the
+// fmt-based formatting it replaced. Persisted store generations and
+// recorded traces are addressed by this hash; one changed byte would
+// orphan every existing artifact.
+func TestKeyForMatchesFmt(t *testing.T) {
+	problems := dataset.Generate()[:20]
+	optsList := []llm.GenOptions{
+		{},
+		{Sample: 3, Temperature: 0.75},
+		{Sample: -1, Temperature: 0.123456789, Shots: 2},
+		{Shots: 3},
+	}
+	for _, p := range problems {
+		for _, opts := range optsList {
+			r := Request{Model: "gpt-4", Problem: p, Opts: opts}
+			d := r.promptDigest()
+			sample := opts.Sample
+			if opts.Temperature == 0 {
+				sample = 0
+			}
+			h := sha256.New()
+			fmt.Fprintf(h, "gen|%s|%s|%s|%x|%d|%g|%d",
+				r.Model, p.ID, p.Variant, d, sample, opts.Temperature, opts.Shots)
+			var want Key
+			h.Sum(want[:0])
+			if got := r.keyFor(d); got != want {
+				t.Fatalf("%s %+v: keyFor diverged from fmt preimage", p.ID, opts)
 			}
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"cloudeval/internal/llm"
+	"cloudeval/internal/textmetrics"
 )
 
 // Sim serves generations from the deterministic model zoo of
@@ -40,7 +41,13 @@ func (s *Sim) Generate(ctx context.Context, req Request) (Response, error) {
 		return Response{}, fmt.Errorf("inference: sim has no model %q", req.Model)
 	}
 	text := m.Generate(req.Problem, req.Opts)
-	u := EstimateUsage(req.Prompt(), text)
+	// Equal to EstimateUsage(req.Prompt(), text) — the prompt side is
+	// served from the prompt cache instead of re-rendering and
+	// re-tokenizing the same few hundred prompts once per model.
+	u := Usage{
+		PromptTokens:     promptInfoFor(req.Problem, req.Opts.Shots).tokens,
+		CompletionTokens: textmetrics.EstimateTokens(text),
+	}
 	return Response{Text: text, Usage: u, Latency: simLatency(u)}, nil
 }
 

@@ -2,6 +2,7 @@ package inference
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
@@ -44,6 +45,11 @@ type Record struct {
 	f    *os.File
 	w    *bufio.Writer
 	seen map[Key]bool
+	// buf and enc are the reused JSONL encode path: one growable
+	// buffer per recorder instead of a fresh json.Marshal allocation
+	// per entry. Both are guarded by mu, like every append.
+	buf bytes.Buffer
+	enc *json.Encoder
 	// writeErr latches the first failed append, surfaced on Close —
 	// a sick disk must not fail the generation that produced the text.
 	writeErr error
@@ -56,7 +62,9 @@ func NewRecord(path string, inner Provider) (*Record, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Record{inner: inner, f: f, w: bufio.NewWriter(f), seen: make(map[Key]bool)}, nil
+	r := &Record{inner: inner, f: f, w: bufio.NewWriter(f), seen: make(map[Key]bool)}
+	r.enc = json.NewEncoder(&r.buf)
+	return r, nil
 }
 
 // Name implements Provider.
@@ -89,7 +97,11 @@ func (r *Record) record(req Request, resp Response) {
 	if r.seen[key] || r.writeErr != nil {
 		return
 	}
-	line, err := json.Marshal(traceEntry{
+	// Encoder.Encode emits exactly json.Marshal plus a trailing
+	// newline, into the recorder's reused buffer — same bytes on disk
+	// as the Marshal-per-entry path it replaced.
+	r.buf.Reset()
+	if err := r.enc.Encode(traceEntry{
 		Key:         hex.EncodeToString(key[:]),
 		Model:       req.Model,
 		Problem:     req.Problem.ID,
@@ -103,12 +115,11 @@ func (r *Record) record(req Request, resp Response) {
 		PromptTokens:     resp.Usage.PromptTokens,
 		CompletionTokens: resp.Usage.CompletionTokens,
 		LatencyNs:        resp.Latency.Nanoseconds(),
-	})
-	if err != nil {
+	}); err != nil {
 		r.writeErr = err
 		return
 	}
-	if _, err := r.w.Write(append(line, '\n')); err != nil {
+	if _, err := r.w.Write(r.buf.Bytes()); err != nil {
 		r.writeErr = fmt.Errorf("inference: record: %w", err)
 		return
 	}

@@ -1,0 +1,134 @@
+package memo
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// Sharded is a sharded singleflight cache for expensive, fallible
+// computations: unit-test executions and provider generations. Keys
+// hash into GOMAXPROCS-scaled shards, each with its own mutex and map,
+// so concurrent misses and hits on different keys never serialize on
+// one lock the way the pre-shard engine and dispatcher caches did.
+//
+// Per-key in-flight entries give the singleflight contract: concurrent
+// calls with the same key collapse into one fn call; laggards park on
+// the winner's entry and share its result. A fn error is handed to
+// every parked waiter but never cached — the entry is removed, so the
+// next call recomputes. That is the engine's and dispatcher's shared
+// requirement: a transient executor or API failure must not be frozen
+// into the cache.
+//
+// The zero value is not usable; construct with NewSharded.
+type Sharded[K comparable, V any] struct {
+	shards []paddedShard[K, V]
+	mask   uint32
+	hash   func(K) uint32
+}
+
+type flight[V any] struct {
+	done chan struct{}
+	v    V
+	err  error
+}
+
+type shardMap[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*flight[V]
+}
+
+// paddedShard keeps adjacent shards on distinct cache lines so a hot
+// shard's lock traffic does not false-share with its neighbors. The
+// embedded shard is 16 bytes on 64-bit (mutex + map header); the pad
+// rounds it up to a 64-byte line.
+type paddedShard[K comparable, V any] struct {
+	shardMap[K, V]
+	_ [48]byte
+}
+
+// errPanicked is handed to waiters parked on a computation whose fn
+// panicked; the panicking caller itself propagates the panic.
+var errPanicked = errors.New("memo: in-flight computation panicked")
+
+// NewSharded builds a sharded singleflight cache keyed by hash. The
+// shard count is the smallest power of two at least four times
+// GOMAXPROCS (minimum 8, capped at 512), fixed at construction.
+func NewSharded[K comparable, V any](hash func(K) uint32) *Sharded[K, V] {
+	n := 1
+	for n < 4*runtime.GOMAXPROCS(0) {
+		n <<= 1
+	}
+	if n < 8 {
+		n = 8
+	}
+	if n > 512 {
+		n = 512
+	}
+	s := &Sharded[K, V]{
+		shards: make([]paddedShard[K, V], n),
+		mask:   uint32(n - 1),
+		hash:   hash,
+	}
+	for i := range s.shards {
+		s.shards[i].m = make(map[K]*flight[V])
+	}
+	return s
+}
+
+// Do returns the cached value for key, computing it via fn on a miss.
+// hit reports whether this call was served by an existing entry —
+// either completed or in flight (parked on another caller's
+// computation) — as opposed to running fn itself. When fn returns an
+// error, the entry is removed before waiters are released: the error
+// is shared with every parked caller, but the next Do recomputes.
+func (s *Sharded[K, V]) Do(key K, fn func() (V, error)) (v V, err error, hit bool) {
+	sh := &s.shards[s.hash(key)&s.mask].shardMap
+	sh.mu.Lock()
+	if fl, ok := sh.m[key]; ok {
+		sh.mu.Unlock()
+		<-fl.done
+		return fl.v, fl.err, true
+	}
+	fl := &flight[V]{done: make(chan struct{})}
+	sh.m[key] = fl
+	sh.mu.Unlock()
+
+	committed := false
+	defer func() {
+		if !committed {
+			// fn panicked: behave like an error — drop the entry so
+			// future calls retry, and unpark waiters with an error.
+			fl.err = errPanicked
+			sh.mu.Lock()
+			delete(sh.m, key)
+			sh.mu.Unlock()
+			close(fl.done)
+		}
+	}()
+	fl.v, fl.err = fn()
+	committed = true
+	if fl.err != nil {
+		sh.mu.Lock()
+		delete(sh.m, key)
+		sh.mu.Unlock()
+	}
+	close(fl.done)
+	return fl.v, fl.err, false
+}
+
+// Len reports the number of entries across all shards, in-flight
+// entries included.
+func (s *Sharded[K, V]) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i].shardMap
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Shards reports the shard count (a power of two).
+func (s *Sharded[K, V]) Shards() int { return len(s.shards) }

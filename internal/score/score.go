@@ -162,6 +162,11 @@ func EvaluateModelWith(eng *engine.Engine, m llm.Model, problems []dataset.Probl
 // Generation failures score as empty answers and latch into gen.Err.
 func EvaluateModelVia(eng *engine.Engine, gen *inference.Dispatcher, m llm.Model, problems []dataset.Problem, opts llm.GenOptions) []ProblemScore {
 	kept := evalProblems(m, problems)
+	// One warm pass over the corpus feeds both cache-key pipelines
+	// (unit-test digests for eng, prompt digests and token counts for
+	// gen) before the parallel phase starts hammering them.
+	engine.WarmDigests(kept)
+	inference.WarmPrompts(kept, opts.Shots)
 	out := make([]ProblemScore, len(kept))
 	eng.ForEach(len(kept), func(i int) {
 		p := kept[i]
@@ -281,6 +286,11 @@ func BenchmarkVia(eng *engine.Engine, gen *inference.Dispatcher, models []llm.Mo
 			pairs = append(pairs, pair{model: mi, problem: p})
 		}
 	}
+	// One warm pass over the corpus feeds both cache-key pipelines
+	// before the parallel matrix starts: unit-test digests for eng,
+	// prompt digests and token counts for gen.
+	engine.WarmDigests(problems)
+	inference.WarmPrompts(problems, 0)
 	scores := make([]ProblemScore, len(pairs))
 	eng.ForEach(len(pairs), func(i int) {
 		pr := pairs[i]

@@ -25,6 +25,17 @@
 // rewrites the log to one record per key (newest wins) via an atomic
 // rename.
 //
+// Concurrency: the index is sharded behind RWMutexes, so warm-store
+// reads never contend with appends or each other. Appends group-commit:
+// concurrent writers enqueue encoded frames into a shared pending
+// buffer and one of them — the committer — drains the whole batch with
+// a single write syscall, then releases every writer whose frames it
+// carried. A Put still does not return until its frame is on disk (the
+// durability contract tests rely on), but N concurrent Puts cost one
+// syscall instead of N. The frame bytes are unchanged — a multi-frame
+// batch is byte-identical to the same frames written one at a time, so
+// logs written before group commit replay unchanged and vice versa.
+//
 // The full index (including result payloads; outputs are bounded by
 // the corpus) is held in memory, so Get never touches disk after Open.
 package store
@@ -41,6 +52,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cloudeval/internal/inference"
@@ -96,19 +108,53 @@ const maxPayload = 64 << 20
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// idxShards is the index shard count. 32 write-locked stripes keep
+// shard collisions rare at fleet concurrency while costing ~one cache
+// line of mutexes; digest-prefix hashing spreads keys uniformly.
+const idxShards = 32
+
+type recShard struct {
+	mu sync.RWMutex
+	m  map[Key]Record
+}
+
+type genShard struct {
+	mu sync.RWMutex
+	m  map[inference.Key]inference.Response
+}
+
+func recShardOf(k Key) int           { return int(k.Test[0]^k.Answer[0]) & (idxShards - 1) }
+func genShardOf(k inference.Key) int { return int(k[0]) & (idxShards - 1) }
+
 // Store is a persistent evaluation cache. It is safe for concurrent
-// use and implements engine.CacheStore.
+// use and implements engine.CacheStore and inference.GenStore.
 type Store struct {
-	mu    sync.Mutex
-	f     *os.File
-	path  string
-	index map[Key]Record
-	gens  map[inference.Key]inference.Response
+	path string
+
+	recs [idxShards]recShard
+	gens [idxShards]genShard
+
+	appended atomic.Int64
+	flushes  atomic.Int64
+
+	// mu guards the log half: the file handle, the group-commit
+	// pending buffer and its batch/flush bookkeeping, and appendErr.
+	// Index reads and writes never take it.
+	mu      sync.Mutex
+	flushed sync.Cond // signaled whenever flushedBatch advances
+	f       *os.File
+	// pending accumulates encoded frames for the batch curBatch;
+	// flushedBatch is the highest batch durably written. A writer's
+	// frames are on disk exactly when flushedBatch has reached the
+	// batch it enqueued into.
+	pending      []byte
+	curBatch     uint64
+	flushedBatch uint64
+	flushing     bool
 	// appendErr latches the first failed append so a sick disk surfaces
 	// on Sync/Close instead of being silently swallowed by the cache
 	// interface.
 	appendErr error
-	appended  int64
 }
 
 // Open reads (or creates) the log at path, replaying every intact
@@ -116,20 +162,22 @@ type Store struct {
 // of a crash mid-append — is dropped and the file truncated back to
 // the last intact record, not treated as fatal.
 func Open(path string) (*Store, error) {
-	// O_APPEND: every frame is one write syscall that the kernel
+	// O_APPEND: every flush is one write syscall that the kernel
 	// positions at the true end of file, so even a second process
 	// appending to the same log (one writer per store is the intended
-	// deployment, but fleets misconfigure) interleaves whole frames
+	// deployment, but fleets misconfigure) interleaves whole batches
 	// rather than corrupting them mid-frame at a stale offset.
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{
-		f:     f,
-		path:  path,
-		index: make(map[Key]Record),
-		gens:  make(map[inference.Key]inference.Response),
+	s := &Store{f: f, path: path, curBatch: 1}
+	s.flushed.L = &s.mu
+	for i := range s.recs {
+		s.recs[i].m = make(map[Key]Record)
+	}
+	for i := range s.gens {
+		s.gens[i].m = make(map[inference.Key]inference.Response)
 	}
 	good, err := s.replay()
 	if err != nil {
@@ -144,13 +192,17 @@ func Open(path string) (*Store, error) {
 }
 
 // replay scans the log from the start, loading intact records and
-// returning the offset of the first bad (or missing) frame.
+// returning the offset of the first bad (or missing) frame. One
+// growable payload buffer is reused across frames — json.Unmarshal
+// copies what it keeps, and a warm daemon start on a large log should
+// not churn the allocator once per record.
 func (s *Store) replay() (int64, error) {
 	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
 		return 0, err
 	}
 	var off int64
 	hdr := make([]byte, frameHeaderSize)
+	var payload []byte
 	for {
 		if _, err := io.ReadFull(s.f, hdr); err != nil {
 			// Clean EOF or a torn header: the log ends here.
@@ -161,7 +213,10 @@ func (s *Store) replay() (int64, error) {
 		if n == 0 || n > maxPayload {
 			return off, nil
 		}
-		payload := make([]byte, n)
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
 		if _, err := io.ReadFull(s.f, payload); err != nil {
 			return off, nil // torn payload
 		}
@@ -178,7 +233,7 @@ func (s *Store) replay() (int64, error) {
 			if err != nil {
 				return off, nil
 			}
-			s.gens[key] = inference.Response{
+			s.gens[genShardOf(key)].m[key] = inference.Response{
 				Text: fr.Text,
 				Usage: inference.Usage{
 					PromptTokens:     fr.PromptTokens,
@@ -191,7 +246,7 @@ func (s *Store) replay() (int64, error) {
 			if err != nil {
 				return off, nil
 			}
-			s.index[key] = Record{
+			s.recs[recShardOf(key)].m[key] = Record{
 				Passed:      fr.Passed,
 				Output:      fr.Output,
 				ExitCode:    fr.ExitCode,
@@ -264,9 +319,11 @@ func framePayload(fr frame) ([]byte, error) {
 // Get implements engine.CacheStore: the persisted result for
 // (test, answer), if any.
 func (s *Store) Get(test, answer [sha256.Size]byte) (unittest.Result, bool) {
-	s.mu.Lock()
-	rec, ok := s.index[Key{Test: test, Answer: answer}]
-	s.mu.Unlock()
+	key := Key{Test: test, Answer: answer}
+	sh := &s.recs[recShardOf(key)]
+	sh.mu.RLock()
+	rec, ok := sh.m[key]
+	sh.mu.RUnlock()
 	if !ok {
 		return unittest.Result{}, false
 	}
@@ -283,7 +340,8 @@ func (s *Store) Get(test, answer [sha256.Size]byte) (unittest.Result, bool) {
 // engine's in-memory tier, a transient outage must not be frozen into
 // the cache. An identical re-record is a no-op so warm campaigns don't
 // grow the log. Append failures latch into Err/Sync/Close rather than
-// failing the evaluation that produced the result.
+// failing the evaluation that produced the result. Put returns with
+// the record on disk (its group-commit batch flushed).
 func (s *Store) Put(test, answer [sha256.Size]byte, res unittest.Result) {
 	if res.Err != nil {
 		return
@@ -295,48 +353,100 @@ func (s *Store) Put(test, answer [sha256.Size]byte, res unittest.Result) {
 		ExitCode:    res.ExitCode,
 		VirtualTime: res.VirtualTime,
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if old, ok := s.index[key]; ok && old == rec {
+	sh := &s.recs[recShardOf(key)]
+	sh.mu.Lock()
+	if old, ok := sh.m[key]; ok && old == rec {
+		sh.mu.Unlock()
 		return
 	}
-	if s.appendFrame(func() ([]byte, error) { return encodeFrame(key, rec) }) {
-		s.appended++
+	sh.m[key] = rec
+	sh.mu.Unlock()
+	buf, err := encodeFrame(key, rec)
+	if s.appendWait(buf, err) {
+		s.appended.Add(1)
 	}
-	s.index[key] = rec
 }
 
-// appendFrame encodes and appends one frame, latching failures into
-// appendErr. It reports whether the frame landed on disk; on a broken
-// log the caller still updates the in-memory index, but must not
-// pretend the append persisted. Callers hold s.mu.
-func (s *Store) appendFrame(encode func() ([]byte, error)) bool {
+// appendWait enqueues one encoded frame into the pending group-commit
+// batch and blocks until that batch is on disk, reporting whether the
+// frame durably landed. The first writer to find no flush in progress
+// becomes the committer: it drains the whole pending buffer — its own
+// frame plus everything concurrent writers enqueued behind it — in a
+// single write syscall, then releases every writer it carried.
+// Writers arriving mid-flush accumulate the next batch; one of them
+// commits it when the in-flight flush completes. Frame encoding
+// happens in the callers, outside the lock.
+func (s *Store) appendWait(buf []byte, encErr error) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.appendErr != nil {
 		// The log is broken (failed append or a lost post-compaction
 		// reopen): keep serving the in-memory index, but don't pretend
 		// further appends persist.
 		return false
 	}
-	buf, err := encode()
-	if err != nil {
-		s.appendErr = err
+	if encErr != nil {
+		s.appendErr = encErr
 		return false
 	}
-	// One write syscall per record: either the whole frame lands or the
-	// checksum catches the tear on the next Open.
-	if _, err := s.f.Write(buf); err != nil {
-		s.appendErr = fmt.Errorf("store: append: %w", err)
-		return false
+	s.pending = append(s.pending, buf...)
+	myBatch := s.curBatch
+	for {
+		if s.flushedBatch >= myBatch {
+			return s.appendErr == nil
+		}
+		if !s.flushing {
+			s.flushBatchLocked()
+			continue
+		}
+		s.flushed.Wait()
 	}
-	return true
+}
+
+// flushBatchLocked writes the whole pending buffer as one syscall and
+// advances flushedBatch past every frame it carried. Callers hold
+// s.mu; the lock is dropped for the write itself so concurrent
+// writers keep enqueueing the next batch.
+func (s *Store) flushBatchLocked() {
+	batch := s.curBatch
+	buf := s.pending
+	s.pending = nil
+	s.curBatch++
+	s.flushing = true
+	s.mu.Unlock()
+	// One write syscall per batch: O_APPEND places it atomically at
+	// the end of file, and each frame's checksum still catches a tear
+	// inside the batch on the next Open.
+	_, werr := s.f.Write(buf)
+	s.mu.Lock()
+	s.flushing = false
+	s.flushedBatch = batch
+	s.flushes.Add(1)
+	if werr != nil && s.appendErr == nil {
+		s.appendErr = fmt.Errorf("store: append: %w", werr)
+	}
+	s.flushed.Broadcast()
+}
+
+// drainLocked flushes until no batch is pending or in flight. Callers
+// hold s.mu.
+func (s *Store) drainLocked() {
+	for s.flushing || len(s.pending) > 0 {
+		if !s.flushing {
+			s.flushBatchLocked()
+			continue
+		}
+		s.flushed.Wait()
+	}
 }
 
 // GetGen implements inference.GenStore: the persisted generation for
 // the given request key, if any.
 func (s *Store) GetGen(key inference.Key) (inference.Response, bool) {
-	s.mu.Lock()
-	resp, ok := s.gens[key]
-	s.mu.Unlock()
+	sh := &s.gens[genShardOf(key)]
+	sh.mu.RLock()
+	resp, ok := sh.m[key]
+	sh.mu.RUnlock()
 	return resp, ok
 }
 
@@ -345,38 +455,53 @@ func (s *Store) GetGen(key inference.Key) (inference.Response, bool) {
 // Err/Sync/Close, never failing the generation that produced the
 // response — the same advisory contract as Put.
 func (s *Store) PutGen(key inference.Key, resp inference.Response) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if old, ok := s.gens[key]; ok && old == resp {
+	sh := &s.gens[genShardOf(key)]
+	sh.mu.Lock()
+	if old, ok := sh.m[key]; ok && old == resp {
+		sh.mu.Unlock()
 		return
 	}
-	if s.appendFrame(func() ([]byte, error) { return encodeGenFrame(key, resp) }) {
-		s.appended++
+	sh.m[key] = resp
+	sh.mu.Unlock()
+	buf, err := encodeGenFrame(key, resp)
+	if s.appendWait(buf, err) {
+		s.appended.Add(1)
 	}
-	s.gens[key] = resp
 }
 
 // GenLen reports how many distinct generations the store holds.
 func (s *Store) GenLen() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.gens)
+	n := 0
+	for i := range s.gens {
+		sh := &s.gens[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Len reports how many distinct keys the store holds.
 func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.index)
+	n := 0
+	for i := range s.recs {
+		sh := &s.recs[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Appended reports how many records this handle has appended since
 // Open — the store-side mirror of the engine's Executed counter.
-func (s *Store) Appended() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.appended
-}
+func (s *Store) Appended() int64 { return s.appended.Load() }
+
+// Flushes reports how many group-commit batches this handle has
+// written since Open. Appended()/Flushes() is the average batch size:
+// 1 under serial traffic, climbing with append concurrency as the
+// committer drains more frames per syscall.
+func (s *Store) Flushes() int64 { return s.flushes.Load() }
 
 // Err reports the first append failure, if any.
 func (s *Store) Err() error {
@@ -388,13 +513,39 @@ func (s *Store) Err() error {
 // Compact rewrites the log to exactly one record per key — the newest
 // — shedding superseded appends. The rewrite goes to a temp file that
 // atomically renames over the log, so a crash mid-compaction leaves
-// the old intact log in place.
+// the old intact log in place. Holding the log lock throughout keeps
+// concurrent appends queued in pending until the new handle is in
+// place; an index entry added after the snapshot re-appends its frame
+// to the compacted log, so nothing is lost either side of the rename.
 func (s *Store) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.drainLocked()
 
-	keys := make([]Key, 0, len(s.index))
-	for k := range s.index {
+	// Snapshot the index. Shard read-locks nest inside s.mu here;
+	// writers never hold a shard lock while acquiring s.mu, so the
+	// order cannot invert.
+	index := make(map[Key]Record)
+	for i := range s.recs {
+		sh := &s.recs[i]
+		sh.mu.RLock()
+		for k, r := range sh.m {
+			index[k] = r
+		}
+		sh.mu.RUnlock()
+	}
+	gens := make(map[inference.Key]inference.Response)
+	for i := range s.gens {
+		sh := &s.gens[i]
+		sh.mu.RLock()
+		for k, r := range sh.m {
+			gens[k] = r
+		}
+		sh.mu.RUnlock()
+	}
+
+	keys := make([]Key, 0, len(index))
+	for k := range index {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool {
@@ -404,8 +555,8 @@ func (s *Store) Compact() error {
 		return bytes.Compare(keys[i].Answer[:], keys[j].Answer[:]) < 0
 	})
 
-	genKeys := make([]inference.Key, 0, len(s.gens))
-	for k := range s.gens {
+	genKeys := make([]inference.Key, 0, len(gens))
+	for k := range gens {
 		genKeys = append(genKeys, k)
 	}
 	sort.Slice(genKeys, func(i, j int) bool {
@@ -423,7 +574,7 @@ func (s *Store) Compact() error {
 		return err
 	}
 	for _, k := range keys {
-		buf, err := encodeFrame(k, s.index[k])
+		buf, err := encodeFrame(k, index[k])
 		if err != nil {
 			return fail(err)
 		}
@@ -432,7 +583,7 @@ func (s *Store) Compact() error {
 		}
 	}
 	for _, k := range genKeys {
-		buf, err := encodeGenFrame(k, s.gens[k])
+		buf, err := encodeGenFrame(k, gens[k])
 		if err != nil {
 			return fail(err)
 		}
@@ -469,11 +620,12 @@ func (s *Store) Compact() error {
 	return nil
 }
 
-// Sync flushes the log to stable storage and surfaces any latched
-// append error.
+// Sync flushes pending batches and the log to stable storage, and
+// surfaces any latched append error.
 func (s *Store) Sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.drainLocked()
 	if s.appendErr != nil {
 		return s.appendErr
 	}
@@ -485,6 +637,7 @@ func (s *Store) Sync() error {
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.drainLocked()
 	syncErr := s.f.Sync()
 	closeErr := s.f.Close()
 	if s.appendErr != nil {

@@ -48,19 +48,46 @@ func Words(s string) int { return len(strings.Fields(s)) }
 // each; punctuation tokenizes alone. The paper used a proprietary
 // tokenizer; this deterministic estimator preserves relative sizes,
 // which is all Tables 1–2 consume.
+// EstimateTokens runs on every generation (usage metering estimates
+// both the prompt and the completion), so it streams over the runes in
+// a single allocation-free pass instead of materializing the token
+// slice the way Tokenize does. TestEstimateTokensMatchesTokenize pins
+// it to the tokenizer-based definition.
 func EstimateTokens(s string) int {
-	n := 0
-	for _, tok := range Tokenize(s) {
-		runes := []rune(tok)
-		if isCJK(runes[0]) {
-			n += len(runes)
-			continue
+	n, runes := 0, 0
+	var first rune
+	for _, r := range s {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == '.':
+			if runes == 0 {
+				first = r
+			}
+			runes++
+		case unicode.IsSpace(r):
+			n += wordTokens(first, runes)
+			runes = 0
+		default:
+			n += wordTokens(first, runes)
+			runes = 0
+			n += wordTokens(r, 1) // punctuation tokenizes alone
 		}
-		// Subword pieces of about 4 characters.
-		n += (len(runes) + 3) / 4
-		if len(runes) > 4 {
-			n++ // long words usually split once more
-		}
+	}
+	return n + wordTokens(first, runes)
+}
+
+// wordTokens estimates one word token's cost: CJK-leading tokens count
+// one per character; others split into subword pieces of about 4
+// characters, long words usually once more.
+func wordTokens(first rune, runes int) int {
+	if runes == 0 {
+		return 0
+	}
+	if isCJK(first) {
+		return runes
+	}
+	n := (runes + 3) / 4
+	if runes > 4 {
+		n++
 	}
 	return n
 }

@@ -19,6 +19,64 @@ func TestTokenize(t *testing.T) {
 	}
 }
 
+// tokenizeEstimate is the tokenizer-based definition EstimateTokens
+// must match: one token per character for CJK-leading words, subword
+// pieces of ~4 characters otherwise, long words once more.
+func tokenizeEstimate(s string) int {
+	n := 0
+	for _, tok := range Tokenize(s) {
+		runes := []rune(tok)
+		if isCJK(runes[0]) {
+			n += len(runes)
+			continue
+		}
+		n += (len(runes) + 3) / 4
+		if len(runes) > 4 {
+			n++
+		}
+	}
+	return n
+}
+
+// TestEstimateTokensMatchesTokenize pins the streaming allocation-free
+// EstimateTokens to the tokenizer-based definition it replaced, across
+// English, CJK, mixed scripts, punctuation runs, and YAML shapes.
+func TestEstimateTokensMatchesTokenize(t *testing.T) {
+	cases := []string{
+		"",
+		"word",
+		"Create a Kubernetes deployment with three replicas",
+		"创建一个负载均衡器服务",
+		"部署 nginx 服务，并暴露 port: 80",
+		"クラスタにPodをデプロイする",
+		"apiVersion: apps/v1\nkind: Deployment\nmetadata:\n  name: web\nspec:\n  replicas: 3",
+		"!!!",
+		"a_b-c.d/e:f{g}h",
+		"   leading and   trailing   ",
+		"mixed中文words和English混合",
+		"supercalifragilisticexpialidocious",
+		strings.Repeat("word ", 100),
+		"-- flags --set key=value,other=值",
+	}
+	for _, s := range cases {
+		if got, want := EstimateTokens(s), tokenizeEstimate(s); got != want {
+			t.Errorf("EstimateTokens(%q) = %d, tokenize-based = %d", s, got, want)
+		}
+	}
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(strings.Join(randomLines(r), "\n"))
+		},
+	}
+	prop := func(s string) bool {
+		return EstimateTokens(s) == tokenizeEstimate(s)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestWords(t *testing.T) {
 	if got := Words("create an svc with LB"); got != 5 {
 		t.Errorf("Words = %d, want 5", got)
