@@ -37,6 +37,17 @@
 //     generate_batched_max_allocs, GenerateBatched allocs/op must stay
 //     at or under it. Unlike gate 2 this cap does not ratchet with
 //     baseline re-records.
+//
+// With -loadgen, a `cloudeval loadgen -out` report joins the artifact
+// under "loadgen" and two service-tier gates run against it:
+//
+//  6. Service p99 (-max-p99-ms): the report's p99 latency must not
+//     exceed the given milliseconds. Like the parallel gate it needs
+//     real cores to mean anything, so it announces itself skipped on
+//     machines with fewer than 4 CPUs.
+//  7. Service error rate (-max-error-rate): the report's error rate
+//     must not exceed the given fraction. Error classification is
+//     hardware-independent, so this gate never skips.
 package main
 
 import (
@@ -48,8 +59,11 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
+
+	"cloudeval/internal/loadgen"
 )
 
 // BenchResult is one benchmark's measurements. When a benchmark runs
@@ -91,6 +105,10 @@ type Artifact struct {
 	// -max-alloc-regress gate, this cap cannot drift upward by
 	// re-recording the baseline from a regressed run.
 	GenerateBatchedMaxAllocs float64 `json:"generate_batched_max_allocs,omitempty"`
+	// Loadgen is the service-tier load report (-loadgen) folded in
+	// verbatim, so one artifact carries both the micro-benchmarks and
+	// the HTTP-path latency distribution of the same commit.
+	Loadgen *loadgen.Report `json:"loadgen,omitempty"`
 }
 
 // coldBench is the benchmark the cold-speedup gate inspects.
@@ -190,6 +208,9 @@ type gates struct {
 	maxAllocRegress  float64 // per-benchmark allocs/op, percent over baseline
 	minColdSpeedup   float64 // ColdPathUnitTest ns vs baseline cold_unittest_pre_pr_ns
 	minParallelScale float64 // CampaignParallel 1-core ns vs 4-core ns
+	loadgenPath      string  // cloudeval loadgen report to gate ("" disables)
+	maxP99Ms         float64 // loadgen p99 latency ceiling in ms
+	maxErrorRate     float64 // loadgen error-rate ceiling as a fraction; negative disables
 }
 
 func main() {
@@ -202,6 +223,9 @@ func main() {
 	flag.Float64Var(&g.maxAllocRegress, "max-alloc-regress", 15, "fail when any benchmark's allocs/op regresses more than this percent over its baseline (0 disables)")
 	flag.Float64Var(&g.minColdSpeedup, "min-cold-speedup", 2, "fail when ColdPathUnitTest ns/op is not at least this factor below the baseline's cold_unittest_pre_pr_ns (0 disables)")
 	flag.Float64Var(&g.minParallelScale, "min-parallel-speedup", 2.5, "fail when CampaignParallel at 4 cores is not at least this factor faster than at 1 core (0 disables; skipped on machines with fewer than 4 CPUs)")
+	flag.StringVar(&g.loadgenPath, "loadgen", "", "cloudeval loadgen report JSON to gate and fold into the artifact")
+	flag.Float64Var(&g.maxP99Ms, "max-p99-ms", 0, "fail when the loadgen report's p99 latency exceeds this many milliseconds (0 disables; skipped on machines with fewer than 4 CPUs)")
+	flag.Float64Var(&g.maxErrorRate, "max-error-rate", -1, "fail when the loadgen report's error rate exceeds this fraction (negative disables; 0 means no errors tolerated)")
 	flag.Parse()
 	if err := run(*in, *out, *sha, *baselinePath, g); err != nil {
 		fmt.Fprintln(os.Stderr, "benchguard:", err)
@@ -254,6 +278,19 @@ func run(in, out, sha, baselinePath string, g gates) error {
 		}
 	}
 
+	// The loadgen report joins the artifact before the write for the
+	// same reason the baseline constants do; like baseline errors, a
+	// missing or corrupt report must not suppress the artifact.
+	var lgErr error
+	if g.loadgenPath != "" {
+		rep, err := readLoadgenReport(g.loadgenPath)
+		if err != nil {
+			lgErr = err
+		} else {
+			art.Loadgen = &rep
+		}
+	}
+
 	if out != "" {
 		data, err := json.MarshalIndent(art, "", "  ")
 		if err != nil {
@@ -263,6 +300,18 @@ func run(in, out, sha, baselinePath string, g gates) error {
 			return err
 		}
 		fmt.Printf("benchguard: wrote %s (%d benchmarks)\n", out, len(benchmarks))
+	}
+
+	if lgErr != nil {
+		return lgErr
+	}
+	if art.Loadgen != nil {
+		if err := gateLoadgenLatency(*art.Loadgen, g.maxP99Ms, runtime.NumCPU()); err != nil {
+			return err
+		}
+		if err := gateLoadgenErrors(*art.Loadgen, g.maxErrorRate); err != nil {
+			return err
+		}
 	}
 
 	if baselinePath == "" {
@@ -285,6 +334,65 @@ func run(in, out, sha, baselinePath string, g gates) error {
 		return err
 	}
 	return gateColdSpeedup(benchmarks, baseline, g.minColdSpeedup)
+}
+
+// readLoadgenReport parses a `cloudeval loadgen -out` artifact.
+func readLoadgenReport(path string) (loadgen.Report, error) {
+	var rep loadgen.Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, fmt.Errorf("read loadgen report: %w", err)
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("parse loadgen report: %w", err)
+	}
+	if rep.Requests <= 0 {
+		return rep, fmt.Errorf("loadgen report %s records no requests", path)
+	}
+	return rep, nil
+}
+
+// gateLoadgenLatency enforces the service-tier p99 ceiling. Latency on
+// a starved runner measures the runner, not the server, so like the
+// parallel gate it announces itself skipped (rather than passing
+// silently) on machines with fewer than 4 CPUs. cpus is a parameter so
+// tests can exercise the enforcement path regardless of the host.
+func gateLoadgenLatency(rep loadgen.Report, maxP99Ms float64, cpus int) error {
+	if maxP99Ms <= 0 {
+		return nil
+	}
+	if cpus < 4 {
+		fmt.Printf("benchguard: service p99 gate skipped: %d CPUs (< 4) make HTTP-path latency runner noise\n", cpus)
+		return nil
+	}
+	fmt.Printf("benchguard: service p99 %.2fms over %d requests (ceiling %.0fms)\n",
+		rep.LatencyMs.P99, rep.Requests, maxP99Ms)
+	if rep.LatencyMs.P99 > maxP99Ms {
+		return fmt.Errorf("service latency regressed: loadgen p99 %.2fms exceeds the %.0fms ceiling (p50 %.2fms, throughput %.1f req/s)",
+			rep.LatencyMs.P99, maxP99Ms, rep.LatencyMs.P50, rep.ThroughputQPS)
+	}
+	return nil
+}
+
+// gateLoadgenErrors enforces the service-tier error-rate ceiling.
+// Error classification is deterministic, so this gate never skips; a
+// ceiling of exactly 0 means no failed requests tolerated.
+func gateLoadgenErrors(rep loadgen.Report, maxErrorRate float64) error {
+	if maxErrorRate < 0 {
+		return nil
+	}
+	fmt.Printf("benchguard: service error rate %.4f over %d requests (ceiling %.4f)\n",
+		rep.ErrorRate, rep.Requests, maxErrorRate)
+	if rep.ErrorRate > maxErrorRate {
+		classes := make([]string, 0, len(rep.Errors))
+		for class, n := range rep.Errors {
+			classes = append(classes, fmt.Sprintf("%s=%d", class, n))
+		}
+		sort.Strings(classes)
+		return fmt.Errorf("service error rate %.4f exceeds the %.4f ceiling (%s)",
+			rep.ErrorRate, maxErrorRate, strings.Join(classes, " "))
+	}
+	return nil
 }
 
 // parallelScale computes CampaignParallel's 1-core / 4-core ns ratio

@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+
+	"cloudeval/internal/loadgen"
 )
 
 const sample = `goos: linux
@@ -286,6 +288,128 @@ func TestAllocCapGate(t *testing.T) {
 	}
 	if art.CampaignParallelScaling != 3.2 {
 		t.Errorf("artifact scaling = %v, want 3.2", art.CampaignParallelScaling)
+	}
+}
+
+// healthyReport is a plausible loadgen report for a healthy service.
+func healthyReport() loadgen.Report {
+	return loadgen.Report{
+		Target: "http://127.0.0.1:1", Requests: 200, Concurrency: 8,
+		DurationSec: 2, ThroughputQPS: 100,
+		LatencyMs: loadgen.Latency{P50: 3, P95: 12, P99: 40, Mean: 5, Max: 55},
+	}
+}
+
+func writeLoadgenReport(t *testing.T, dir string, rep loadgen.Report) string {
+	t.Helper()
+	path := filepath.Join(dir, "loadgen.json")
+	if err := loadgen.WriteReport(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestLoadgenLatencyGate is the seeded-regression check: a report whose
+// p99 exceeds the ceiling must fail the gate (cpus forced to 4 so the
+// enforcement path runs regardless of the host).
+func TestLoadgenLatencyGate(t *testing.T) {
+	good := healthyReport()
+	if err := gateLoadgenLatency(good, 100, 4); err != nil {
+		t.Fatalf("latency gate failed a 40ms p99 against a 100ms ceiling: %v", err)
+	}
+
+	// The seeded regression: p99 blows past the ceiling.
+	bad := healthyReport()
+	bad.LatencyMs.P99 = 250
+	if err := gateLoadgenLatency(bad, 100, 4); err == nil {
+		t.Fatal("latency gate passed a 250ms p99 against a 100ms ceiling")
+	}
+
+	// Small runners skip loudly instead of measuring scheduler noise.
+	if err := gateLoadgenLatency(bad, 100, 2); err != nil {
+		t.Fatalf("latency gate did not skip on a 2-CPU machine: %v", err)
+	}
+	// Ceiling 0 disables.
+	if err := gateLoadgenLatency(bad, 0, 4); err != nil {
+		t.Fatalf("disabled latency gate failed: %v", err)
+	}
+}
+
+func TestLoadgenErrorRateGate(t *testing.T) {
+	good := healthyReport()
+	if err := gateLoadgenErrors(good, 0.01); err != nil {
+		t.Fatalf("error gate failed a clean report: %v", err)
+	}
+	// A ceiling of exactly 0 is active: no errors tolerated.
+	if err := gateLoadgenErrors(good, 0); err != nil {
+		t.Fatalf("zero-ceiling gate failed a clean report: %v", err)
+	}
+
+	bad := healthyReport()
+	bad.ErrorRate = 0.05
+	bad.Errors = map[string]int{"rate_limited": 8, "http_500": 2}
+	err := gateLoadgenErrors(bad, 0.01)
+	if err == nil {
+		t.Fatal("error gate passed a 5% error rate against a 1% ceiling")
+	}
+	// The failure names the error classes, so CI logs say what broke.
+	if !strings.Contains(err.Error(), "rate_limited=8") {
+		t.Errorf("error gate failure does not name the classes: %v", err)
+	}
+	// Negative disables.
+	if err := gateLoadgenErrors(bad, -1); err != nil {
+		t.Fatalf("disabled error gate failed: %v", err)
+	}
+}
+
+// TestLoadgenGateEndToEnd drives the -loadgen path through run(): the
+// report folds into the artifact, a healthy report passes, a seeded
+// regression fails, and a corrupt report still writes the artifact.
+func TestLoadgenGateEndToEnd(t *testing.T) {
+	if runtime.NumCPU() < 4 {
+		t.Skipf("%d CPUs: the p99 enforcement path needs >= 4", runtime.NumCPU())
+	}
+	dir := t.TempDir()
+	benchPath := writeSample(t, dir)
+	repPath := writeLoadgenReport(t, dir, healthyReport())
+	outPath := filepath.Join(dir, "BENCH_lg.json")
+
+	g := gates{loadgenPath: repPath, maxP99Ms: 100, maxErrorRate: 0.01}
+	if err := run(benchPath, outPath, "lg", "", g); err != nil {
+		t.Fatalf("healthy loadgen report failed the gates: %v", err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art Artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatal(err)
+	}
+	if art.Loadgen == nil || art.Loadgen.LatencyMs.P99 != 40 || art.Loadgen.Requests != 200 {
+		t.Errorf("loadgen report not folded into the artifact: %+v", art.Loadgen)
+	}
+
+	// Seeded regression through the full run() path.
+	slow := healthyReport()
+	slow.LatencyMs.P99 = 250
+	g.loadgenPath = writeLoadgenReport(t, dir, slow)
+	if err := run(benchPath, "", "lg", "", g); err == nil {
+		t.Fatal("run() passed a seeded p99 regression")
+	}
+
+	// A corrupt report fails the run but never suppresses the artifact.
+	corrupt := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corrupt, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath2 := filepath.Join(dir, "BENCH_corrupt.json")
+	g.loadgenPath = corrupt
+	if err := run(benchPath, outPath2, "lg", "", g); err == nil {
+		t.Fatal("corrupt loadgen report did not fail the run")
+	}
+	if _, err := os.Stat(outPath2); err != nil {
+		t.Fatalf("artifact not written on corrupt loadgen report: %v", err)
 	}
 }
 

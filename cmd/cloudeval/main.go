@@ -17,6 +17,7 @@
 //	cloudeval cost               # Table 3 cost breakdown
 //	cloudeval cluster -workers 64 -cache   # one Figure 5 point
 //	cloudeval eval -problem k8s-pod-001 -f answer.yaml
+//	cloudeval loadgen -n 300 -concurrency 8 -out loadgen.json   # drive the service tier under load
 package main
 
 import (
@@ -61,6 +62,8 @@ func main() {
 		err = cmdCluster(args)
 	case "eval":
 		err = cmdEval(args)
+	case "loadgen":
+		err = cmdLoadgen(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -88,6 +91,12 @@ Commands:
   cost                print the running-cost breakdown (Table 3)
   cluster [-workers N] [-cache]   simulate one evaluation campaign (Figure 5 point)
   eval -problem <id> -f <file>    run one answer through the full scoring pipeline
+  loadgen [-addr URL] [-n N] [-qps Q] [-concurrency C] [-tenants a,b]
+          [-trace F | -seed S [-record-trace F]] [-warm] [-out report.json]
+                      drive a live (-addr) or in-process cloudevald under a
+                      synthesized or replayed request mix; the JSON report
+                      (throughput, p50/p95/p99, error classes) feeds
+                      benchguard's latency gates
 
 -store attaches the persistent evaluation store at F: unit-test
 results and generations persist across invocations, so a warm re-run

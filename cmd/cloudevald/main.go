@@ -16,6 +16,14 @@
 //	GET  /v1/stats           engine counters
 //	GET  /healthz            liveness
 //
+// Every /v1 route is tenant-scoped: the X-Tenant header (or ?tenant=)
+// names a namespace for campaign IDs, checkpoints and leaderboard
+// caches; absent, requests land on the wire-compatible default tenant.
+// -tenant-rate/-tenant-burst put a per-tenant token bucket in front of
+// POST /v1/eval and /v1/campaign, and -campaign-queue bounds admitted
+// campaigns — overload answers 429 with Retry-After and the JSON error
+// envelope. See API.md for the full contract.
+//
 // The store lives at <data>/eval.store and campaign checkpoints under
 // <data>/campaigns/; point -data at a CI cache or shared volume to
 // carry warm state across runs. The store caches generations alongside
@@ -91,6 +99,10 @@ func run() error {
 	replay := flag.String("replay", "", "serve generations from this JSONL trace (overrides -provider)")
 	warm := flag.Bool("warm", false, "run the Table 4 campaign at startup so the first request is cheap")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (off by default)")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant admission rate in requests/s for POST /v1/eval and /v1/campaign (0 = unlimited)")
+	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant admission burst (only with -tenant-rate)")
+	campaignQueue := flag.Int("campaign-queue", 0, "max campaigns admitted but not finished before POST /v1/campaign 429s (0 = unbounded)")
+	campaignWorkers := flag.Int("campaign-workers", 0, "max campaigns running concurrently; admitted extras queue (0 = unbounded)")
 	flag.Parse()
 
 	if err := os.MkdirAll(*data, 0o755); err != nil {
@@ -119,7 +131,12 @@ func run() error {
 
 	eng := engine.New(engine.WithStore(st))
 	bench := core.NewVia(eng, disp)
-	srv := server.New(bench, *data)
+	srv := server.NewWithConfig(bench, *data, server.Config{
+		TenantRate:      *tenantRate,
+		TenantBurst:     *tenantBurst,
+		CampaignQueue:   *campaignQueue,
+		CampaignWorkers: *campaignWorkers,
+	})
 
 	fmt.Printf("cloudevald: store %s (%d results, %d generations), provider %s, %d problems, %d models\n",
 		path, st.Len(), st.GenLen(), prov.Name(), len(bench.Problems), len(bench.Models))

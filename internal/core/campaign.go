@@ -20,6 +20,45 @@ import (
 // directory.
 const ManifestName = "manifest.json"
 
+// TenantDefault is the implicit tenant every request without an
+// X-Tenant header (or ?tenant= parameter) belongs to. Its campaign
+// checkpoints keep the historical single-tenant layout, so pre-tenancy
+// data directories resume unchanged.
+const TenantDefault = "default"
+
+// ValidTenant reports whether name is a legal tenant identifier: 1-64
+// characters of letters, digits, '-' and '_', starting with a letter or
+// digit. Tenant names become checkpoint directory components, so the
+// grammar deliberately excludes separators, dots and anything else a
+// path could be built from.
+func ValidTenant(name string) bool {
+	if len(name) == 0 || len(name) > 64 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case (c == '-' || c == '_') && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// CampaignRoot returns the campaign checkpoint root for a tenant under
+// dataDir: the historical <dataDir>/campaigns for the default tenant
+// (so pre-tenancy daemons' on-disk campaigns stay resumable in place),
+// <dataDir>/tenants/<tenant>/campaigns for every other tenant. Callers
+// must have validated tenant with ValidTenant.
+func CampaignRoot(dataDir, tenant string) string {
+	if tenant == "" || tenant == TenantDefault {
+		return filepath.Join(dataDir, "campaigns")
+	}
+	return filepath.Join(dataDir, "tenants", tenant, "campaigns")
+}
+
 // campaignManifest maps completed experiment IDs to their output file
 // names (relative to the campaign directory).
 type campaignManifest struct {

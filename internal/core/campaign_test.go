@@ -135,3 +135,38 @@ func TestCampaignFailsOnGenerationErrors(t *testing.T) {
 		t.Fatalf("recovered campaign report = %+v, want table4 freshly run", report)
 	}
 }
+
+// TestValidTenant pins the tenant-name grammar: short alphanumeric
+// names (with interior - and _) pass, and anything that could escape
+// the checkpoint root — separators, dots, spaces — is rejected.
+func TestValidTenant(t *testing.T) {
+	for _, good := range []string{"default", "team-a", "a", "x_1", "A9", strings.Repeat("t", 64)} {
+		if !core.ValidTenant(good) {
+			t.Errorf("ValidTenant(%q) = false, want true", good)
+		}
+	}
+	for _, bad := range []string{
+		"", "../evil", "a/b", "a\\b", "a.b", "a b", "-lead", "_lead",
+		strings.Repeat("t", 65), "tenänt", "a\x00b",
+	} {
+		if core.ValidTenant(bad) {
+			t.Errorf("ValidTenant(%q) = true, want false", bad)
+		}
+	}
+}
+
+// TestCampaignRoot pins the checkpoint layout contract: the default
+// tenant (and the empty string) keep the pre-tenancy campaigns/
+// directory so existing data dirs resume in place, and named tenants
+// are rooted under tenants/<name>/campaigns.
+func TestCampaignRoot(t *testing.T) {
+	if got := core.CampaignRoot("data", core.TenantDefault); got != filepath.Join("data", "campaigns") {
+		t.Errorf("default tenant root = %q", got)
+	}
+	if got := core.CampaignRoot("data", ""); got != filepath.Join("data", "campaigns") {
+		t.Errorf("empty tenant root = %q", got)
+	}
+	if got := core.CampaignRoot("data", "beta"); got != filepath.Join("data", "tenants", "beta", "campaigns") {
+		t.Errorf("named tenant root = %q", got)
+	}
+}

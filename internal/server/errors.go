@@ -1,0 +1,54 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Every /v1 error response is one JSON envelope:
+//
+//	{"error": {"code": "rate_limited", "message": "..."}}
+//
+// The HTTP status carries the class (400/404/429/500/502), the code a
+// machine-readable cause within it, and the message the human detail.
+// Handlers never call http.Error directly — the envelope is the wire
+// contract the typed client (cloudeval/client) decodes.
+
+// Error codes used across the /v1 surface.
+const (
+	codeBadRequest    = "bad_request"
+	codeInvalidTenant = "invalid_tenant"
+	codeNotFound      = "not_found"
+	codeRateLimited   = "rate_limited"
+	codeQueueFull     = "campaign_queue_full"
+	codeBadGateway    = "bad_gateway"
+	codeInternal      = "internal"
+)
+
+type errorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type errorEnvelope struct {
+	Error errorDetail `json:"error"`
+}
+
+// writeError renders the shared error envelope with the given status.
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	writeJSON(w, status, errorEnvelope{Error: errorDetail{Code: code, Message: message}})
+}
+
+// writeRetryError is writeError with a Retry-After header: the
+// admission-control contract for 429s. retryAfter is rounded up to
+// whole seconds, never below 1 — a Retry-After of 0 invites an
+// immediate, equally doomed retry.
+func writeRetryError(w http.ResponseWriter, status int, code, message string, retryAfter time.Duration) {
+	secs := int64((retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeError(w, status, code, message)
+}

@@ -1,27 +1,43 @@
 // Package server implements the cloudevald HTTP service: the
-// CloudEval-YAML benchmark as a long-lived daemon over a shared engine
-// and persistent evaluation store. Endpoints:
+// CloudEval-YAML benchmark as a long-lived, multi-tenant daemon over a
+// shared engine and persistent evaluation store. Endpoints (documented
+// in detail in API.md at the repository root):
 //
 //	POST /v1/eval            score one answer (or one model's answer) on one problem
 //	POST /v1/campaign        start (or resume) an async experiment campaign
 //	GET  /v1/campaign/{id}   poll campaign status and outputs
 //	GET  /v1/leaderboard     the cached Table 4 (byte-identical to core.Benchmark)
 //	GET  /v1/leaderboard/families  per-workload-family rows (one column per scenario backend)
-//	GET  /v1/stats           engine counters (executed / cache / store hits) plus
+//	GET  /v1/stats           engine counters (executed / cache / store hits),
 //	                         inference counters (generated / generation cache and
-//	                         store hits / metered token usage)
+//	                         store hits / metered token usage) and per-route
+//	                         request/latency counters
 //	GET  /healthz            liveness
+//
+// Every request belongs to a tenant (X-Tenant header or ?tenant=;
+// absent means the default tenant, which keeps the single-tenant wire
+// contract byte-for-byte). Experiment caches, in-flight coalescing,
+// campaign IDs and checkpoint directories are tenant-scoped; the
+// engine, store and dispatcher underneath are shared content-addressed
+// tiers. Admission control guards the two POST endpoints: a per-tenant
+// token bucket and a bounded campaign queue, both answering 429 +
+// Retry-After when exhausted, so one tenant's flood degrades into
+// polite backpressure instead of starving the fleet.
+//
+// All error responses share one JSON envelope,
+// {"error":{"code","message"}}, decoded by the typed client in
+// cloudeval/client.
 //
 // The inference provider — sim zoo, replayed trace, or live HTTP
 // endpoint — is configured at construction via the benchmark's
 // dispatcher (core.NewVia); every model generation the server performs
 // routes through it and its generation cache.
 //
-// Every experiment computation is coalesced: concurrent requests for
-// the same experiment share one in-flight generation, and completed
-// outputs are served from memory. Campaigns are checkpointed via
-// core.Benchmark.RunCampaign under the server's data directory, so a
-// restarted daemon resumes them instead of recomputing.
+// Every experiment computation is coalesced per tenant: concurrent
+// requests for the same experiment share one in-flight generation, and
+// completed outputs are served from memory. Campaigns are checkpointed
+// via core.Benchmark.RunCampaign under the server's data directory, so
+// a restarted daemon resumes them instead of recomputing.
 package server
 
 import (
@@ -35,6 +51,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"cloudeval/internal/core"
 	"cloudeval/internal/dataset"
@@ -43,19 +60,47 @@ import (
 	"cloudeval/internal/score"
 )
 
-// Server serves one benchmark instance. Construct with New.
+// Config tunes the service tier. The zero value is fully permissive —
+// no rate limit, unbounded campaign admission — matching the
+// pre-tenancy daemon, so embedded and test servers need no
+// configuration. cloudevald exposes each knob as a flag.
+type Config struct {
+	// TenantRate is the per-tenant token-bucket refill rate, in
+	// requests per second, applied to POST /v1/eval and POST
+	// /v1/campaign. 0 disables rate limiting.
+	TenantRate float64
+	// TenantBurst is the bucket capacity — the instantaneous burst a
+	// tenant may spend before the rate applies. Values below 1 are
+	// clamped to 1 when TenantRate is set.
+	TenantBurst int
+	// CampaignQueue bounds campaigns admitted but not yet finished,
+	// across all tenants; a full queue answers 429 + Retry-After.
+	// 0 means unbounded.
+	CampaignQueue int
+	// CampaignWorkers bounds concurrently running campaigns; admitted
+	// campaigns beyond it wait in state "queued". 0 means unbounded.
+	CampaignWorkers int
+}
+
+// Server serves one benchmark instance. Construct with New or
+// NewWithConfig.
 type Server struct {
 	bench   *core.Benchmark
 	dataDir string
 	mux     *http.ServeMux
+	cfg     Config
+	limiter *tenantLimiter
+	routes  map[string]*routeStats
 
 	problems map[string]dataset.Problem
 	models   map[string]llm.Model
 
-	mu        sync.Mutex
-	flights   map[string]*flight // experiment ID → in-flight generation
-	results   map[string]string  // experiment ID → completed output
-	campaigns map[string]*campaign
+	mu              sync.Mutex
+	tenants         map[string]*tenantState
+	campaignPending int           // campaigns admitted and not yet finished
+	campaignSem     chan struct{} // nil = unbounded concurrent campaigns
+
+	start time.Time
 }
 
 // flight coalesces concurrent requests for one experiment into a
@@ -70,25 +115,39 @@ type flight struct {
 type campaign struct {
 	ID          string   `json:"id"`
 	Experiments []string `json:"experiments"`
+	tenant      string
 
 	mu        sync.Mutex
-	state     string // "running", "done", "failed"
+	state     string // "queued", "running", "done", "failed"
 	completed []string
 	errMsg    string
 }
 
-// New builds a server over bench. dataDir roots campaign checkpoints
-// (<dataDir>/campaigns/<id>); it is created on demand.
+// New builds a permissive (unlimited) server over bench. dataDir roots
+// campaign checkpoints; it is created on demand.
 func New(bench *core.Benchmark, dataDir string) *Server {
+	return NewWithConfig(bench, dataDir, Config{})
+}
+
+// NewWithConfig builds a server over bench with admission control per
+// cfg. dataDir roots campaign checkpoints (the default tenant's under
+// <dataDir>/campaigns/<id>, other tenants' under
+// <dataDir>/tenants/<tenant>/campaigns/<id>).
+func NewWithConfig(bench *core.Benchmark, dataDir string, cfg Config) *Server {
 	s := &Server{
-		bench:     bench,
-		dataDir:   dataDir,
-		mux:       http.NewServeMux(),
-		problems:  make(map[string]dataset.Problem, len(bench.Problems)),
-		models:    make(map[string]llm.Model, len(bench.Models)),
-		flights:   make(map[string]*flight),
-		results:   make(map[string]string),
-		campaigns: make(map[string]*campaign),
+		bench:    bench,
+		dataDir:  dataDir,
+		mux:      http.NewServeMux(),
+		cfg:      cfg,
+		limiter:  newTenantLimiter(cfg.TenantRate, cfg.TenantBurst),
+		routes:   make(map[string]*routeStats),
+		problems: make(map[string]dataset.Problem, len(bench.Problems)),
+		models:   make(map[string]llm.Model, len(bench.Models)),
+		tenants:  make(map[string]*tenantState),
+		start:    time.Now(),
+	}
+	if cfg.CampaignWorkers > 0 {
+		s.campaignSem = make(chan struct{}, cfg.CampaignWorkers)
 	}
 	for _, p := range bench.Problems {
 		s.problems[p.ID] = p
@@ -96,40 +155,57 @@ func New(bench *core.Benchmark, dataDir string) *Server {
 	for _, m := range bench.Models {
 		s.models[m.Name] = m
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /v1/leaderboard", s.handleLeaderboard)
-	s.mux.HandleFunc("GET /v1/leaderboard/families", s.handleFamilyLeaderboard)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("POST /v1/eval", s.handleEval)
-	s.mux.HandleFunc("POST /v1/campaign", s.handleCampaignStart)
-	s.mux.HandleFunc("GET /v1/campaign/{id}", s.handleCampaignStatus)
+	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("GET /v1/leaderboard", s.handleLeaderboard)
+	s.handle("GET /v1/leaderboard/families", s.handleFamilyLeaderboard)
+	s.handle("GET /v1/stats", s.handleStats)
+	s.handle("POST /v1/eval", s.handleEval)
+	s.handle("POST /v1/campaign", s.handleCampaignStart)
+	s.handle("GET /v1/campaign/{id}", s.handleCampaignStatus)
 	return s
 }
 
-// Handler returns the server's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's HTTP handler: the /v1 routes behind the
+// request-ID middleware.
+func (s *Server) Handler() http.Handler { return withRequestID(s.mux) }
 
-// experiment generates (or replays) one experiment with request
-// coalescing: the first caller computes, concurrent callers park on
-// the flight, later callers hit the in-memory result.
-func (s *Server) experiment(id string) (string, error) {
+// admit runs the per-tenant token bucket for one POST request, writing
+// the 429 itself when the bucket is dry.
+func (s *Server) admit(w http.ResponseWriter, tn *tenantState) bool {
+	ok, retry := s.limiter.allow(tn.name)
+	if !ok {
+		writeRetryError(w, http.StatusTooManyRequests, codeRateLimited,
+			fmt.Sprintf("tenant %q is over its request rate", tn.name), retry)
+		return false
+	}
+	return true
+}
+
+// experiment generates (or replays) one experiment with per-tenant
+// request coalescing: the first caller computes, concurrent callers of
+// the same tenant park on the flight, later callers hit the in-memory
+// result. Distinct tenants compute independently — the shared engine
+// and dispatcher underneath make the recompute a cache walk, and the
+// serving layer never hands one tenant an object another tenant's
+// request produced.
+func (s *Server) experiment(tn *tenantState, id string) (string, error) {
 	gens := s.bench.Experiments()
 	gen, ok := gens[id]
 	if !ok {
 		return "", fmt.Errorf("unknown experiment %q", id)
 	}
 	s.mu.Lock()
-	if out, ok := s.results[id]; ok {
+	if out, ok := tn.results[id]; ok {
 		s.mu.Unlock()
 		return out, nil
 	}
-	if f, ok := s.flights[id]; ok {
+	if f, ok := tn.flights[id]; ok {
 		s.mu.Unlock()
 		<-f.done
 		return f.out, f.err
 	}
 	f := &flight{done: make(chan struct{})}
-	s.flights[id] = f
+	tn.flights[id] = f
 	s.mu.Unlock()
 
 	// Generation failures surface as failed experiments, not as
@@ -158,9 +234,9 @@ func (s *Server) experiment(id string) (string, error) {
 	close(f.done)
 
 	s.mu.Lock()
-	delete(s.flights, id)
+	delete(tn.flights, id)
 	if f.err == nil {
-		s.results[id] = f.out
+		tn.results[id] = f.out
 	}
 	s.mu.Unlock()
 	return f.out, f.err
@@ -172,11 +248,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleLeaderboard serves Table 4 byte-identical to
-// core.Benchmark.Table4, cached and coalesced.
+// core.Benchmark.Table4, cached and coalesced per tenant.
 func (s *Server) handleLeaderboard(w http.ResponseWriter, r *http.Request) {
-	out, err := s.experiment("table4")
+	tn, ok := s.tenantFor(w, r)
+	if !ok {
+		return
+	}
+	out, err := s.experiment(tn, "table4")
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, codeInternal, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -189,16 +269,21 @@ func (s *Server) handleLeaderboard(w http.ResponseWriter, r *http.Request) {
 // Table 4 excludes. It shares the ZeroShot campaign with the main
 // leaderboard, so serving both costs one evaluation.
 func (s *Server) handleFamilyLeaderboard(w http.ResponseWriter, r *http.Request) {
-	out, err := s.experiment("families")
+	tn, ok := s.tenantFor(w, r)
+	if !ok {
+		return
+	}
+	out, err := s.experiment(tn, "families")
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, codeInternal, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, out)
 }
 
-// statsResponse is the engine and inference counter snapshot.
+// statsResponse is the engine, inference and serving-layer counter
+// snapshot.
 type statsResponse struct {
 	Executor  string `json:"executor"`
 	Workers   int    `json:"workers"`
@@ -215,6 +300,12 @@ type statsResponse struct {
 	GenErrors        int64  `json:"gen_errors,omitempty"`
 	PromptTokens     int64  `json:"prompt_tokens"`
 	CompletionTokens int64  `json:"completion_tokens"`
+
+	// Serving-layer counters: daemon uptime, known tenants, and
+	// per-route request/latency aggregates.
+	UptimeSec float64                   `json:"uptime_sec"`
+	Tenants   int                       `json:"tenants"`
+	Routes    map[string]routeStatsJSON `json:"routes"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -222,6 +313,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := eng.Stats()
 	gen := s.bench.Generator()
 	gst := gen.Stats()
+	routes := make(map[string]routeStatsJSON, len(s.routes))
+	for pattern, rs := range s.routes {
+		routes[pattern] = rs.snapshot()
+	}
+	s.mu.Lock()
+	tenants := len(s.tenants)
+	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, statsResponse{
 		Executor:  eng.Executor().Name(),
 		Workers:   eng.Workers(),
@@ -236,6 +334,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		GenErrors:        gst.Errors,
 		PromptTokens:     int64(gst.Usage.PromptTokens),
 		CompletionTokens: int64(gst.Usage.CompletionTokens),
+
+		UptimeSec: time.Since(s.start).Seconds(),
+		Tenants:   tenants,
+		Routes:    routes,
 	})
 }
 
@@ -256,30 +358,37 @@ type evalResponse struct {
 }
 
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	tn, ok := s.tenantFor(w, r)
+	if !ok {
+		return
+	}
+	if !s.admit(w, tn) {
+		return
+	}
 	var req evalRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "bad request: "+err.Error())
 		return
 	}
 	p, ok := s.problems[req.Problem]
 	if !ok {
-		http.Error(w, fmt.Sprintf("unknown problem %q", req.Problem), http.StatusNotFound)
+		writeError(w, http.StatusNotFound, codeNotFound, fmt.Sprintf("unknown problem %q", req.Problem))
 		return
 	}
 	if (req.Answer == "") == (req.Model == "") {
-		http.Error(w, "exactly one of answer and model must be set", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "exactly one of answer and model must be set")
 		return
 	}
 	answer := req.Answer
 	if req.Model != "" {
 		m, ok := s.models[req.Model]
 		if !ok {
-			http.Error(w, fmt.Sprintf("unknown model %q", req.Model), http.StatusNotFound)
+			writeError(w, http.StatusNotFound, codeNotFound, fmt.Sprintf("unknown model %q", req.Model))
 			return
 		}
 		resp, err := s.bench.Generator().Generate(r.Context(), inference.Request{Model: m.Name, Problem: p})
 		if err != nil {
-			http.Error(w, "generation failed: "+err.Error(), http.StatusBadGateway)
+			writeError(w, http.StatusBadGateway, codeBadGateway, "generation failed: "+err.Error())
 			return
 		}
 		answer = llm.Postprocess(resp.Text)
@@ -312,20 +421,40 @@ type campaignResponse struct {
 	Outputs map[string]string `json:"outputs,omitempty"`
 }
 
-// campaignID derives a deterministic ID from the experiment set, so
-// re-posting the same campaign — against this daemon or a restarted
-// one — coalesces onto (or resumes) the same checkpointed run.
-func campaignID(ids []string) string {
+// campaignID derives a deterministic ID from the tenant and experiment
+// set, so re-posting the same campaign — against this daemon or a
+// restarted one — coalesces onto (or resumes) the same checkpointed
+// run. The default tenant hashes the experiment set alone, keeping its
+// IDs byte-identical to the pre-tenancy daemon; every other tenant's
+// IDs mix the tenant in, so two tenants running the same experiments
+// never collide on an ID (or a checkpoint directory).
+func campaignID(tenant string, ids []string) string {
 	sorted := append([]string(nil), ids...)
 	sort.Strings(sorted)
-	sum := sha256.Sum256([]byte(strings.Join(sorted, ",")))
+	key := strings.Join(sorted, ",")
+	if tenant != core.TenantDefault {
+		key = tenant + "\x00" + key
+	}
+	sum := sha256.Sum256([]byte(key))
 	return "c-" + hex.EncodeToString(sum[:6])
 }
 
+// campaignRetryAfter is the Retry-After hint for a full campaign
+// queue: campaigns run for seconds, so an immediate retry would only
+// find the same full queue.
+const campaignRetryAfter = 2 * time.Second
+
 func (s *Server) handleCampaignStart(w http.ResponseWriter, r *http.Request) {
+	tn, ok := s.tenantFor(w, r)
+	if !ok {
+		return
+	}
+	if !s.admit(w, tn) {
+		return
+	}
 	var req campaignRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "bad request: "+err.Error())
 		return
 	}
 	ids := req.Experiments
@@ -335,14 +464,14 @@ func (s *Server) handleCampaignStart(w http.ResponseWriter, r *http.Request) {
 	gens := s.bench.Experiments()
 	for _, id := range ids {
 		if _, ok := gens[id]; !ok {
-			http.Error(w, fmt.Sprintf("unknown experiment %q", id), http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Sprintf("unknown experiment %q", id))
 			return
 		}
 	}
 
-	id := campaignID(ids)
+	id := campaignID(tn.name, ids)
 	s.mu.Lock()
-	c, ok := s.campaigns[id]
+	c, ok := tn.campaigns[id]
 	if ok {
 		// A failed campaign must not wedge its ID: re-posting retries
 		// it (from its checkpoints) instead of echoing the stale
@@ -354,9 +483,24 @@ func (s *Server) handleCampaignStart(w http.ResponseWriter, r *http.Request) {
 		c.mu.Unlock()
 	}
 	if !ok {
-		c = &campaign{ID: id, Experiments: ids, state: "running"}
-		s.campaigns[id] = c
-		go s.runCampaign(c)
+		// Bounded admission: a fresh campaign takes a queue slot until
+		// it finishes. A full queue is backpressure, not an error in
+		// the campaign itself — 429 and come back.
+		if s.cfg.CampaignQueue > 0 && s.campaignPending >= s.cfg.CampaignQueue {
+			pending := s.campaignPending
+			s.mu.Unlock()
+			writeRetryError(w, http.StatusTooManyRequests, codeQueueFull,
+				fmt.Sprintf("campaign queue is full (%d pending)", pending), campaignRetryAfter)
+			return
+		}
+		state := "running"
+		if s.campaignSem != nil {
+			state = "queued"
+		}
+		c = &campaign{ID: id, Experiments: ids, tenant: tn.name, state: state}
+		tn.campaigns[id] = c
+		s.campaignPending++
+		go s.runCampaign(tn, c)
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusAccepted, s.campaignStatus(c, false))
@@ -371,11 +515,26 @@ type campaignMeta struct {
 }
 
 // runCampaign drives one checkpointed campaign in the background,
-// routing fresh generations through the coalescing layer (so a
-// campaign and a concurrent direct request share one computation, and
-// campaign outputs warm the request cache).
-func (s *Server) runCampaign(c *campaign) {
-	dir := filepath.Join(s.dataDir, "campaigns", c.ID)
+// routing fresh generations through the tenant's coalescing layer (so
+// a campaign and a concurrent direct request share one computation,
+// and campaign outputs warm the request cache). When the server bounds
+// campaign concurrency, the campaign waits in state "queued" for a
+// worker slot first; either way it releases its admission-queue slot
+// when it finishes.
+func (s *Server) runCampaign(tn *tenantState, c *campaign) {
+	defer func() {
+		s.mu.Lock()
+		s.campaignPending--
+		s.mu.Unlock()
+	}()
+	if s.campaignSem != nil {
+		s.campaignSem <- struct{}{}
+		defer func() { <-s.campaignSem }()
+		c.mu.Lock()
+		c.state = "running"
+		c.mu.Unlock()
+	}
+	dir := filepath.Join(s.campaignRoot(tn.name), c.ID)
 	fail := func(err error) {
 		c.mu.Lock()
 		c.state = "failed"
@@ -403,21 +562,23 @@ func (s *Server) runCampaign(c *campaign) {
 		fail(err)
 		return
 	}
-	_, err = s.bench.RunCampaignVia(dir, c.Experiments, nil, s.experiment, func(id string, skipped bool) {
-		if skipped {
-			// A checkpoint replay warms the request cache too.
-			if out, err := readCampaignOutput(dir, id); err == nil {
-				s.mu.Lock()
-				if _, ok := s.results[id]; !ok {
-					s.results[id] = out
+	_, err = s.bench.RunCampaignVia(dir, c.Experiments, nil,
+		func(id string) (string, error) { return s.experiment(tn, id) },
+		func(id string, skipped bool) {
+			if skipped {
+				// A checkpoint replay warms the request cache too.
+				if out, err := readCampaignOutput(dir, id); err == nil {
+					s.mu.Lock()
+					if _, ok := tn.results[id]; !ok {
+						tn.results[id] = out
+					}
+					s.mu.Unlock()
 				}
-				s.mu.Unlock()
 			}
-		}
-		c.mu.Lock()
-		c.completed = append(c.completed, id)
-		c.mu.Unlock()
-	})
+			c.mu.Lock()
+			c.completed = append(c.completed, id)
+			c.mu.Unlock()
+		})
 	if err != nil {
 		fail(err)
 		return
@@ -428,28 +589,34 @@ func (s *Server) runCampaign(c *campaign) {
 }
 
 func (s *Server) handleCampaignStatus(w http.ResponseWriter, r *http.Request) {
+	tn, ok := s.tenantFor(w, r)
+	if !ok {
+		return
+	}
 	id := r.PathValue("id")
 	s.mu.Lock()
-	c, ok := s.campaigns[id]
+	c, ok := tn.campaigns[id]
 	s.mu.Unlock()
 	if !ok {
 		// Not in memory — maybe a previous daemon's campaign. Serve its
 		// on-disk checkpoint state as "interrupted": re-posting the same
-		// experiment set resumes it.
-		if resp, err := s.campaignFromDisk(id); err == nil {
+		// experiment set resumes it. The lookup stays inside this
+		// tenant's checkpoint root, so one tenant can never read
+		// another's campaign by guessing its ID.
+		if resp, err := s.campaignFromDisk(tn.name, id); err == nil {
 			writeJSON(w, http.StatusOK, resp)
 			return
 		}
-		http.Error(w, fmt.Sprintf("unknown campaign %q", id), http.StatusNotFound)
+		writeError(w, http.StatusNotFound, codeNotFound, fmt.Sprintf("unknown campaign %q", id))
 		return
 	}
 	writeJSON(w, http.StatusOK, s.campaignStatus(c, true))
 }
 
 // campaignFromDisk reconstructs a campaign's status from its directory
-// after a daemon restart.
-func (s *Server) campaignFromDisk(id string) (campaignResponse, error) {
-	dir := filepath.Join(s.dataDir, "campaigns", id)
+// under the tenant's checkpoint root after a daemon restart.
+func (s *Server) campaignFromDisk(tenant, id string) (campaignResponse, error) {
+	dir := filepath.Join(s.campaignRoot(tenant), id)
 	data, err := os.ReadFile(filepath.Join(dir, "campaign.json"))
 	if err != nil {
 		return campaignResponse{}, err
@@ -494,8 +661,8 @@ func (s *Server) campaignStatus(c *campaign, includeOutputs bool) campaignRespon
 	// Outputs ride along only once the campaign stops running: polls of
 	// an in-flight campaign need state/completed, not a re-read of every
 	// checkpoint file shipped on each request.
-	if includeOutputs && resp.State != "running" && len(resp.Completed) > 0 {
-		dir := filepath.Join(s.dataDir, "campaigns", c.ID)
+	if includeOutputs && resp.State != "running" && resp.State != "queued" && len(resp.Completed) > 0 {
+		dir := filepath.Join(s.campaignRoot(c.tenant), c.ID)
 		outputs := make(map[string]string, len(resp.Completed))
 		for _, id := range resp.Completed {
 			data, err := readCampaignOutput(dir, id)

@@ -2,10 +2,7 @@ package server_test
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
-	"io"
-	"net/http"
 	"net/http/httptest"
 	"path/filepath"
 	"strings"
@@ -13,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"cloudeval/client"
 	"cloudeval/internal/core"
 	"cloudeval/internal/dataset"
 	"cloudeval/internal/engine"
@@ -34,54 +32,38 @@ func newTestServer(t *testing.T, bench *core.Benchmark) *httptest.Server {
 	return ts
 }
 
-func getBody(t *testing.T, url string, wantStatus int) string {
+// newTestClient stands up a server over bench and returns the typed
+// client every test speaks — the same package loadgen drives load
+// through.
+func newTestClient(t *testing.T, bench *core.Benchmark) *client.Client {
 	t.Helper()
-	resp, err := http.Get(url)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if resp.StatusCode != wantStatus {
-		t.Fatalf("GET %s = %d, want %d: %s", url, resp.StatusCode, wantStatus, body)
-	}
-	return string(body)
+	return client.New(newTestServer(t, bench).URL)
 }
 
-func postJSON(t *testing.T, url, payload string) (int, string) {
+// apiErr asserts err is an *client.APIError with the given status and
+// envelope code.
+func apiErr(t *testing.T, err error, status int, code string) *client.APIError {
 	t.Helper()
-	resp, err := http.Post(url, "application/json", strings.NewReader(payload))
-	if err != nil {
-		t.Fatal(err)
+	ae, ok := err.(*client.APIError)
+	if !ok {
+		t.Fatalf("error %v (%T), want *client.APIError", err, err)
 	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		t.Fatal(err)
+	if ae.Status != status || ae.Code != code {
+		t.Fatalf("APIError = %d %q, want %d %q (%s)", ae.Status, ae.Code, status, code, ae.Message)
 	}
-	return resp.StatusCode, string(body)
+	return ae
 }
 
 func TestEvalEndpoint(t *testing.T) {
+	ctx := context.Background()
 	bench := smallBench(engine.New())
-	ts := newTestServer(t, bench)
+	c := newTestClient(t, bench)
 	p := bench.Originals[0]
 	ref := yamlmatch.StripLabels(p.ReferenceYAML)
 
 	// A literal reference answer scores a perfect unit test.
-	payload, _ := json.Marshal(map[string]string{"problem": p.ID, "answer": ref})
-	status, body := postJSON(t, ts.URL+"/v1/eval", string(payload))
-	if status != http.StatusOK {
-		t.Fatalf("eval = %d: %s", status, body)
-	}
-	var got struct {
-		Problem string             `json:"problem"`
-		Scores  map[string]float64 `json:"scores"`
-	}
-	if err := json.Unmarshal([]byte(body), &got); err != nil {
+	got, err := c.Eval(ctx, client.EvalRequest{Problem: p.ID, Answer: ref})
+	if err != nil {
 		t.Fatal(err)
 	}
 	if got.Problem != p.ID || got.Scores["unit_test"] != 1 || got.Scores["kv_wildcard"] != 1 {
@@ -89,24 +71,17 @@ func TestEvalEndpoint(t *testing.T) {
 	}
 
 	// Model-generated evaluation.
-	status, body = postJSON(t, ts.URL+"/v1/eval",
-		fmt.Sprintf(`{"problem": %q, "model": %q}`, p.ID, bench.Models[0].Name))
-	if status != http.StatusOK {
-		t.Fatalf("model eval = %d: %s", status, body)
+	if _, err := c.Eval(ctx, client.EvalRequest{Problem: p.ID, Model: bench.Models[0].Name}); err != nil {
+		t.Fatalf("model eval: %v", err)
 	}
 
-	// Error shapes.
-	if status, _ := postJSON(t, ts.URL+"/v1/eval", `{"problem": "nope", "answer": "x"}`); status != http.StatusNotFound {
-		t.Errorf("unknown problem = %d, want 404", status)
-	}
-	if status, _ := postJSON(t, ts.URL+"/v1/eval",
-		fmt.Sprintf(`{"problem": %q}`, p.ID)); status != http.StatusBadRequest {
-		t.Errorf("neither answer nor model = %d, want 400", status)
-	}
-	if status, _ := postJSON(t, ts.URL+"/v1/eval",
-		fmt.Sprintf(`{"problem": %q, "answer": "x", "model": "gpt-4"}`, p.ID)); status != http.StatusBadRequest {
-		t.Errorf("both answer and model = %d, want 400", status)
-	}
+	// Error shapes: status + envelope code.
+	_, err = c.Eval(ctx, client.EvalRequest{Problem: "nope", Answer: "x"})
+	apiErr(t, err, 404, "not_found")
+	_, err = c.Eval(ctx, client.EvalRequest{Problem: p.ID})
+	apiErr(t, err, 400, "bad_request")
+	_, err = c.Eval(ctx, client.EvalRequest{Problem: p.ID, Answer: "x", Model: "gpt-4"})
+	apiErr(t, err, 400, "bad_request")
 }
 
 // TestLeaderboardByteIdentical: /v1/leaderboard must render exactly
@@ -114,29 +89,26 @@ func TestEvalEndpoint(t *testing.T) {
 // requests.
 func TestLeaderboardByteIdentical(t *testing.T) {
 	bench := smallBench(engine.New())
-	ts := newTestServer(t, bench)
+	c := newTestClient(t, bench)
 
 	const n = 8
 	bodies := make([]string, n)
+	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp, err := http.Get(ts.URL + "/v1/leaderboard")
-			if err != nil {
-				t.Error(err)
-				return
-			}
-			defer resp.Body.Close()
-			b, _ := io.ReadAll(resp.Body)
-			bodies[i] = string(b)
+			bodies[i], errs[i] = c.Leaderboard(context.Background())
 		}(i)
 	}
 	wg.Wait()
 
 	want := bench.Table4()
 	for i, b := range bodies {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
 		if b != want {
 			t.Fatalf("leaderboard %d differs from core.Benchmark.Table4:\n--- got ---\n%s--- want ---\n%s", i, b, want)
 		}
@@ -158,8 +130,11 @@ func TestFamilyLeaderboardEndpoint(t *testing.T) {
 		}
 	}
 	bench := core.NewCustomWith(engine.New(), subset, llm.Models[:2])
-	ts := newTestServer(t, bench)
-	body := getBody(t, ts.URL+"/v1/leaderboard/families", http.StatusOK)
+	c := newTestClient(t, bench)
+	body, err := c.FamilyLeaderboard(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, col := range []string{"kubernetes", "envoy", "istio", "compose", "helm", "overall"} {
 		if !strings.Contains(body, col) {
 			t.Errorf("family leaderboard missing %q column:\n%s", col, body)
@@ -170,28 +145,15 @@ func TestFamilyLeaderboardEndpoint(t *testing.T) {
 	}
 }
 
-func waitCampaignDone(t *testing.T, base, id string) string {
+func waitCampaignDone(t *testing.T, c *client.Client, id string) client.CampaignStatus {
 	t.Helper()
-	deadline := time.Now().Add(60 * time.Second)
-	for time.Now().Before(deadline) {
-		body := getBody(t, base+"/v1/campaign/"+id, http.StatusOK)
-		var st struct {
-			State string `json:"state"`
-			Error string `json:"error"`
-		}
-		if err := json.Unmarshal([]byte(body), &st); err != nil {
-			t.Fatal(err)
-		}
-		switch st.State {
-		case "done":
-			return body
-		case "failed":
-			t.Fatalf("campaign failed: %s", st.Error)
-		}
-		time.Sleep(20 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	st, err := c.WaitCampaign(ctx, id, 20*time.Millisecond)
+	if err != nil {
+		t.Fatalf("campaign %s: %v", id, err)
 	}
-	t.Fatal("campaign did not finish in time")
-	return ""
+	return st
 }
 
 // TestCampaignAsyncResume drives the async campaign API, then restarts
@@ -199,30 +161,19 @@ func waitCampaignDone(t *testing.T, base, id string) string {
 // requires the resumed campaign to replay from checkpoints without
 // executing a single unit test.
 func TestCampaignAsyncResume(t *testing.T) {
+	ctx := context.Background()
 	dataDir := t.TempDir()
-	ids := `{"experiments": ["table2", "table4"]}`
+	ids := []string{"table2", "table4"}
 
 	ts := httptest.NewServer(server.New(smallBench(engine.New()), dataDir).Handler())
-	status, body := postJSON(t, ts.URL+"/v1/campaign", ids)
-	if status != http.StatusAccepted {
-		t.Fatalf("campaign start = %d: %s", status, body)
+	c := client.New(ts.URL)
+	started, err := c.StartCampaign(ctx, ids)
+	if err != nil {
+		t.Fatalf("campaign start: %v", err)
 	}
-	var started struct {
-		ID string `json:"id"`
-	}
-	if err := json.Unmarshal([]byte(body), &started); err != nil {
-		t.Fatal(err)
-	}
-	final := waitCampaignDone(t, ts.URL, started.ID)
-	var done struct {
-		Completed []string          `json:"completed"`
-		Outputs   map[string]string `json:"outputs"`
-	}
-	if err := json.Unmarshal([]byte(final), &done); err != nil {
-		t.Fatal(err)
-	}
+	done := waitCampaignDone(t, c, started.ID)
 	if len(done.Completed) != 2 || done.Outputs["table4"] == "" {
-		t.Fatalf("campaign status = %s", final)
+		t.Fatalf("campaign status = %+v", done)
 	}
 	firstTable4 := done.Outputs["table4"]
 	ts.Close()
@@ -233,38 +184,26 @@ func TestCampaignAsyncResume(t *testing.T) {
 	eng2 := engine.New()
 	ts2 := httptest.NewServer(server.New(smallBench(eng2), dataDir).Handler())
 	defer ts2.Close()
+	c2 := client.New(ts2.URL)
 
 	// Before any re-POST, the restarted daemon reconstructs the
 	// campaign's status from its on-disk checkpoints instead of 404ing.
-	var fromDisk struct {
-		State     string            `json:"state"`
-		Completed []string          `json:"completed"`
-		Outputs   map[string]string `json:"outputs"`
-	}
-	if err := json.Unmarshal([]byte(getBody(t, ts2.URL+"/v1/campaign/"+started.ID, http.StatusOK)), &fromDisk); err != nil {
+	fromDisk, err := c2.Campaign(ctx, started.ID)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if fromDisk.State != "done" || len(fromDisk.Completed) != 2 || fromDisk.Outputs["table4"] != firstTable4 {
 		t.Fatalf("rehydrated campaign status = %+v", fromDisk)
 	}
 
-	status, body = postJSON(t, ts2.URL+"/v1/campaign", ids)
-	if status != http.StatusAccepted {
-		t.Fatalf("campaign restart = %d: %s", status, body)
-	}
-	var restarted struct {
-		ID string `json:"id"`
-	}
-	if err := json.Unmarshal([]byte(body), &restarted); err != nil {
-		t.Fatal(err)
+	restarted, err := c2.StartCampaign(ctx, ids)
+	if err != nil {
+		t.Fatalf("campaign restart: %v", err)
 	}
 	if restarted.ID != started.ID {
 		t.Fatalf("campaign ID changed across restart: %s vs %s", restarted.ID, started.ID)
 	}
-	final = waitCampaignDone(t, ts2.URL, restarted.ID)
-	if err := json.Unmarshal([]byte(final), &done); err != nil {
-		t.Fatal(err)
-	}
+	done = waitCampaignDone(t, c2, restarted.ID)
 	if done.Outputs["table4"] != firstTable4 {
 		t.Error("resumed campaign's table4 differs from the original run")
 	}
@@ -278,6 +217,7 @@ func TestCampaignAsyncResume(t *testing.T) {
 // serves the Table 4 leaderboard byte-identical to core.Benchmark
 // without executing a single unit test.
 func TestColdStartWarmStore(t *testing.T) {
+	ctx := context.Background()
 	storePath := filepath.Join(t.TempDir(), "eval.store")
 
 	// Warm the store with one full campaign in a "previous process".
@@ -299,18 +239,18 @@ func TestColdStartWarmStore(t *testing.T) {
 	}
 	defer st2.Close()
 	eng := engine.New(engine.WithStore(st2))
-	ts := newTestServer(t, smallBench(eng))
+	c := newTestClient(t, smallBench(eng))
 
-	got := getBody(t, ts.URL+"/v1/leaderboard", http.StatusOK)
+	got, err := c.Leaderboard(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got != want {
 		t.Errorf("cold-start leaderboard differs from warm benchmark's Table 4:\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
 
-	var stats struct {
-		Executed  int64 `json:"executed"`
-		StoreHits int64 `json:"store_hits"`
-	}
-	if err := json.Unmarshal([]byte(getBody(t, ts.URL+"/v1/stats", http.StatusOK)), &stats); err != nil {
+	stats, err := c.Stats(ctx)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if stats.Executed != 0 {
@@ -325,21 +265,16 @@ func TestColdStartWarmStore(t *testing.T) {
 // inference-side counters: provider name, live generations, generation
 // cache tiers and metered token usage.
 func TestStatsExposeGenerationCounters(t *testing.T) {
+	ctx := context.Background()
 	eng := engine.New()
 	bench := smallBench(eng)
-	ts := newTestServer(t, bench)
+	c := newTestClient(t, bench)
 
-	getBody(t, ts.URL+"/v1/leaderboard", http.StatusOK)
-
-	var stats struct {
-		Provider         string `json:"provider"`
-		Generated        int64  `json:"generated"`
-		GenCacheHits     int64  `json:"gen_cache_hits"`
-		GenStoreHits     int64  `json:"gen_store_hits"`
-		PromptTokens     int64  `json:"prompt_tokens"`
-		CompletionTokens int64  `json:"completion_tokens"`
+	if _, err := c.Leaderboard(ctx); err != nil {
+		t.Fatal(err)
 	}
-	if err := json.Unmarshal([]byte(getBody(t, ts.URL+"/v1/stats", http.StatusOK)), &stats); err != nil {
+	stats, err := c.Stats(ctx)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if stats.Provider != "sim" {
@@ -358,6 +293,7 @@ func TestStatsExposeGenerationCounters(t *testing.T) {
 // a store warmed by a previous process serves the leaderboard with
 // zero live generations.
 func TestColdStartWarmGenerationStore(t *testing.T) {
+	ctx := context.Background()
 	storePath := filepath.Join(t.TempDir(), "eval.store")
 	originals := dataset.Generate()[:10]
 	models := llm.Models[:3]
@@ -380,16 +316,13 @@ func TestColdStartWarmGenerationStore(t *testing.T) {
 	defer st2.Close()
 	coldDisp := inference.NewDispatcher(inference.NewSim(models), inference.WithGenStore(st2))
 	bench := core.NewCustomVia(engine.New(engine.WithStore(st2)), coldDisp, originals, models)
-	ts := newTestServer(t, bench)
+	c := newTestClient(t, bench)
 
-	if got := getBody(t, ts.URL+"/v1/leaderboard", http.StatusOK); got != want {
-		t.Error("cold-start leaderboard differs from the warm campaign")
+	if got, err := c.Leaderboard(ctx); err != nil || got != want {
+		t.Errorf("cold-start leaderboard differs from the warm campaign (err %v)", err)
 	}
-	var stats struct {
-		Generated    int64 `json:"generated"`
-		GenStoreHits int64 `json:"gen_store_hits"`
-	}
-	if err := json.Unmarshal([]byte(getBody(t, ts.URL+"/v1/stats", http.StatusOK)), &stats); err != nil {
+	stats, err := c.Stats(ctx)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if stats.Generated != 0 {
@@ -414,25 +347,17 @@ func (failingProvider) Close() error { return nil }
 // the generation-failure count — never a silently zero-scored
 // leaderboard cached as complete.
 func TestGenerationFailuresFailExperiments(t *testing.T) {
+	ctx := context.Background()
 	disp := inference.NewDispatcher(failingProvider{})
 	bench := core.NewCustomVia(engine.New(), disp, dataset.Generate()[:4], llm.Models[:2])
-	ts := newTestServer(t, bench)
+	c := newTestClient(t, bench)
 
-	resp, err := http.Get(ts.URL + "/v1/leaderboard")
-	if err != nil {
-		t.Fatal(err)
-	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusInternalServerError {
-		t.Fatalf("leaderboard over a dead provider = %d, want 500: %s", resp.StatusCode, body)
-	}
-	if !strings.Contains(string(body), "generation failures") {
-		t.Errorf("error does not name the cause: %s", body)
+	_, err := c.Leaderboard(ctx)
+	ae := apiErr(t, err, 500, "internal")
+	if !strings.Contains(ae.Message, "generation failures") {
+		t.Errorf("error does not name the cause: %s", ae.Message)
 	}
 	// The model-generation eval path reports the failure directly.
-	status, body2 := postJSON(t, ts.URL+"/v1/eval", `{"problem":"`+bench.Problems[0].ID+`","model":"`+bench.Models[0].Name+`"}`)
-	if status != http.StatusBadGateway {
-		t.Fatalf("eval with dead provider = %d, want 502: %s", status, body2)
-	}
+	_, err = c.Eval(ctx, client.EvalRequest{Problem: bench.Problems[0].ID, Model: bench.Models[0].Name})
+	apiErr(t, err, 502, "bad_gateway")
 }
