@@ -396,6 +396,49 @@ func BenchmarkStoreAppendParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkStoreOpenWarm measures the warm-restart replay path: a
+// multi-thousand-record log opened from scratch each iteration — the
+// cost a restarted cloudevald pays before serving its first request.
+// The sharded store replays segments in parallel, so this should scale
+// with cores where the single-file replay could not.
+func BenchmarkStoreOpenWarm(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.store")
+	s, err := store.Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const records, gens = 4000, 1000
+	for i := 0; i < records; i++ {
+		tk := sha256.Sum256([]byte(fmt.Sprintf("warm-test-%d", i)))
+		ak := sha256.Sum256([]byte(fmt.Sprintf("warm-answer-%d", i)))
+		s.Put(tk, ak, unittest.Result{Passed: i%2 == 0, Output: "unit_test_passed\n", VirtualTime: time.Second})
+	}
+	for i := 0; i < gens; i++ {
+		key := inference.Key(sha256.Sum256([]byte(fmt.Sprintf("warm-gen-%d", i))))
+		s.PutGen(key, inference.Response{
+			Text:  fmt.Sprintf("apiVersion: v1\nkind: Pod # %d\n", i),
+			Usage: inference.Usage{PromptTokens: 120, CompletionTokens: 40},
+		})
+	}
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := store.Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if w.Len() != records || w.GenLen() != gens {
+			b.Fatalf("replayed %d/%d, want %d/%d", w.Len(), w.GenLen(), records, gens)
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(records+gens), "records-replayed")
+}
+
 // BenchmarkDispatcherContention measures the generation cache's warm
 // hit path under full parallelism: every request is a cache hit, so
 // the only cost is key derivation plus shard lookup — the path a

@@ -139,6 +139,31 @@ type Stats struct {
 	UptimeSec float64               `json:"uptime_sec"`
 	Tenants   int                   `json:"tenants"`
 	Routes    map[string]RouteStats `json:"routes"`
+
+	// Store is present when the daemon runs with a persistent store:
+	// its shard layout and group-commit batching counters.
+	Store *StoreStats `json:"store,omitempty"`
+}
+
+// ShardStats is one store shard's record and append counters.
+type ShardStats struct {
+	Records     int   `json:"records"`
+	Generations int   `json:"generations"`
+	Appended    int64 `json:"appended"`
+	Flushes     int64 `json:"flushes"`
+}
+
+// StoreStats is the persistent store block of GET /v1/stats.
+// FramesPerFlush is Appended/Flushes — how many records each
+// group-commit fsync batch carried on average.
+type StoreStats struct {
+	Shards         int          `json:"shards"`
+	Records        int          `json:"records"`
+	Generations    int          `json:"generations"`
+	Appended       int64        `json:"appended"`
+	Flushes        int64        `json:"flushes"`
+	FramesPerFlush float64      `json:"frames_per_flush"`
+	PerShard       []ShardStats `json:"per_shard"`
 }
 
 // Eval scores one problem via POST /v1/eval.

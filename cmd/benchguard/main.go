@@ -37,6 +37,11 @@
 //     generate_batched_max_allocs, GenerateBatched allocs/op must stay
 //     at or under it. Unlike gate 2 this cap does not ratchet with
 //     baseline re-records.
+//  8. Store scaling (-min-store-speedup): StoreAppendParallel run with
+//     -cpu 1,4 must be at least the given factor faster at 4 cores —
+//     the sharded group-commit log must scale with writers, not
+//     serialize them on one committer. Skipped (loudly) on runners
+//     with fewer than 4 CPUs, like the campaign parallel gate.
 //
 // With -loadgen, a `cloudeval loadgen -out` report joins the artifact
 // under "loadgen" and two service-tier gates run against it:
@@ -99,6 +104,11 @@ type Artifact struct {
 	// quantity the parallel gate tracks (higher is better). Recorded
 	// only when the run included -cpu 1,4.
 	CampaignParallelScaling float64 `json:"campaign_parallel_scaling,omitempty"`
+	// StoreAppendParallelScaling is StoreAppendParallel's 1-core ns/op
+	// divided by its 4-core ns/op — the sharded store's write-path
+	// scaling the store gate tracks. Recorded only when the run
+	// included -cpu 1,4.
+	StoreAppendParallelScaling float64 `json:"store_append_parallel_scaling,omitempty"`
 	// GenerateBatchedMaxAllocs is the hard allocs/op ceiling for
 	// BenchmarkGenerateBatched, recorded once in the baseline (PR 6
 	// set it to 50% of the pre-diet 71,015). Unlike the relative
@@ -119,6 +129,9 @@ const parallelBench = "CampaignParallel"
 
 // allocCapBench is the benchmark the hard allocation cap inspects.
 const allocCapBench = "GenerateBatched"
+
+// storeBench is the benchmark the store-scaling gate inspects.
+const storeBench = "StoreAppendParallel"
 
 // benchLine matches e.g.
 //
@@ -208,6 +221,7 @@ type gates struct {
 	maxAllocRegress  float64 // per-benchmark allocs/op, percent over baseline
 	minColdSpeedup   float64 // ColdPathUnitTest ns vs baseline cold_unittest_pre_pr_ns
 	minParallelScale float64 // CampaignParallel 1-core ns vs 4-core ns
+	minStoreScale    float64 // StoreAppendParallel 1-core ns vs 4-core ns
 	loadgenPath      string  // cloudeval loadgen report to gate ("" disables)
 	maxP99Ms         float64 // loadgen p99 latency ceiling in ms
 	maxErrorRate     float64 // loadgen error-rate ceiling as a fraction; negative disables
@@ -223,6 +237,7 @@ func main() {
 	flag.Float64Var(&g.maxAllocRegress, "max-alloc-regress", 15, "fail when any benchmark's allocs/op regresses more than this percent over its baseline (0 disables)")
 	flag.Float64Var(&g.minColdSpeedup, "min-cold-speedup", 2, "fail when ColdPathUnitTest ns/op is not at least this factor below the baseline's cold_unittest_pre_pr_ns (0 disables)")
 	flag.Float64Var(&g.minParallelScale, "min-parallel-speedup", 2.5, "fail when CampaignParallel at 4 cores is not at least this factor faster than at 1 core (0 disables; skipped on machines with fewer than 4 CPUs)")
+	flag.Float64Var(&g.minStoreScale, "min-store-speedup", 0, "fail when StoreAppendParallel at 4 cores is not at least this factor faster than at 1 core (0 disables; skipped on machines with fewer than 4 CPUs)")
 	flag.StringVar(&g.loadgenPath, "loadgen", "", "cloudeval loadgen report JSON to gate and fold into the artifact")
 	flag.Float64Var(&g.maxP99Ms, "max-p99-ms", 0, "fail when the loadgen report's p99 latency exceeds this many milliseconds (0 disables; skipped on machines with fewer than 4 CPUs)")
 	flag.Float64Var(&g.maxErrorRate, "max-error-rate", -1, "fail when the loadgen report's error rate exceeds this fraction (negative disables; 0 means no errors tolerated)")
@@ -256,6 +271,9 @@ func run(in, out, sha, baselinePath string, g gates) error {
 	}
 	if scale, ok := parallelScale(benchmarks); ok {
 		art.CampaignParallelScaling = scale
+	}
+	if scale, ok := storeScale(benchmarks); ok {
+		art.StoreAppendParallelScaling = scale
 	}
 
 	// The baseline is loaded before the artifact is written only so the
@@ -333,6 +351,9 @@ func run(in, out, sha, baselinePath string, g gates) error {
 	if err := gateParallelScale(benchmarks, g.minParallelScale); err != nil {
 		return err
 	}
+	if err := gateStoreScale(benchmarks, g.minStoreScale); err != nil {
+		return err
+	}
 	return gateColdSpeedup(benchmarks, baseline, g.minColdSpeedup)
 }
 
@@ -395,10 +416,10 @@ func gateLoadgenErrors(rep loadgen.Report, maxErrorRate float64) error {
 	return nil
 }
 
-// parallelScale computes CampaignParallel's 1-core / 4-core ns ratio
-// when the run recorded both -cpu points.
-func parallelScale(benchmarks map[string]BenchResult) (float64, bool) {
-	cur, ok := benchmarks[parallelBench]
+// cpuScale computes a benchmark's 1-core / 4-core ns ratio when the
+// run recorded both -cpu points.
+func cpuScale(benchmarks map[string]BenchResult, name string) (float64, bool) {
+	cur, ok := benchmarks[name]
 	if !ok {
 		return 0, false
 	}
@@ -407,6 +428,18 @@ func parallelScale(benchmarks map[string]BenchResult) (float64, bool) {
 		return 0, false
 	}
 	return one / four, true
+}
+
+// parallelScale computes CampaignParallel's 1-core / 4-core ns ratio
+// when the run recorded both -cpu points.
+func parallelScale(benchmarks map[string]BenchResult) (float64, bool) {
+	return cpuScale(benchmarks, parallelBench)
+}
+
+// storeScale computes StoreAppendParallel's 1-core / 4-core ns ratio
+// when the run recorded both -cpu points.
+func storeScale(benchmarks map[string]BenchResult) (float64, bool) {
+	return cpuScale(benchmarks, storeBench)
 }
 
 // gateParallelScale enforces lock behavior: the 4-core CampaignParallel
@@ -432,6 +465,33 @@ func gateParallelScale(benchmarks map[string]BenchResult, minScale float64) erro
 	if scale < minScale {
 		return fmt.Errorf("parallel scaling regressed: %s runs only %.2fx faster at 4 cores (need %.1fx) — a shared lock is serializing the campaign",
 			parallelBench, scale, minScale)
+	}
+	return nil
+}
+
+// gateStoreScale enforces the sharded store's write-path scaling: the
+// 4-core StoreAppendParallel run must beat the 1-core run by at least
+// minScale. A collapse back to 1x means every writer is serializing on
+// one committer again — the exact contention sharding removed. Like
+// the campaign gate it announces itself skipped (rather than passing
+// silently) on machines with fewer than 4 CPUs.
+func gateStoreScale(benchmarks map[string]BenchResult, minScale float64) error {
+	if minScale <= 0 {
+		return nil
+	}
+	if runtime.NumCPU() < 4 {
+		fmt.Printf("benchguard: store-scaling gate skipped: %d CPUs (< 4) cannot exercise -cpu 4\n", runtime.NumCPU())
+		return nil
+	}
+	scale, ok := storeScale(benchmarks)
+	if !ok {
+		return fmt.Errorf("%s missing -cpu 1,4 measurements (store gate active)", storeBench)
+	}
+	fmt.Printf("benchguard: %s 4-core speedup %.2fx over 1-core (required %.1fx)\n",
+		storeBench, scale, minScale)
+	if scale < minScale {
+		return fmt.Errorf("store scaling regressed: %s runs only %.2fx faster at 4 cores (need %.1fx) — appends are serializing on a shared committer",
+			storeBench, scale, minScale)
 	}
 	return nil
 }

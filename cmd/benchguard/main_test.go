@@ -244,6 +244,52 @@ func TestParallelScaleGate(t *testing.T) {
 	}
 }
 
+const storeSample = `goos: linux
+pkg: cloudeval
+BenchmarkStoreAppendParallel    	    1000	     30000 ns/op	         8.000 frames-per-flush
+BenchmarkStoreAppendParallel-4  	    4000	     15000 ns/op	        24.00 frames-per-flush
+BenchmarkStoreOpenWarm-4        	      20	  22000000 ns/op	      5000 records-replayed
+PASS
+`
+
+func TestStoreScaleGate(t *testing.T) {
+	good, err := parseBench(strings.NewReader(storeSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale, ok := storeScale(good); !ok || scale != 2.0 {
+		t.Errorf("storeScale = %v, %v; want 2.0", scale, ok)
+	}
+	if warm, ok := good["StoreOpenWarm"]; !ok || warm.Metrics["records-replayed"] != 5000 {
+		t.Errorf("StoreOpenWarm = %+v, want records-replayed 5000", warm)
+	}
+	bad, err := parseBench(strings.NewReader(strings.ReplaceAll(
+		storeSample, "     15000 ns/op", "     25000 ns/op")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gateStoreScale(good, 0); err != nil {
+		t.Fatalf("disabled gate failed: %v", err)
+	}
+	if runtime.NumCPU() < 4 {
+		// The gate must announce itself skipped, not fail, on small
+		// runners — including this one.
+		if err := gateStoreScale(bad, 1.5); err != nil {
+			t.Fatalf("gate did not skip on a %d-CPU machine: %v", runtime.NumCPU(), err)
+		}
+		t.Skipf("%d CPUs: enforcement paths need >= 4", runtime.NumCPU())
+	}
+	if err := gateStoreScale(good, 1.5); err != nil {
+		t.Fatalf("gate failed a 2.0x speedup: %v", err)
+	}
+	if err := gateStoreScale(bad, 1.5); err == nil {
+		t.Fatal("gate passed a 1.2x speedup")
+	}
+	if err := gateStoreScale(map[string]BenchResult{}, 1.5); err == nil {
+		t.Fatal("gate passed with no StoreAppendParallel measurements")
+	}
+}
+
 func TestAllocCapGate(t *testing.T) {
 	benchmarks, err := parseBench(strings.NewReader(parallelSample))
 	if err != nil {

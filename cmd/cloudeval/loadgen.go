@@ -116,7 +116,7 @@ func cmdLoadgen(args []string) (retErr error) {
 			return err
 		}
 		defer os.RemoveAll(dataDir)
-		ts := httptest.NewServer(server.New(bench, dataDir).Handler())
+		ts := httptest.NewServer(server.NewWithConfig(bench, dataDir, server.Config{Store: st}).Handler())
 		defer ts.Close()
 		base = ts.URL
 		fmt.Fprintf(os.Stderr, "loadgen: in-process server at %s\n", base)

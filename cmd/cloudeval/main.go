@@ -151,12 +151,13 @@ func cmdDataset() error {
 // newBench builds a benchmark over the provider the flags select,
 // optionally backed by the persistent evaluation store at storePath
 // (which then caches both unit-test results and generations). The
-// returned closer flushes the trace/store and surfaces any latched
-// generation error; it must run after the last evaluation.
-func newBench(storePath string, pf providerFlags) (*cloudeval.Benchmark, func() error, error) {
+// returned store is nil when storePath is empty; the closer flushes
+// the trace/store and surfaces any latched generation error, and must
+// run after the last evaluation.
+func newBench(storePath string, pf providerFlags) (*cloudeval.Benchmark, *store.Store, func() error, error) {
 	prov, err := pf.open()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	var dopts []inference.DispatchOption
 	var st *store.Store
@@ -164,7 +165,7 @@ func newBench(storePath string, pf providerFlags) (*cloudeval.Benchmark, func() 
 		st, err = store.Open(storePath)
 		if err != nil {
 			prov.Close()
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		dopts = append(dopts, inference.WithGenStore(st))
 	}
@@ -185,7 +186,25 @@ func newBench(storePath string, pf providerFlags) (*cloudeval.Benchmark, func() 
 		}
 		return err
 	}
-	return core.NewVia(eng, disp), closer, nil
+	return core.NewVia(eng, disp), st, closer, nil
+}
+
+// reportStore prints the persistent store's shard layout and batching
+// ratio — the same counters GET /v1/stats serves — so contention
+// regressions show up in a plain bench run too.
+func reportStore(st *store.Store) {
+	ratio := 0.0
+	if f := st.Flushes(); f > 0 {
+		ratio = float64(st.Appended()) / float64(f)
+	}
+	fmt.Fprintf(os.Stderr, "store: %d shards, %d results, %d generations, %.2f frames/flush\n",
+		st.Shards(), st.Len(), st.GenLen(), ratio)
+	perShard := st.ShardStats()
+	counts := make([]string, len(perShard))
+	for i, sh := range perShard {
+		counts[i] = fmt.Sprintf("%d", sh.Records+sh.Generations)
+	}
+	fmt.Fprintf(os.Stderr, "store: per-shard records [%s]\n", strings.Join(counts, " "))
 }
 
 // reportGeneration prints the dispatcher counters and the metered
@@ -219,7 +238,7 @@ func cmdBench(args []string) (retErr error) {
 		return err
 	}
 	defer stopProfiles()
-	b, closeBench, err := newBench(*storePath, pf)
+	b, st, closeBench, err := newBench(*storePath, pf)
 	if err != nil {
 		return err
 	}
@@ -235,6 +254,9 @@ func cmdBench(args []string) (retErr error) {
 		stats := b.Engine().Stats()
 		fmt.Printf("engine: %d executed, %d memory hits, %d store hits\n",
 			stats.Executed, stats.CacheHits, stats.StoreHits)
+	}
+	if st != nil {
+		reportStore(st)
 	}
 	if *storePath != "" || pf.configured() {
 		reportGeneration(b)
@@ -320,7 +342,7 @@ func cmdFigures(args []string) (retErr error) {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	b, closeBench, err := newBench(*storePath, pf)
+	b, _, closeBench, err := newBench(*storePath, pf)
 	if err != nil {
 		return err
 	}
@@ -358,7 +380,7 @@ func cmdCampaign(args []string) (retErr error) {
 			ids = append(ids, strings.ToLower(strings.TrimSpace(id)))
 		}
 	}
-	b, closeBench, err := newBench(*storePath, pf)
+	b, st, closeBench, err := newBench(*storePath, pf)
 	if err != nil {
 		return err
 	}
@@ -376,6 +398,9 @@ func cmdCampaign(args []string) (retErr error) {
 	}
 	fmt.Fprintf(os.Stderr, "campaign: %d ran, %d resumed from checkpoint\n",
 		len(report.Ran), len(report.Skipped))
+	if st != nil {
+		reportStore(st)
+	}
 	if *storePath != "" || pf.configured() {
 		reportGeneration(b)
 	}

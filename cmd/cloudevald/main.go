@@ -136,10 +136,11 @@ func run() error {
 		TenantBurst:     *tenantBurst,
 		CampaignQueue:   *campaignQueue,
 		CampaignWorkers: *campaignWorkers,
+		Store:           st,
 	})
 
-	fmt.Printf("cloudevald: store %s (%d results, %d generations), provider %s, %d problems, %d models\n",
-		path, st.Len(), st.GenLen(), prov.Name(), len(bench.Problems), len(bench.Models))
+	fmt.Printf("cloudevald: store %s (%d shards, %d results, %d generations), provider %s, %d problems, %d models\n",
+		path, st.Shards(), st.Len(), st.GenLen(), prov.Name(), len(bench.Problems), len(bench.Models))
 	if *warm {
 		start := time.Now()
 		bench.ZeroShot()

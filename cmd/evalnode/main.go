@@ -171,7 +171,7 @@ func runWorker(args []string) error {
 		}
 		defer st.Close()
 		w.UseStore(st)
-		fmt.Printf("%s: evaluation store %s (%d records)\n", *name, *storePath, st.Len())
+		fmt.Printf("%s: evaluation store %s (%d shards, %d records)\n", *name, *storePath, st.Shards(), st.Len())
 	}
 	fmt.Printf("%s: processing jobs from %s\n", *name, *addr)
 	n, err := w.Run(*idle)

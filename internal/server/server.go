@@ -58,6 +58,7 @@ import (
 	"cloudeval/internal/inference"
 	"cloudeval/internal/llm"
 	"cloudeval/internal/score"
+	"cloudeval/internal/store"
 )
 
 // Config tunes the service tier. The zero value is fully permissive —
@@ -80,6 +81,11 @@ type Config struct {
 	// CampaignWorkers bounds concurrently running campaigns; admitted
 	// campaigns beyond it wait in state "queued". 0 means unbounded.
 	CampaignWorkers int
+	// Store, when set, is the persistent evaluation store backing the
+	// benchmark; GET /v1/stats then surfaces its shard layout and
+	// group-commit batching counters. Nil (a store-less daemon) simply
+	// omits the block.
+	Store *store.Store
 }
 
 // Server serves one benchmark instance. Construct with New or
@@ -306,6 +312,40 @@ type statsResponse struct {
 	UptimeSec float64                   `json:"uptime_sec"`
 	Tenants   int                       `json:"tenants"`
 	Routes    map[string]routeStatsJSON `json:"routes"`
+
+	// Store is the persistent store's shard layout and group-commit
+	// batching snapshot; omitted when the daemon runs store-less.
+	Store *storeStatsJSON `json:"store,omitempty"`
+}
+
+// storeStatsJSON is the GET /v1/stats view of the sharded store:
+// layout, aggregate counters, and the frames-per-flush batching ratio
+// whose collapse toward 1.0 is the contention-regression tell.
+type storeStatsJSON struct {
+	Shards      int   `json:"shards"`
+	Records     int   `json:"records"`
+	Generations int   `json:"generations"`
+	Appended    int64 `json:"appended"`
+	Flushes     int64 `json:"flushes"`
+	// FramesPerFlush is Appended/Flushes: >1 means group commit is
+	// batching concurrent writers into shared fsyncs.
+	FramesPerFlush float64           `json:"frames_per_flush"`
+	PerShard       []store.ShardStat `json:"per_shard"`
+}
+
+func storeStatsFor(st *store.Store) *storeStatsJSON {
+	out := &storeStatsJSON{
+		Shards:      st.Shards(),
+		Records:     st.Len(),
+		Generations: st.GenLen(),
+		Appended:    st.Appended(),
+		Flushes:     st.Flushes(),
+		PerShard:    st.ShardStats(),
+	}
+	if out.Flushes > 0 {
+		out.FramesPerFlush = float64(out.Appended) / float64(out.Flushes)
+	}
+	return out
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -320,6 +360,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	tenants := len(s.tenants)
 	s.mu.Unlock()
+	var storeStats *storeStatsJSON
+	if s.cfg.Store != nil {
+		storeStats = storeStatsFor(s.cfg.Store)
+	}
 	writeJSON(w, http.StatusOK, statsResponse{
 		Executor:  eng.Executor().Name(),
 		Workers:   eng.Workers(),
@@ -338,6 +382,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		UptimeSec: time.Since(s.start).Seconds(),
 		Tenants:   tenants,
 		Routes:    routes,
+		Store:     storeStats,
 	})
 }
 

@@ -2,7 +2,9 @@ package server_test
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"path/filepath"
 	"strings"
@@ -285,6 +287,100 @@ func TestStatsExposeGenerationCounters(t *testing.T) {
 	}
 	if stats.PromptTokens == 0 || stats.CompletionTokens == 0 {
 		t.Errorf("no token usage metered: %+v", stats)
+	}
+}
+
+// TestStatsExposeStoreShards pins the store block of GET /v1/stats: a
+// store-backed daemon surfaces shard count, per-shard record counts
+// and the aggregate group-commit batching ratio, with the exact JSON
+// key names the dashboards and benchguard consume; a store-less daemon
+// omits the block entirely.
+func TestStatsExposeStoreShards(t *testing.T) {
+	ctx := context.Background()
+	st, err := store.Open(filepath.Join(t.TempDir(), "eval.store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	bench := smallBench(engine.New(engine.WithStore(st)))
+	ts := httptest.NewServer(server.NewWithConfig(bench, t.TempDir(), server.Config{Store: st}).Handler())
+	t.Cleanup(ts.Close)
+	c := client.New(ts.URL)
+
+	if _, err := c.Leaderboard(ctx); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Store == nil {
+		t.Fatal("store-backed daemon omitted the store stats block")
+	}
+	ss := stats.Store
+	if ss.Shards < 2 || ss.Shards&(ss.Shards-1) != 0 {
+		t.Errorf("shards = %d, want a power of two >= 2", ss.Shards)
+	}
+	if len(ss.PerShard) != ss.Shards {
+		t.Errorf("per_shard has %d entries, want %d", len(ss.PerShard), ss.Shards)
+	}
+	if ss.Records == 0 || ss.Appended == 0 || ss.Flushes == 0 {
+		t.Errorf("campaign left empty store counters: %+v", ss)
+	}
+	if ss.FramesPerFlush <= 0 {
+		t.Errorf("frames_per_flush = %v, want > 0", ss.FramesPerFlush)
+	}
+	var recs int
+	var appended, flushes int64
+	for _, sh := range ss.PerShard {
+		recs += sh.Records
+		appended += sh.Appended
+		flushes += sh.Flushes
+	}
+	if recs != ss.Records || appended != ss.Appended || flushes != ss.Flushes {
+		t.Errorf("per-shard sums %d/%d/%d disagree with aggregates %d/%d/%d",
+			recs, appended, flushes, ss.Records, ss.Appended, ss.Flushes)
+	}
+
+	// Pin the wire shape: exact key names, per_shard as an array of
+	// objects carrying the four counters.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	var storeBlock map[string]json.RawMessage
+	if err := json.Unmarshal(raw["store"], &storeBlock); err != nil {
+		t.Fatalf("store block: %v", err)
+	}
+	for _, key := range []string{"shards", "records", "generations", "appended", "flushes", "frames_per_flush", "per_shard"} {
+		if _, ok := storeBlock[key]; !ok {
+			t.Errorf("store block missing key %q", key)
+		}
+	}
+	var perShard []map[string]json.RawMessage
+	if err := json.Unmarshal(storeBlock["per_shard"], &perShard); err != nil {
+		t.Fatalf("per_shard: %v", err)
+	}
+	for _, key := range []string{"records", "generations", "appended", "flushes"} {
+		if _, ok := perShard[0][key]; !ok {
+			t.Errorf("per_shard entries missing key %q", key)
+		}
+	}
+
+	// A store-less daemon omits the block — single-tenant wire contract
+	// stays byte-compatible.
+	plain := newTestClient(t, smallBench(engine.New()))
+	pstats, err := plain.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pstats.Store != nil {
+		t.Errorf("store-less daemon served a store block: %+v", pstats.Store)
 	}
 }
 

@@ -3,7 +3,6 @@ package store_test
 import (
 	"crypto/sha256"
 	"fmt"
-	"os"
 	"path/filepath"
 	"testing"
 	"time"
@@ -80,24 +79,17 @@ func TestGenIdenticalRecordDoesNotGrowLog(t *testing.T) {
 	defer s.Close()
 	k, r := genKey("req"), genResp("kind: Pod\n")
 	s.PutGen(k, r)
-	size := func() int64 {
-		fi, err := os.Stat(path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return fi.Size()
-	}
 	if err := s.Sync(); err != nil {
 		t.Fatal(err)
 	}
-	before := size()
+	before := storeSize(t, path)
 	for i := 0; i < 10; i++ {
 		s.PutGen(k, r)
 	}
 	if err := s.Sync(); err != nil {
 		t.Fatal(err)
 	}
-	if after := size(); after != before {
+	if after := storeSize(t, path); after != before {
 		t.Fatalf("identical re-records grew the log: %d -> %d bytes", before, after)
 	}
 }

@@ -1,0 +1,354 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"cloudeval/internal/inference"
+)
+
+// segment is one shard of the store: a key range's append-only log
+// file plus its slice of the in-memory index. Each segment carries
+// its own group-commit machinery — pending buffer, batch sequencing,
+// committer election — so appends to different shards batch and
+// flush with no shared state at all.
+type segment struct {
+	recs [idxStripes]recStripe
+	gens [idxStripes]genStripe
+
+	appended atomic.Int64
+	flushes  atomic.Int64
+
+	// mu guards the log half: the file handle, the group-commit
+	// pending buffer and its batch/flush bookkeeping, and appendErr.
+	// Index reads and writes never take it.
+	mu      sync.Mutex
+	flushed sync.Cond // signaled whenever flushedBatch advances
+	f       *os.File
+	// pending accumulates encoded frames for the batch curBatch;
+	// flushedBatch is the highest batch durably written. A writer's
+	// frames are on disk exactly when flushedBatch has reached the
+	// batch it enqueued into.
+	pending      []byte
+	curBatch     uint64
+	flushedBatch uint64
+	flushing     bool
+	// appendErr latches the first failed append so a sick disk surfaces
+	// on Sync/Close instead of being silently swallowed by the cache
+	// interface.
+	appendErr error
+}
+
+func newSegment(f *os.File) *segment {
+	seg := &segment{f: f, curBatch: 1}
+	seg.flushed.L = &seg.mu
+	for i := range seg.recs {
+		seg.recs[i].m = make(map[Key]Record)
+	}
+	for i := range seg.gens {
+		seg.gens[i].m = make(map[inference.Key]inference.Response)
+	}
+	return seg
+}
+
+// scanLog walks one log file from the start, calling apply for each
+// intact frame, and returns the offset of the first bad (or missing)
+// frame. One growable payload buffer is reused across frames —
+// json.Unmarshal copies what it keeps, and a warm daemon start on a
+// large log should not churn the allocator once per record. apply
+// returning false marks the frame bad (malformed key): the scan stops
+// there, exactly like a failed CRC.
+func scanLog(f *os.File, apply func(frame) bool) (int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	var off int64
+	hdr := make([]byte, frameHeaderSize)
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(f, hdr); err != nil {
+			// Clean EOF or a torn header: the log ends here.
+			return off, nil
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if n == 0 || n > maxPayload {
+			return off, nil
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return off, nil // torn payload
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return off, nil // corrupt frame; drop it and everything after
+		}
+		var fr frame
+		if err := json.Unmarshal(payload, &fr); err != nil {
+			return off, nil
+		}
+		if !apply(fr) {
+			return off, nil
+		}
+		off += frameHeaderSize + int64(n)
+	}
+}
+
+// replay loads the segment's log into the store's index (routing by
+// key, so even a misplaced record lands where Get looks for it) and
+// truncates the segment's torn tail.
+func (seg *segment) replay(s *Store) error {
+	good, err := scanLog(seg.f, s.load)
+	if err != nil {
+		return err
+	}
+	if err := seg.f.Truncate(good); err != nil {
+		return fmt.Errorf("store: truncate torn tail: %w", err)
+	}
+	return nil
+}
+
+// appendWait enqueues one encoded frame into the segment's pending
+// group-commit batch and blocks until that batch is on disk,
+// reporting whether the frame durably landed. The first writer to
+// find no flush in progress becomes the committer: it drains the
+// whole pending buffer — its own frame plus everything concurrent
+// writers enqueued behind it — in a single write syscall, then
+// releases every writer it carried. Writers arriving mid-flush
+// accumulate the next batch; one of them commits it when the
+// in-flight flush completes. Frame encoding happens in the callers,
+// outside the lock.
+func (seg *segment) appendWait(buf []byte, encErr error) bool {
+	seg.mu.Lock()
+	defer seg.mu.Unlock()
+	if seg.appendErr != nil {
+		// The log is broken (failed append or a lost post-compaction
+		// reopen): keep serving the in-memory index, but don't pretend
+		// further appends persist.
+		return false
+	}
+	if encErr != nil {
+		seg.appendErr = encErr
+		return false
+	}
+	seg.pending = append(seg.pending, buf...)
+	myBatch := seg.curBatch
+	for {
+		if seg.flushedBatch >= myBatch {
+			return seg.appendErr == nil
+		}
+		if !seg.flushing {
+			seg.flushBatchLocked()
+			continue
+		}
+		seg.flushed.Wait()
+	}
+}
+
+// flushBatchLocked writes the whole pending buffer as one syscall and
+// advances flushedBatch past every frame it carried. Callers hold
+// seg.mu; the lock is dropped for the write itself so concurrent
+// writers keep enqueueing the next batch.
+func (seg *segment) flushBatchLocked() {
+	batch := seg.curBatch
+	buf := seg.pending
+	seg.pending = nil
+	seg.curBatch++
+	seg.flushing = true
+	seg.mu.Unlock()
+	// One write syscall per batch: O_APPEND places it atomically at
+	// the end of file, and each frame's checksum still catches a tear
+	// inside the batch on the next Open.
+	_, werr := seg.f.Write(buf)
+	seg.mu.Lock()
+	seg.flushing = false
+	seg.flushedBatch = batch
+	seg.flushes.Add(1)
+	if werr != nil && seg.appendErr == nil {
+		seg.appendErr = fmt.Errorf("store: append: %w", werr)
+	}
+	seg.flushed.Broadcast()
+}
+
+// drainLocked flushes until no batch is pending or in flight. Callers
+// hold seg.mu.
+func (seg *segment) drainLocked() {
+	for seg.flushing || len(seg.pending) > 0 {
+		if !seg.flushing {
+			seg.flushBatchLocked()
+			continue
+		}
+		seg.flushed.Wait()
+	}
+}
+
+func (seg *segment) lenRecs() int {
+	n := 0
+	for i := range seg.recs {
+		st := &seg.recs[i]
+		st.mu.RLock()
+		n += len(st.m)
+		st.mu.RUnlock()
+	}
+	return n
+}
+
+func (seg *segment) lenGens() int {
+	n := 0
+	for i := range seg.gens {
+		st := &seg.gens[i]
+		st.mu.RLock()
+		n += len(st.m)
+		st.mu.RUnlock()
+	}
+	return n
+}
+
+func (seg *segment) err() error {
+	seg.mu.Lock()
+	defer seg.mu.Unlock()
+	return seg.appendErr
+}
+
+// compact rewrites this shard's segment to exactly one record per key
+// — the newest — via a temp file atomically renamed over path.
+// Holding the shard's log lock throughout keeps this shard's
+// concurrent appends queued in pending until the new handle is in
+// place; appends to other shards never touch this lock. An index
+// entry added after the snapshot re-appends its frame to the
+// compacted segment, so nothing is lost either side of the rename. A
+// crash mid-compaction leaves the old intact segment in place.
+func (seg *segment) compact(path string) error {
+	seg.mu.Lock()
+	defer seg.mu.Unlock()
+	seg.drainLocked()
+
+	// Snapshot this shard's index slice. Stripe read-locks nest inside
+	// seg.mu here; writers never hold a stripe lock while acquiring
+	// seg.mu, so the order cannot invert.
+	index := make(map[Key]Record)
+	for i := range seg.recs {
+		st := &seg.recs[i]
+		st.mu.RLock()
+		for k, r := range st.m {
+			index[k] = r
+		}
+		st.mu.RUnlock()
+	}
+	gens := make(map[inference.Key]inference.Response)
+	for i := range seg.gens {
+		st := &seg.gens[i]
+		st.mu.RLock()
+		for k, r := range st.m {
+			gens[k] = r
+		}
+		st.mu.RUnlock()
+	}
+
+	keys := make([]Key, 0, len(index))
+	for k := range index {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+
+	genKeys := make([]inference.Key, 0, len(gens))
+	for k := range gens {
+		genKeys = append(genKeys, k)
+	}
+	sort.Slice(genKeys, func(i, j int) bool {
+		return string(genKeys[i][:]) < string(genKeys[j][:])
+	})
+
+	tmpPath := path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	for _, k := range keys {
+		buf, err := encodeFrame(k, index[k])
+		if err != nil {
+			return fail(err)
+		}
+		if _, err := tmp.Write(buf); err != nil {
+			return fail(err)
+		}
+	}
+	for _, k := range genKeys {
+		buf, err := encodeGenFrame(k, gens[k])
+		if err != nil {
+			return fail(err)
+		}
+		if _, err := tmp.Write(buf); err != nil {
+			return fail(err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := os.Rename(tmpPath, path); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	// Swap the handle to the compacted segment. If the reopen fails,
+	// the old handle now points at the unlinked pre-compaction inode —
+	// latch the error so appends stop being trusted and Sync/Close
+	// surface it, instead of silently persisting into an orphan.
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		if seg.appendErr == nil {
+			seg.appendErr = fmt.Errorf("store: reopen after compaction: %w", err)
+		}
+		return err
+	}
+	seg.f.Close()
+	seg.f = f
+	return nil
+}
+
+// sync flushes pending batches and the segment to stable storage, and
+// surfaces any latched append error.
+func (seg *segment) sync() error {
+	seg.mu.Lock()
+	defer seg.mu.Unlock()
+	seg.drainLocked()
+	if seg.appendErr != nil {
+		return seg.appendErr
+	}
+	return seg.f.Sync()
+}
+
+// close syncs and releases the segment.
+func (seg *segment) close() error {
+	seg.mu.Lock()
+	defer seg.mu.Unlock()
+	seg.drainLocked()
+	syncErr := seg.f.Sync()
+	closeErr := seg.f.Close()
+	if seg.appendErr != nil {
+		return seg.appendErr
+	}
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}

@@ -9,32 +9,58 @@
 // The log holds two record kinds sharing one frame format: unit-test
 // results (the original kind, engine.CacheStore) and generation
 // results (inference.GenStore — model responses keyed by the
-// generation request's content address), so one store file carries a
+// generation request's content address), so one store carries a
 // campaign's full warm state: a re-campaign neither generates nor
 // executes anything.
 //
-// On-disk format: a sequence of length-prefixed, checksummed records —
+// # Sharded layout
+//
+// The store is partitioned into N key-range shards (N a power of two,
+// persisted in the <path>.shards meta file so routing never changes
+// for an existing store): a key's leading digest byte selects its
+// shard, and each shard owns its own segment file <path>.sNN, its own
+// group-commit pending buffer and committer, and its own index
+// stripes. Concurrent Puts to different shards land on independent
+// files with independent write batches instead of serializing on one
+// committer; Open replays all segments in parallel (one goroutine and
+// one reusable payload buffer per shard); Compact rewrites shards
+// concurrently, and compacting shard k never blocks appends to the
+// others.
+//
+// A legacy single-file log at <path> itself — the pre-shard layout —
+// is transparently read through: Open replays it first (its records
+// are the oldest, so segment records win conflicts), appends always go
+// to the owning shard's segment, and the first successful Compact
+// migrates every record into the sharded layout and removes the
+// legacy file.
+//
+// # On-disk format
+//
+// Every file — legacy log and shard segments alike — is a sequence of
+// length-prefixed, checksummed records, byte-identical to the
+// pre-shard format:
 //
 //	[4-byte LE payload length][4-byte LE CRC-32C of payload][JSON payload]
 //
 // Writes are crash-safe by construction: a record torn by a crash or a
 // truncated copy fails its length or checksum check, and Open drops
-// everything from the first bad frame onward (the log tail) instead of
-// failing. The log is append-only — a re-recorded key simply appends a
+// everything from the first bad frame onward (that file's tail)
+// instead of failing — a torn tail in shard k loses nothing in shards
+// ≠ k. Each log is append-only — a re-recorded key simply appends a
 // newer record, and the newest record per key wins on replay. Compact
-// rewrites the log to one record per key (newest wins) via an atomic
-// rename.
+// rewrites each shard to one record per key (newest wins) via an
+// atomic rename.
 //
-// Concurrency: the index is sharded behind RWMutexes, so warm-store
-// reads never contend with appends or each other. Appends group-commit:
-// concurrent writers enqueue encoded frames into a shared pending
-// buffer and one of them — the committer — drains the whole batch with
-// a single write syscall, then releases every writer whose frames it
-// carried. A Put still does not return until its frame is on disk (the
-// durability contract tests rely on), but N concurrent Puts cost one
-// syscall instead of N. The frame bytes are unchanged — a multi-frame
-// batch is byte-identical to the same frames written one at a time, so
-// logs written before group commit replay unchanged and vice versa.
+// Concurrency: per-shard indexes are striped behind RWMutexes, so
+// warm-store reads never contend with appends or each other. Appends
+// group-commit per shard: writers encode frames outside any lock,
+// enqueue into the shard's pending buffer, and one of them — the
+// committer — drains the whole batch with a single write syscall,
+// then releases every writer whose frames it carried. A Put still
+// does not return until its frame is on disk (the durability contract
+// tests rely on), but N concurrent Puts to one shard cost one syscall
+// instead of N, and Puts to different shards batch and flush fully
+// independently.
 //
 // The full index (including result payloads; outputs are bounded by
 // the corpus) is held in memory, so Get never touches disk after Open.
@@ -48,11 +74,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
-	"io"
 	"os"
+	"path/filepath"
+	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"cloudeval/internal/inference"
@@ -108,153 +136,291 @@ const maxPayload = 64 << 20
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// idxShards is the index shard count. 32 write-locked stripes keep
-// shard collisions rare at fleet concurrency while costing ~one cache
-// line of mutexes; digest-prefix hashing spreads keys uniformly.
-const idxShards = 32
+// Shard-count policy: a power of two sized like memo.Sharded's
+// GOMAXPROCS scaling, but clamped tighter — every shard is an open
+// file, and a store's worth of parallelism saturates well below a
+// cache's. The count is fixed at creation and persisted in the meta
+// file; an existing store always reopens with the count it was
+// created with, so key→shard routing (and therefore which segment
+// file owns a record) never changes under a different GOMAXPROCS.
+const (
+	minShards = 8
+	maxShards = 64
+)
 
-type recShard struct {
+// idxStripes is the per-shard index stripe count: 4 RWMutex stripes
+// per shard × ≥8 shards keeps warm-read concurrency at or above the
+// pre-shard store's 32 global stripes while letting each shard own
+// its stripes outright.
+const idxStripes = 4
+
+type recStripe struct {
 	mu sync.RWMutex
 	m  map[Key]Record
 }
 
-type genShard struct {
+type genStripe struct {
 	mu sync.RWMutex
 	m  map[inference.Key]inference.Response
 }
 
-func recShardOf(k Key) int           { return int(k.Test[0]^k.Answer[0]) & (idxShards - 1) }
-func genShardOf(k inference.Key) int { return int(k[0]) & (idxShards - 1) }
+// Shard routing uses the leading digest bytes; striping within a
+// shard uses the second bytes so the two subdivisions stay
+// independent (a shard's keys spread across all of its stripes).
+func recShardOf(k Key, mask int) int           { return int(k.Test[0]^k.Answer[0]) & mask }
+func recStripeOf(k Key) int                    { return int(k.Test[1]^k.Answer[1]) & (idxStripes - 1) }
+func genShardOf(k inference.Key, mask int) int { return int(k[0]) & mask }
+func genStripeOf(k inference.Key) int          { return int(k[1]) & (idxStripes - 1) }
 
-// Store is a persistent evaluation cache. It is safe for concurrent
-// use and implements engine.CacheStore and inference.GenStore.
+// Store is a persistent evaluation cache sharded across per-key-range
+// segment files. It is safe for concurrent use and implements
+// engine.CacheStore and inference.GenStore.
 type Store struct {
 	path string
+	segs []*segment
+	mask int
 
-	recs [idxShards]recShard
-	gens [idxShards]genShard
-
-	appended atomic.Int64
-	flushes  atomic.Int64
-
-	// mu guards the log half: the file handle, the group-commit
-	// pending buffer and its batch/flush bookkeeping, and appendErr.
-	// Index reads and writes never take it.
-	mu      sync.Mutex
-	flushed sync.Cond // signaled whenever flushedBatch advances
-	f       *os.File
-	// pending accumulates encoded frames for the batch curBatch;
-	// flushedBatch is the highest batch durably written. A writer's
-	// frames are on disk exactly when flushedBatch has reached the
-	// batch it enqueued into.
-	pending      []byte
-	curBatch     uint64
-	flushedBatch uint64
-	flushing     bool
-	// appendErr latches the first failed append so a sick disk surfaces
-	// on Sync/Close instead of being silently swallowed by the cache
-	// interface.
-	appendErr error
+	// compactMu serializes Compact calls (each shard's compaction also
+	// takes that shard's log lock; appends to other shards proceed).
+	compactMu sync.Mutex
+	// legacyMu guards legacy: whether the pre-shard single-file log at
+	// path still exists and must be preserved until a full Compact has
+	// migrated its records into the shard segments.
+	legacyMu sync.Mutex
+	legacy   bool
 }
 
-// Open reads (or creates) the log at path, replaying every intact
-// record into the index. A truncated or corrupt tail — the signature
-// of a crash mid-append — is dropped and the file truncated back to
-// the last intact record, not treated as fatal.
+// segPath names shard i's segment file.
+func segPath(path string, i int) string { return fmt.Sprintf("%s.s%02d", path, i) }
+
+// metaPath names the shard-count meta file.
+func metaPath(path string) string { return path + ".shards" }
+
+// defaultShardCount picks the shard count for a new store: the
+// smallest power of two at least twice GOMAXPROCS, clamped to
+// [minShards, maxShards].
+func defaultShardCount() int {
+	n := 1
+	for n < 2*runtime.GOMAXPROCS(0) {
+		n <<= 1
+	}
+	if n < minShards {
+		n = minShards
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	return n
+}
+
+// resolveShardCount determines the shard count for the store at path:
+// the meta file if present, else inferred from existing segment files
+// (a crash can lose the meta file but not the renamed segments), else
+// the default for a fresh store. The resolved count is (re)written to
+// the meta file atomically.
+func resolveShardCount(path string) (int, error) {
+	if data, err := os.ReadFile(metaPath(path)); err == nil {
+		n, err := strconv.Atoi(strings.TrimSpace(string(data)))
+		if err != nil || n < 1 || n > 1<<16 || n&(n-1) != 0 {
+			return 0, fmt.Errorf("store: corrupt shard meta %s: %q", metaPath(path), strings.TrimSpace(string(data)))
+		}
+		return n, nil
+	} else if !os.IsNotExist(err) {
+		return 0, err
+	}
+	n := defaultShardCount()
+	if inferred, ok, err := inferShardCount(path); err != nil {
+		return 0, err
+	} else if ok {
+		n = inferred
+	}
+	if err := writeShardMeta(path, n); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// inferShardCount scans for existing segment files and returns the
+// smallest power of two covering every index found.
+func inferShardCount(path string) (int, bool, error) {
+	dir := filepath.Dir(path)
+	prefix := filepath.Base(path) + ".s"
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, false, nil
+		}
+		return 0, false, err
+	}
+	maxIdx := -1
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		idx, err := strconv.Atoi(name[len(prefix):])
+		if err != nil || idx < 0 {
+			continue
+		}
+		if idx > maxIdx {
+			maxIdx = idx
+		}
+	}
+	if maxIdx < 0 {
+		return 0, false, nil
+	}
+	n := 1
+	for n <= maxIdx {
+		n <<= 1
+	}
+	if n < minShards {
+		n = minShards
+	}
+	return n, true, nil
+}
+
+// writeShardMeta records the shard count atomically (temp + rename),
+// so a crash mid-write never leaves a torn meta file.
+func writeShardMeta(path string, n int) error {
+	tmp := metaPath(path) + ".tmp"
+	if err := os.WriteFile(tmp, []byte(strconv.Itoa(n)+"\n"), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, metaPath(path)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// Open reads (or creates) the sharded store rooted at path, replaying
+// every intact record: first the legacy single-file log at path
+// itself if one exists (the pre-shard layout, read through
+// transparently), then all shard segments in parallel. A truncated or
+// corrupt tail in any file — the signature of a crash mid-append — is
+// dropped and that file truncated back to its last intact record, not
+// treated as fatal.
 func Open(path string) (*Store, error) {
-	// O_APPEND: every flush is one write syscall that the kernel
-	// positions at the true end of file, so even a second process
-	// appending to the same log (one writer per store is the intended
-	// deployment, but fleets misconfigure) interleaves whole batches
-	// rather than corrupting them mid-frame at a stale offset.
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND|os.O_CREATE, 0o644)
+	n, err := resolveShardCount(path)
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{f: f, path: path, curBatch: 1}
-	s.flushed.L = &s.mu
-	for i := range s.recs {
-		s.recs[i].m = make(map[Key]Record)
+	s := &Store{path: path, mask: n - 1, segs: make([]*segment, n)}
+	for i := range s.segs {
+		// O_APPEND: every flush is one write syscall that the kernel
+		// positions at the true end of file, so even a second process
+		// appending to the same segment (one writer per store is the
+		// intended deployment, but fleets misconfigure) interleaves
+		// whole batches rather than corrupting them mid-frame at a
+		// stale offset.
+		f, err := os.OpenFile(segPath(path, i), os.O_RDWR|os.O_APPEND|os.O_CREATE, 0o644)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				s.segs[j].f.Close()
+			}
+			return nil, err
+		}
+		s.segs[i] = newSegment(f)
 	}
-	for i := range s.gens {
-		s.gens[i].m = make(map[inference.Key]inference.Response)
+	// Legacy pre-pass: replay the single-file log serially, routing
+	// each record to its owning shard's index. It runs before the
+	// parallel segment replay so segment records — always at least as
+	// new, since appends only ever go to segments once the sharded
+	// store exists — overwrite legacy ones on conflict.
+	if fi, err := os.Stat(path); err == nil && fi.Mode().IsRegular() {
+		if err := s.replayLegacy(); err != nil {
+			s.closeFiles()
+			return nil, err
+		}
+		s.legacy = true
 	}
-	good, err := s.replay()
-	if err != nil {
-		f.Close()
-		return nil, err
+	// Parallel replay: one goroutine per shard, each with its own
+	// reusable payload buffer, each truncating its own torn tail.
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, seg := range s.segs {
+		wg.Add(1)
+		go func(i int, seg *segment) {
+			defer wg.Done()
+			errs[i] = seg.replay(s)
+		}(i, seg)
 	}
-	if err := f.Truncate(good); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("store: truncate torn tail: %w", err)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			s.closeFiles()
+			return nil, err
+		}
 	}
 	return s, nil
 }
 
-// replay scans the log from the start, loading intact records and
-// returning the offset of the first bad (or missing) frame. One
-// growable payload buffer is reused across frames — json.Unmarshal
-// copies what it keeps, and a warm daemon start on a large log should
-// not churn the allocator once per record.
-func (s *Store) replay() (int64, error) {
-	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
-		return 0, err
+func (s *Store) closeFiles() {
+	for _, seg := range s.segs {
+		seg.f.Close()
 	}
-	var off int64
-	hdr := make([]byte, frameHeaderSize)
-	var payload []byte
-	for {
-		if _, err := io.ReadFull(s.f, hdr); err != nil {
-			// Clean EOF or a torn header: the log ends here.
-			return off, nil
-		}
-		n := binary.LittleEndian.Uint32(hdr[0:4])
-		sum := binary.LittleEndian.Uint32(hdr[4:8])
-		if n == 0 || n > maxPayload {
-			return off, nil
-		}
-		if cap(payload) < int(n) {
-			payload = make([]byte, n)
-		}
-		payload = payload[:n]
-		if _, err := io.ReadFull(s.f, payload); err != nil {
-			return off, nil // torn payload
-		}
-		if crc32.Checksum(payload, castagnoli) != sum {
-			return off, nil // corrupt frame; drop it and everything after
-		}
-		var fr frame
-		if err := json.Unmarshal(payload, &fr); err != nil {
-			return off, nil
-		}
-		switch fr.Kind {
-		case genKind:
-			key, err := genKeyFromHex(fr.Gen)
-			if err != nil {
-				return off, nil
-			}
-			s.gens[genShardOf(key)].m[key] = inference.Response{
-				Text: fr.Text,
-				Usage: inference.Usage{
-					PromptTokens:     fr.PromptTokens,
-					CompletionTokens: fr.CompletionTokens,
-				},
-				Latency: time.Duration(fr.LatencyNs),
-			}
-		default:
-			key, err := keyFromHex(fr.Test, fr.Answer)
-			if err != nil {
-				return off, nil
-			}
-			s.recs[recShardOf(key)].m[key] = Record{
-				Passed:      fr.Passed,
-				Output:      fr.Output,
-				ExitCode:    fr.ExitCode,
-				VirtualTime: time.Duration(fr.VirtualSecs * float64(time.Second)),
-			}
-		}
-		off += frameHeaderSize + int64(n)
+}
+
+// replayLegacy loads the pre-shard single-file log at s.path into the
+// shard indexes and truncates its torn tail. The handle is closed
+// afterwards — appends never go to the legacy file; it is removed by
+// the first full Compact.
+func (s *Store) replayLegacy() error {
+	f, err := os.OpenFile(s.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
 	}
+	defer f.Close()
+	good, err := scanLog(f, s.load)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(good); err != nil {
+		return fmt.Errorf("store: truncate legacy torn tail: %w", err)
+	}
+	return nil
+}
+
+// load routes one replayed frame into the owning shard's index,
+// reporting false on a malformed key (treated like a corrupt frame:
+// replay stops there). Stripe locks are taken because segment replay
+// goroutines run concurrently and a misplaced record (a segment file
+// holding a foreign key, e.g. hand-copied files) must still land in
+// its owning shard's index, where Get will look for it.
+func (s *Store) load(fr frame) bool {
+	switch fr.Kind {
+	case genKind:
+		key, err := genKeyFromHex(fr.Gen)
+		if err != nil {
+			return false
+		}
+		st := &s.segs[genShardOf(key, s.mask)].gens[genStripeOf(key)]
+		st.mu.Lock()
+		st.m[key] = inference.Response{
+			Text: fr.Text,
+			Usage: inference.Usage{
+				PromptTokens:     fr.PromptTokens,
+				CompletionTokens: fr.CompletionTokens,
+			},
+			Latency: time.Duration(fr.LatencyNs),
+		}
+		st.mu.Unlock()
+	default:
+		key, err := keyFromHex(fr.Test, fr.Answer)
+		if err != nil {
+			return false
+		}
+		st := &s.segs[recShardOf(key, s.mask)].recs[recStripeOf(key)]
+		st.mu.Lock()
+		st.m[key] = Record{
+			Passed:      fr.Passed,
+			Output:      fr.Output,
+			ExitCode:    fr.ExitCode,
+			VirtualTime: time.Duration(fr.VirtualSecs * float64(time.Second)),
+		}
+		st.mu.Unlock()
+	}
+	return true
 }
 
 func keyFromHex(test, answer string) (Key, error) {
@@ -320,10 +486,10 @@ func framePayload(fr frame) ([]byte, error) {
 // (test, answer), if any.
 func (s *Store) Get(test, answer [sha256.Size]byte) (unittest.Result, bool) {
 	key := Key{Test: test, Answer: answer}
-	sh := &s.recs[recShardOf(key)]
-	sh.mu.RLock()
-	rec, ok := sh.m[key]
-	sh.mu.RUnlock()
+	st := &s.segs[recShardOf(key, s.mask)].recs[recStripeOf(key)]
+	st.mu.RLock()
+	rec, ok := st.m[key]
+	st.mu.RUnlock()
 	if !ok {
 		return unittest.Result{}, false
 	}
@@ -341,7 +507,7 @@ func (s *Store) Get(test, answer [sha256.Size]byte) (unittest.Result, bool) {
 // the cache. An identical re-record is a no-op so warm campaigns don't
 // grow the log. Append failures latch into Err/Sync/Close rather than
 // failing the evaluation that produced the result. Put returns with
-// the record on disk (its group-commit batch flushed).
+// the record on disk (its shard's group-commit batch flushed).
 func (s *Store) Put(test, answer [sha256.Size]byte, res unittest.Result) {
 	if res.Err != nil {
 		return
@@ -353,100 +519,28 @@ func (s *Store) Put(test, answer [sha256.Size]byte, res unittest.Result) {
 		ExitCode:    res.ExitCode,
 		VirtualTime: res.VirtualTime,
 	}
-	sh := &s.recs[recShardOf(key)]
-	sh.mu.Lock()
-	if old, ok := sh.m[key]; ok && old == rec {
-		sh.mu.Unlock()
+	seg := s.segs[recShardOf(key, s.mask)]
+	st := &seg.recs[recStripeOf(key)]
+	st.mu.Lock()
+	if old, ok := st.m[key]; ok && old == rec {
+		st.mu.Unlock()
 		return
 	}
-	sh.m[key] = rec
-	sh.mu.Unlock()
+	st.m[key] = rec
+	st.mu.Unlock()
 	buf, err := encodeFrame(key, rec)
-	if s.appendWait(buf, err) {
-		s.appended.Add(1)
-	}
-}
-
-// appendWait enqueues one encoded frame into the pending group-commit
-// batch and blocks until that batch is on disk, reporting whether the
-// frame durably landed. The first writer to find no flush in progress
-// becomes the committer: it drains the whole pending buffer — its own
-// frame plus everything concurrent writers enqueued behind it — in a
-// single write syscall, then releases every writer it carried.
-// Writers arriving mid-flush accumulate the next batch; one of them
-// commits it when the in-flight flush completes. Frame encoding
-// happens in the callers, outside the lock.
-func (s *Store) appendWait(buf []byte, encErr error) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.appendErr != nil {
-		// The log is broken (failed append or a lost post-compaction
-		// reopen): keep serving the in-memory index, but don't pretend
-		// further appends persist.
-		return false
-	}
-	if encErr != nil {
-		s.appendErr = encErr
-		return false
-	}
-	s.pending = append(s.pending, buf...)
-	myBatch := s.curBatch
-	for {
-		if s.flushedBatch >= myBatch {
-			return s.appendErr == nil
-		}
-		if !s.flushing {
-			s.flushBatchLocked()
-			continue
-		}
-		s.flushed.Wait()
-	}
-}
-
-// flushBatchLocked writes the whole pending buffer as one syscall and
-// advances flushedBatch past every frame it carried. Callers hold
-// s.mu; the lock is dropped for the write itself so concurrent
-// writers keep enqueueing the next batch.
-func (s *Store) flushBatchLocked() {
-	batch := s.curBatch
-	buf := s.pending
-	s.pending = nil
-	s.curBatch++
-	s.flushing = true
-	s.mu.Unlock()
-	// One write syscall per batch: O_APPEND places it atomically at
-	// the end of file, and each frame's checksum still catches a tear
-	// inside the batch on the next Open.
-	_, werr := s.f.Write(buf)
-	s.mu.Lock()
-	s.flushing = false
-	s.flushedBatch = batch
-	s.flushes.Add(1)
-	if werr != nil && s.appendErr == nil {
-		s.appendErr = fmt.Errorf("store: append: %w", werr)
-	}
-	s.flushed.Broadcast()
-}
-
-// drainLocked flushes until no batch is pending or in flight. Callers
-// hold s.mu.
-func (s *Store) drainLocked() {
-	for s.flushing || len(s.pending) > 0 {
-		if !s.flushing {
-			s.flushBatchLocked()
-			continue
-		}
-		s.flushed.Wait()
+	if seg.appendWait(buf, err) {
+		seg.appended.Add(1)
 	}
 }
 
 // GetGen implements inference.GenStore: the persisted generation for
 // the given request key, if any.
 func (s *Store) GetGen(key inference.Key) (inference.Response, bool) {
-	sh := &s.gens[genShardOf(key)]
-	sh.mu.RLock()
-	resp, ok := sh.m[key]
-	sh.mu.RUnlock()
+	st := &s.segs[genShardOf(key, s.mask)].gens[genStripeOf(key)]
+	st.mu.RLock()
+	resp, ok := st.m[key]
+	st.mu.RUnlock()
 	return resp, ok
 }
 
@@ -455,196 +549,177 @@ func (s *Store) GetGen(key inference.Key) (inference.Response, bool) {
 // Err/Sync/Close, never failing the generation that produced the
 // response — the same advisory contract as Put.
 func (s *Store) PutGen(key inference.Key, resp inference.Response) {
-	sh := &s.gens[genShardOf(key)]
-	sh.mu.Lock()
-	if old, ok := sh.m[key]; ok && old == resp {
-		sh.mu.Unlock()
+	seg := s.segs[genShardOf(key, s.mask)]
+	st := &seg.gens[genStripeOf(key)]
+	st.mu.Lock()
+	if old, ok := st.m[key]; ok && old == resp {
+		st.mu.Unlock()
 		return
 	}
-	sh.m[key] = resp
-	sh.mu.Unlock()
+	st.m[key] = resp
+	st.mu.Unlock()
 	buf, err := encodeGenFrame(key, resp)
-	if s.appendWait(buf, err) {
-		s.appended.Add(1)
+	if seg.appendWait(buf, err) {
+		seg.appended.Add(1)
 	}
-}
-
-// GenLen reports how many distinct generations the store holds.
-func (s *Store) GenLen() int {
-	n := 0
-	for i := range s.gens {
-		sh := &s.gens[i]
-		sh.mu.RLock()
-		n += len(sh.m)
-		sh.mu.RUnlock()
-	}
-	return n
 }
 
 // Len reports how many distinct keys the store holds.
 func (s *Store) Len() int {
 	n := 0
-	for i := range s.recs {
-		sh := &s.recs[i]
-		sh.mu.RLock()
-		n += len(sh.m)
-		sh.mu.RUnlock()
+	for _, seg := range s.segs {
+		n += seg.lenRecs()
+	}
+	return n
+}
+
+// GenLen reports how many distinct generations the store holds.
+func (s *Store) GenLen() int {
+	n := 0
+	for _, seg := range s.segs {
+		n += seg.lenGens()
 	}
 	return n
 }
 
 // Appended reports how many records this handle has appended since
-// Open — the store-side mirror of the engine's Executed counter.
-func (s *Store) Appended() int64 { return s.appended.Load() }
-
-// Flushes reports how many group-commit batches this handle has
-// written since Open. Appended()/Flushes() is the average batch size:
-// 1 under serial traffic, climbing with append concurrency as the
-// committer drains more frames per syscall.
-func (s *Store) Flushes() int64 { return s.flushes.Load() }
-
-// Err reports the first append failure, if any.
-func (s *Store) Err() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.appendErr
+// Open, across all shards — the store-side mirror of the engine's
+// Executed counter.
+func (s *Store) Appended() int64 {
+	var n int64
+	for _, seg := range s.segs {
+		n += seg.appended.Load()
+	}
+	return n
 }
 
-// Compact rewrites the log to exactly one record per key — the newest
-// — shedding superseded appends. The rewrite goes to a temp file that
-// atomically renames over the log, so a crash mid-compaction leaves
-// the old intact log in place. Holding the log lock throughout keeps
-// concurrent appends queued in pending until the new handle is in
-// place; an index entry added after the snapshot re-appends its frame
-// to the compacted log, so nothing is lost either side of the rename.
+// Flushes reports how many group-commit batches this handle has
+// written since Open, across all shards. Appended()/Flushes() is the
+// average batch size: 1 under serial traffic, climbing with per-shard
+// append concurrency as each committer drains more frames per
+// syscall.
+func (s *Store) Flushes() int64 {
+	var n int64
+	for _, seg := range s.segs {
+		n += seg.flushes.Load()
+	}
+	return n
+}
+
+// Shards reports the store's shard count.
+func (s *Store) Shards() int { return len(s.segs) }
+
+// ShardStat is one shard's observable state: index sizes plus this
+// handle's append/flush counters (their ratio is the shard's
+// group-commit batching factor).
+type ShardStat struct {
+	Records     int   `json:"records"`
+	Generations int   `json:"generations"`
+	Appended    int64 `json:"appended"`
+	Flushes     int64 `json:"flushes"`
+}
+
+// ShardStats snapshots every shard, in shard order. The snapshot is
+// per-shard consistent, not cross-shard atomic — it is a monitoring
+// surface, not a transaction.
+func (s *Store) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(s.segs))
+	for i, seg := range s.segs {
+		out[i] = ShardStat{
+			Records:     seg.lenRecs(),
+			Generations: seg.lenGens(),
+			Appended:    seg.appended.Load(),
+			Flushes:     seg.flushes.Load(),
+		}
+	}
+	return out
+}
+
+// Err reports the first append failure on any shard, if any.
+func (s *Store) Err() error {
+	for _, seg := range s.segs {
+		if err := seg.err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Compact rewrites every shard to exactly one record per key — the
+// newest — shedding superseded appends. Shards compact concurrently
+// and independently: each rewrite goes to a temp file that atomically
+// renames over that shard's segment, holding only that shard's log
+// lock, so appends to other shards proceed throughout and a crash
+// mid-compaction of shard k loses nothing — neither in shard k (the
+// rename is atomic; the old segment stays until it succeeds) nor in
+// shards ≠ k (their files are untouched). When every shard has been
+// durably rewritten, any legacy pre-shard log at path is fully
+// migrated into the segments and removed; a crash before that point
+// leaves the legacy file in place, and its stale duplicates are
+// resolved on the next Open by replay order (legacy first, segments
+// overwrite).
 func (s *Store) Compact() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.drainLocked()
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
 
-	// Snapshot the index. Shard read-locks nest inside s.mu here;
-	// writers never hold a shard lock while acquiring s.mu, so the
-	// order cannot invert.
-	index := make(map[Key]Record)
-	for i := range s.recs {
-		sh := &s.recs[i]
-		sh.mu.RLock()
-		for k, r := range sh.m {
-			index[k] = r
-		}
-		sh.mu.RUnlock()
+	errs := make([]error, len(s.segs))
+	var wg sync.WaitGroup
+	for i, seg := range s.segs {
+		wg.Add(1)
+		go func(i int, seg *segment) {
+			defer wg.Done()
+			errs[i] = seg.compact(segPath(s.path, i))
+		}(i, seg)
 	}
-	gens := make(map[inference.Key]inference.Response)
-	for i := range s.gens {
-		sh := &s.gens[i]
-		sh.mu.RLock()
-		for k, r := range sh.m {
-			gens[k] = r
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
-		sh.mu.RUnlock()
 	}
 
-	keys := make([]Key, 0, len(index))
-	for k := range index {
-		keys = append(keys, k)
+	s.legacyMu.Lock()
+	defer s.legacyMu.Unlock()
+	if s.legacy {
+		if err := os.Remove(s.path); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("store: remove migrated legacy log: %w", err)
+		}
+		s.legacy = false
 	}
+	return nil
+}
+
+// Sync flushes pending batches and every segment to stable storage,
+// and surfaces any latched append error.
+func (s *Store) Sync() error {
+	var first error
+	for _, seg := range s.segs {
+		if err := seg.sync(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close syncs and releases every segment. The Store must not be used
+// after Close.
+func (s *Store) Close() error {
+	var first error
+	for _, seg := range s.segs {
+		if err := seg.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// sortKeys orders a shard's unit-test keys for a deterministic
+// compacted segment.
+func sortKeys(keys []Key) {
 	sort.Slice(keys, func(i, j int) bool {
 		if c := bytes.Compare(keys[i].Test[:], keys[j].Test[:]); c != 0 {
 			return c < 0
 		}
 		return bytes.Compare(keys[i].Answer[:], keys[j].Answer[:]) < 0
 	})
-
-	genKeys := make([]inference.Key, 0, len(gens))
-	for k := range gens {
-		genKeys = append(genKeys, k)
-	}
-	sort.Slice(genKeys, func(i, j int) bool {
-		return bytes.Compare(genKeys[i][:], genKeys[j][:]) < 0
-	})
-
-	tmpPath := s.path + ".compact"
-	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return err
-	}
-	fail := func(err error) error {
-		tmp.Close()
-		os.Remove(tmpPath)
-		return err
-	}
-	for _, k := range keys {
-		buf, err := encodeFrame(k, index[k])
-		if err != nil {
-			return fail(err)
-		}
-		if _, err := tmp.Write(buf); err != nil {
-			return fail(err)
-		}
-	}
-	for _, k := range genKeys {
-		buf, err := encodeGenFrame(k, gens[k])
-		if err != nil {
-			return fail(err)
-		}
-		if _, err := tmp.Write(buf); err != nil {
-			return fail(err)
-		}
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmpPath)
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpPath)
-		return err
-	}
-	if err := os.Rename(tmpPath, s.path); err != nil {
-		os.Remove(tmpPath)
-		return err
-	}
-	// Swap the handle to the compacted log. If the reopen fails, the old
-	// handle now points at the unlinked pre-compaction inode — latch the
-	// error so appends stop being trusted and Sync/Close surface it,
-	// instead of silently persisting into an orphan.
-	f, err := os.OpenFile(s.path, os.O_RDWR|os.O_APPEND, 0o644)
-	if err != nil {
-		if s.appendErr == nil {
-			s.appendErr = fmt.Errorf("store: reopen after compaction: %w", err)
-		}
-		return err
-	}
-	s.f.Close()
-	s.f = f
-	return nil
-}
-
-// Sync flushes pending batches and the log to stable storage, and
-// surfaces any latched append error.
-func (s *Store) Sync() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.drainLocked()
-	if s.appendErr != nil {
-		return s.appendErr
-	}
-	return s.f.Sync()
-}
-
-// Close syncs and releases the log. The Store must not be used after
-// Close.
-func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.drainLocked()
-	syncErr := s.f.Sync()
-	closeErr := s.f.Close()
-	if s.appendErr != nil {
-		return s.appendErr
-	}
-	if syncErr != nil {
-		return syncErr
-	}
-	return closeErr
 }

@@ -2,9 +2,13 @@ package store_test
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -15,6 +19,97 @@ import (
 
 func digests(test, answer string) (t, a [sha256.Size]byte) {
 	return sha256.Sum256([]byte(test)), sha256.Sum256([]byte(answer))
+}
+
+// segmentPaths lists the store's shard segment files on disk, sorted.
+func segmentPaths(t *testing.T, path string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(path + ".s[0-9]*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(matches)
+	return matches
+}
+
+// dataFiles lists every file holding store records: the legacy
+// single-file log at path (if present) plus all shard segments.
+func dataFiles(t *testing.T, path string) []string {
+	t.Helper()
+	files := segmentPaths(t, path)
+	if fi, err := os.Stat(path); err == nil && fi.Mode().IsRegular() {
+		files = append([]string{path}, files...)
+	}
+	return files
+}
+
+// storeSize sums the on-disk record bytes across the legacy log and
+// every shard segment — the sharded replacement for stat(path).Size().
+func storeSize(t *testing.T, path string) int64 {
+	t.Helper()
+	var total int64
+	for _, f := range dataFiles(t, path) {
+		fi, err := os.Stat(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += fi.Size()
+	}
+	return total
+}
+
+// fileSizes snapshots each data file's size, keyed by base name.
+func fileSizes(t *testing.T, path string) map[string]int64 {
+	t.Helper()
+	out := map[string]int64{}
+	for _, f := range dataFiles(t, path) {
+		fi, err := os.Stat(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[f] = fi.Size()
+	}
+	return out
+}
+
+// copyStore clones the store rooted at src (meta, legacy log,
+// segments) to an equivalent layout rooted at dst.
+func copyStore(t *testing.T, src, dst string) {
+	t.Helper()
+	cp := func(from, to string) {
+		data, err := os.ReadFile(from)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(to, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := os.Stat(src + ".shards"); err == nil {
+		cp(src+".shards", dst+".shards")
+	}
+	if fi, err := os.Stat(src); err == nil && fi.Mode().IsRegular() {
+		cp(src, dst)
+	}
+	for _, seg := range segmentPaths(t, src) {
+		cp(seg, dst+strings.TrimPrefix(seg, src))
+	}
+}
+
+// countFramesIn walks the frame structure of a log prefix and reports
+// how many complete frames fit within limit bytes.
+func countFramesIn(data []byte, limit int64) int {
+	n := 0
+	off := int64(0)
+	for off+8 <= limit {
+		payload := int64(binary.LittleEndian.Uint32(data[off : off+4]))
+		if off+8+payload > limit {
+			break
+		}
+		n++
+		off += 8 + payload
+	}
+	return n
 }
 
 func TestPutGetAcrossReopen(t *testing.T) {
@@ -44,6 +139,105 @@ func TestPutGetAcrossReopen(t *testing.T) {
 	}
 	if s2.Len() != 1 {
 		t.Fatalf("Len = %d, want 1", s2.Len())
+	}
+}
+
+// TestShardedLayoutOnDisk pins the file layout a fresh store creates:
+// a power-of-two shard count persisted in the meta file, one segment
+// file per shard, and no legacy single-file log at path itself.
+func TestShardedLayoutOnDisk(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "eval.store")
+	s, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	n := s.Shards()
+	if n < 8 || n&(n-1) != 0 {
+		t.Fatalf("Shards() = %d, want a power of two >= 8", n)
+	}
+	if got := len(segmentPaths(t, path)); got != n {
+		t.Fatalf("%d segment files on disk, want %d", got, n)
+	}
+	meta, err := os.ReadFile(path + ".shards")
+	if err != nil {
+		t.Fatalf("shard meta file missing: %v", err)
+	}
+	if got := strings.TrimSpace(string(meta)); got != fmt.Sprint(n) {
+		t.Fatalf("meta records %q shards, want %d", got, n)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("fresh sharded store created a legacy file at %s", path)
+	}
+}
+
+// TestShardCountStableAcrossGOMAXPROCS pins routing stability: a
+// store created under high parallelism must reopen with the same
+// shard count on a smaller machine — the count is a property of the
+// store, not of the opening process.
+func TestShardCountStableAcrossGOMAXPROCS(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "eval.store")
+	prev := runtime.GOMAXPROCS(16)
+	defer runtime.GOMAXPROCS(prev)
+	s, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	created := s.Shards()
+	if created < 32 {
+		t.Fatalf("Shards() = %d under GOMAXPROCS=16, want >= 32", created)
+	}
+	tk, ak := digests("t", "a")
+	s.Put(tk, ak, unittest.Result{Passed: true})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	runtime.GOMAXPROCS(1)
+	s2, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Shards() != created {
+		t.Fatalf("reopened with %d shards under GOMAXPROCS=1, created with %d", s2.Shards(), created)
+	}
+	if _, ok := s2.Get(tk, ak); !ok {
+		t.Fatal("record lost across GOMAXPROCS change")
+	}
+}
+
+// TestShardMetaRebuiltFromSegments simulates losing the meta file: the
+// count is re-inferred from the segment files on disk, so records keep
+// routing to the shards that hold them.
+func TestShardMetaRebuiltFromSegments(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "eval.store")
+	s, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.Shards()
+	const records = 32
+	for i := 0; i < records; i++ {
+		tk, ak := digests(fmt.Sprintf("t-%d", i), fmt.Sprintf("a-%d", i))
+		s.Put(tk, ak, unittest.Result{Passed: true})
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(path + ".shards"); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Shards() != n {
+		t.Fatalf("inferred %d shards from segments, created with %d", s2.Shards(), n)
+	}
+	if s2.Len() != records {
+		t.Fatalf("replayed %d records after meta loss, want %d", s2.Len(), records)
 	}
 }
 
@@ -82,9 +276,9 @@ func TestIdenticalRecordDoesNotGrowLog(t *testing.T) {
 }
 
 // TestCrashSafeReopen is the crash contract: a record torn mid-append
-// (simulated by truncating the log at every possible byte boundary of
-// the final record) is dropped on Open — never fatal — and every
-// record before it survives intact.
+// (simulated by truncating its shard's segment at every possible byte
+// boundary of the final frame) is dropped on Open — never fatal — and
+// every record before it, in that shard and every other, survives.
 func TestCrashSafeReopen(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "eval.store")
@@ -95,22 +289,36 @@ func TestCrashSafeReopen(t *testing.T) {
 	tk1, ak1 := digests("test-1", "answer-1")
 	tk2, ak2 := digests("test-2", "answer-2")
 	s.Put(tk1, ak1, unittest.Result{Passed: true, VirtualTime: time.Second})
-	intact, err := os.Stat(path)
-	if err != nil {
+	if err := s.Sync(); err != nil {
 		t.Fatal(err)
 	}
+	before := fileSizes(t, path)
 	s.Put(tk2, ak2, unittest.Result{Passed: false, Output: "boom"})
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	full, err := os.ReadFile(path)
+
+	// Find the segment the second record landed in.
+	var grown string
+	var intactSize int64
+	for f, sz := range fileSizes(t, path) {
+		if sz > before[f] {
+			grown, intactSize = f, before[f]
+		}
+	}
+	if grown == "" {
+		t.Fatal("second record grew no segment")
+	}
+	full, err := os.ReadFile(grown)
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	for cut := intact.Size() + 1; cut < int64(len(full)); cut++ {
+	for cut := intactSize + 1; cut < int64(len(full)); cut++ {
 		torn := filepath.Join(dir, fmt.Sprintf("torn-%d.store", cut))
-		if err := os.WriteFile(torn, full[:cut], 0o644); err != nil {
+		copyStore(t, path, torn)
+		tornSeg := torn + strings.TrimPrefix(grown, path)
+		if err := os.WriteFile(tornSeg, full[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
 		s2, err := store.Open(torn)
@@ -140,8 +348,9 @@ func TestCrashSafeReopen(t *testing.T) {
 	}
 }
 
-// TestCorruptTailDropped flips a byte in the last record's payload: the
-// CRC rejects the frame and Open drops it plus everything after.
+// TestCorruptTailDropped flips a byte in a shard's last record: the
+// CRC rejects the frame and Open drops it (plus everything after it in
+// that shard) while other shards replay fully.
 func TestCorruptTailDropped(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "eval.store")
@@ -152,16 +361,29 @@ func TestCorruptTailDropped(t *testing.T) {
 	tk1, ak1 := digests("test-1", "answer-1")
 	tk2, ak2 := digests("test-2", "answer-2")
 	s.Put(tk1, ak1, unittest.Result{Passed: true})
-	intact, _ := os.Stat(path)
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	before := fileSizes(t, path)
 	s.Put(tk2, ak2, unittest.Result{Passed: true})
 	s.Close()
 
-	data, err := os.ReadFile(path)
+	var grown string
+	var intactSize int64
+	for f, sz := range fileSizes(t, path) {
+		if sz > before[f] {
+			grown, intactSize = f, before[f]
+		}
+	}
+	if grown == "" {
+		t.Fatal("second record grew no segment")
+	}
+	data, err := os.ReadFile(grown)
 	if err != nil {
 		t.Fatal(err)
 	}
-	data[intact.Size()+12] ^= 0xFF // inside the second record's payload
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	data[intactSize+12] ^= 0xFF // inside the second record's payload
+	if err := os.WriteFile(grown, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	s2, err := store.Open(path)
@@ -179,7 +401,7 @@ func TestCorruptTailDropped(t *testing.T) {
 
 // TestCompactKeepsNewestPerKey re-records one key with a changed
 // outcome, compacts, and requires the newest record to win — both in
-// memory and on a replay of the compacted log.
+// memory and on a replay of the compacted segments.
 func TestCompactKeepsNewestPerKey(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "eval.store")
 	s, err := store.Open(path)
@@ -192,13 +414,12 @@ func TestCompactKeepsNewestPerKey(t *testing.T) {
 	s.Put(tk2, ak2, unittest.Result{Passed: true})
 	s.Put(tk, ak, unittest.Result{Passed: true, Output: "newest wins"})
 
-	before, _ := os.Stat(path)
+	before := storeSize(t, path)
 	if err := s.Compact(); err != nil {
 		t.Fatal(err)
 	}
-	after, _ := os.Stat(path)
-	if after.Size() >= before.Size() {
-		t.Errorf("compaction did not shrink the log: %d -> %d bytes", before.Size(), after.Size())
+	if after := storeSize(t, path); after >= before {
+		t.Errorf("compaction did not shrink the store: %d -> %d bytes", before, after)
 	}
 	if got, ok := s.Get(tk, ak); !ok || !got.Passed || got.Output != "newest wins" {
 		t.Fatalf("post-compact Get = %+v, %v", got, ok)
@@ -226,10 +447,76 @@ func TestCompactKeepsNewestPerKey(t *testing.T) {
 	}
 }
 
-// TestTornMultiFrameBatchTruncates is the group-commit crash
-// contract: a batch of several frames written as one syscall and torn
-// at ANY byte boundary must recover to the last intact frame — the
-// per-frame CRC framing, not the batch, is the unit of crash safety.
+// TestCompactConcurrentWithAppends races repeated full compactions
+// against appenders hammering every shard: nothing deadlocks, nothing
+// is lost, and the final replay sees every record — the non-blocking
+// per-shard compaction claim exercised under -race.
+func TestCompactConcurrentWithAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "eval.store")
+	s, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 8
+	const perWriter = 64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Appenders hammer all shards while Compact runs several times.
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				tk, ak := digests(fmt.Sprintf("cc-test-%d", w), fmt.Sprintf("cc-answer-%d-%d", w, i))
+				s.Put(tk, ak, unittest.Result{Passed: true})
+			}
+		}(w)
+	}
+	var compactErr error
+	var cwg sync.WaitGroup
+	cwg.Add(1)
+	go func() {
+		defer cwg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := s.Compact(); err != nil {
+				compactErr = err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	cwg.Wait()
+	if compactErr != nil {
+		t.Fatal(compactErr)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != writers*perWriter {
+		t.Fatalf("replayed %d keys after concurrent compaction, want %d", s2.Len(), writers*perWriter)
+	}
+}
+
+// TestTornMultiFrameBatchTruncates is the group-commit crash contract,
+// run per shard: a batch of several frames written as one syscall and
+// torn at any byte boundary must recover to the last intact frame of
+// that shard — and every other shard must replay fully. The per-frame
+// CRC framing, not the batch, is the unit of crash safety; a torn
+// tail in shard k loses nothing in shards != k.
 func TestTornMultiFrameBatchTruncates(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "eval.store")
@@ -237,9 +524,10 @@ func TestTornMultiFrameBatchTruncates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Force a multi-frame flush: concurrent writers gated to enqueue
-	// together so the committer drains several frames in one batch.
-	const writers = 16
+	// Force multi-frame flushes: concurrent writers gated to enqueue
+	// together so each shard's committer drains several frames in one
+	// batch.
+	const writers = 32
 	var start, wg sync.WaitGroup
 	start.Add(1)
 	for i := 0; i < writers; i++ {
@@ -253,58 +541,61 @@ func TestTornMultiFrameBatchTruncates(t *testing.T) {
 	}
 	start.Done()
 	wg.Wait()
+	total := s.Len()
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	full, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
 
-	// Tear the log at every byte boundary; each truncated prefix must
-	// open cleanly and hold exactly the frames that fit intact.
-	for cut := int64(0); cut < int64(len(full)); cut += 7 {
-		torn := filepath.Join(dir, fmt.Sprintf("torn-%d.store", cut))
-		if err := os.WriteFile(torn, full[:cut], 0o644); err != nil {
-			t.Fatal(err)
-		}
-		s2, err := store.Open(torn)
-		if err != nil {
-			t.Fatalf("cut at %d: Open failed: %v", cut, err)
-		}
-		got := s2.Len()
-		s2.Close()
-		st, err := os.Stat(torn)
+	// Tear each shard's segment at byte boundaries; every truncated
+	// prefix must open cleanly, hold exactly the frames of that shard
+	// that fit intact, and lose nothing from any other shard.
+	tornID := 0
+	for _, seg := range segmentPaths(t, path) {
+		full, err := os.ReadFile(seg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if st.Size() > cut {
-			t.Fatalf("cut at %d: recovered log grew to %d bytes", cut, st.Size())
+		if len(full) == 0 {
+			continue
 		}
-		// Every intact frame before the cut survives. Frames are all
-		// the same size here only by accident, so derive the expected
-		// count by replaying the intact prefix structure: each record
-		// is header + payload; count how many full records fit.
-		want := 0
-		off := int64(0)
-		for off+8 <= cut {
-			n := int64(full[off]) | int64(full[off+1])<<8 | int64(full[off+2])<<16 | int64(full[off+3])<<24
-			if off+8+n > cut {
-				break
+		segFrames := countFramesIn(full, int64(len(full)))
+		for cut := int64(0); cut < int64(len(full)); cut += 7 {
+			tornID++
+			torn := filepath.Join(dir, fmt.Sprintf("torn-%d.store", tornID))
+			copyStore(t, path, torn)
+			tornSeg := torn + strings.TrimPrefix(seg, path)
+			if err := os.WriteFile(tornSeg, full[:cut], 0o644); err != nil {
+				t.Fatal(err)
 			}
-			want++
-			off += 8 + n
+			s2, err := store.Open(torn)
+			if err != nil {
+				t.Fatalf("%s cut at %d: Open failed: %v", filepath.Base(seg), cut, err)
+			}
+			got := s2.Len()
+			s2.Close()
+			st, err := os.Stat(tornSeg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Size() > cut {
+				t.Fatalf("%s cut at %d: recovered segment grew to %d bytes", filepath.Base(seg), cut, st.Size())
+			}
+			want := total - segFrames + countFramesIn(full, cut)
+			if got != want {
+				t.Fatalf("%s cut at %d: recovered %d records, want %d (torn shard holds %d of %d)",
+					filepath.Base(seg), cut, got, want, segFrames, total)
+			}
 		}
-		if got != want {
-			t.Fatalf("cut at %d: recovered %d records, want %d", cut, got, want)
-		}
+	}
+	if tornID == 0 {
+		t.Fatal("no non-empty segment files to tear")
 	}
 }
 
-// TestGroupCommitBatchesConcurrentAppends verifies the committer
-// actually coalesces: with many concurrent writers, flush batches
-// (syscalls) number strictly fewer than appended frames, and every
-// record still lands durably.
+// TestGroupCommitBatchesConcurrentAppends verifies the per-shard
+// committers actually coalesce: with many concurrent writers, flush
+// batches (syscalls) number strictly fewer than appended frames, and
+// every record still lands durably.
 func TestGroupCommitBatchesConcurrentAppends(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "eval.store")
 	s, err := store.Open(path)
@@ -345,6 +636,52 @@ func TestGroupCommitBatchesConcurrentAppends(t *testing.T) {
 	defer s2.Close()
 	if s2.Len() != writers*perWriter {
 		t.Fatalf("replayed %d keys, want %d", s2.Len(), writers*perWriter)
+	}
+}
+
+// TestShardStatsAccounting pins the monitoring surface: per-shard
+// record counts sum to Len/GenLen and per-shard append/flush counters
+// sum to the aggregates.
+func TestShardStatsAccounting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "eval.store")
+	s, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const records = 64
+	for i := 0; i < records; i++ {
+		tk, ak := digests(fmt.Sprintf("ss-test-%d", i), fmt.Sprintf("ss-answer-%d", i))
+		s.Put(tk, ak, unittest.Result{Passed: true})
+	}
+	stats := s.ShardStats()
+	if len(stats) != s.Shards() {
+		t.Fatalf("ShardStats returned %d entries, want %d", len(stats), s.Shards())
+	}
+	var recs int
+	var appended, flushes int64
+	spread := 0
+	for _, st := range stats {
+		recs += st.Records
+		appended += st.Appended
+		flushes += st.Flushes
+		if st.Records > 0 {
+			spread++
+		}
+	}
+	if recs != s.Len() || recs != records {
+		t.Fatalf("per-shard records sum %d, want Len %d = %d", recs, s.Len(), records)
+	}
+	if appended != s.Appended() {
+		t.Fatalf("per-shard appended sum %d, want %d", appended, s.Appended())
+	}
+	if flushes != s.Flushes() {
+		t.Fatalf("per-shard flushes sum %d, want %d", flushes, s.Flushes())
+	}
+	// 64 digest-distributed keys across >= 8 shards: the routing would
+	// have to be badly broken for everything to land in one shard.
+	if spread < 2 {
+		t.Fatalf("all %d records landed in %d shard(s) — routing is not spreading keys", records, spread)
 	}
 }
 
