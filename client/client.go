@@ -164,6 +164,33 @@ type StoreStats struct {
 	Flushes        int64        `json:"flushes"`
 	FramesPerFlush float64      `json:"frames_per_flush"`
 	PerShard       []ShardStats `json:"per_shard"`
+
+	// Out-of-core economics: resident memory (offset index plus hot
+	// cache — payloads live on disk), the bounded hot cache's state,
+	// and how the last Open rebuilt the index.
+	ResidentBytes int64          `json:"resident_bytes"`
+	HotCache      HotCacheStats  `json:"hot_cache"`
+	LastOpen      StoreOpenStats `json:"last_open"`
+}
+
+// HotCacheStats is the store's bounded hot cache: byte budget,
+// occupancy, and hit/miss counters since the daemon opened the store.
+type HotCacheStats struct {
+	CapacityBytes int64 `json:"capacity_bytes"`
+	Bytes         int64 `json:"bytes"`
+	Entries       int   `json:"entries"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+}
+
+// StoreOpenStats describes how the store's last Open rebuilt its
+// index: entries loaded from index-snapshot sidecars vs decoded by
+// scanning frames, and the rebuild wall time.
+type StoreOpenStats struct {
+	SnapshotShards int     `json:"snapshot_shards"`
+	SnapshotFrames int     `json:"snapshot_frames"`
+	ScannedFrames  int     `json:"scanned_frames"`
+	DurationMs     float64 `json:"duration_ms"`
 }
 
 // Eval scores one problem via POST /v1/eval.

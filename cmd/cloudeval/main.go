@@ -100,7 +100,10 @@ Commands:
 
 -store attaches the persistent evaluation store at F: unit-test
 results and generations persist across invocations, so a warm re-run
-neither executes nor generates anything.
+neither executes nor generates anything. -store-cache-mb bounds the
+store's hot cache of decoded records (default 256 MiB): payloads live
+on disk behind an offset index, so resident memory stays under
+index + cache regardless of store size.
 
 bench, figures, campaign and models take inference provider flags:
   -provider sim              the deterministic model zoo (default)
@@ -154,7 +157,7 @@ func cmdDataset() error {
 // returned store is nil when storePath is empty; the closer flushes
 // the trace/store and surfaces any latched generation error, and must
 // run after the last evaluation.
-func newBench(storePath string, pf providerFlags) (*cloudeval.Benchmark, *store.Store, func() error, error) {
+func newBench(storePath string, cacheMB int, pf providerFlags) (*cloudeval.Benchmark, *store.Store, func() error, error) {
 	prov, err := pf.open()
 	if err != nil {
 		return nil, nil, nil, err
@@ -162,7 +165,7 @@ func newBench(storePath string, pf providerFlags) (*cloudeval.Benchmark, *store.
 	var dopts []inference.DispatchOption
 	var st *store.Store
 	if storePath != "" {
-		st, err = store.Open(storePath)
+		st, err = store.Open(storePath, store.WithHotCacheBytes(int64(cacheMB)<<20))
 		if err != nil {
 			prov.Close()
 			return nil, nil, nil, err
@@ -205,6 +208,13 @@ func reportStore(st *store.Store) {
 		counts[i] = fmt.Sprintf("%d", sh.Records+sh.Generations)
 	}
 	fmt.Fprintf(os.Stderr, "store: per-shard records [%s]\n", strings.Join(counts, " "))
+	op := st.LastOpen()
+	fmt.Fprintf(os.Stderr, "store: open %.1fms — %d frames from %d snapshot sidecars, %d scanned\n",
+		float64(op.Duration.Microseconds())/1e3, op.SnapshotFrames, op.SnapshotShards, op.ScannedFrames)
+	cs := st.CacheStats()
+	fmt.Fprintf(os.Stderr, "store: resident ~%.1f MiB (hot cache %.1f/%.0f MiB, %d entries, %d hits / %d misses)\n",
+		float64(st.ResidentBytes())/(1<<20), float64(cs.Bytes)/(1<<20), float64(cs.Capacity)/(1<<20),
+		cs.Entries, cs.Hits, cs.Misses)
 }
 
 // reportGeneration prints the dispatcher counters and the metered
@@ -225,6 +235,7 @@ func reportGeneration(b *cloudeval.Benchmark) {
 func cmdBench(args []string) (retErr error) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	storePath := fs.String("store", "", "persistent evaluation store path")
+	storeCacheMB := fs.Int("store-cache-mb", 256, "store hot-cache byte budget in MiB (0 disables caching)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the campaign here")
 	memProfile := fs.String("memprofile", "", "write an allocation profile here after the campaign")
 	mutexProfile := fs.String("mutexprofile", "", "write a mutex-contention profile here after the campaign")
@@ -238,7 +249,7 @@ func cmdBench(args []string) (retErr error) {
 		return err
 	}
 	defer stopProfiles()
-	b, st, closeBench, err := newBench(*storePath, pf)
+	b, st, closeBench, err := newBench(*storePath, *storeCacheMB, pf)
 	if err != nil {
 		return err
 	}
@@ -338,11 +349,12 @@ func cmdFigures(args []string) (retErr error) {
 	id := fs.String("id", "", "experiment id (table1..table9, figure5..figure9)")
 	all := fs.Bool("all", false, "run every experiment")
 	storePath := fs.String("store", "", "persistent evaluation store path")
+	storeCacheMB := fs.Int("store-cache-mb", 256, "store hot-cache byte budget in MiB (0 disables caching)")
 	pf := addProviderFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	b, _, closeBench, err := newBench(*storePath, pf)
+	b, _, closeBench, err := newBench(*storePath, *storeCacheMB, pf)
 	if err != nil {
 		return err
 	}
@@ -367,6 +379,7 @@ func cmdCampaign(args []string) (retErr error) {
 	dir := fs.String("dir", "", "campaign directory (checkpoints + outputs)")
 	idsFlag := fs.String("ids", "", "comma-separated experiment ids (default: all)")
 	storePath := fs.String("store", "", "persistent evaluation store path")
+	storeCacheMB := fs.Int("store-cache-mb", 256, "store hot-cache byte budget in MiB (0 disables caching)")
 	pf := addProviderFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -380,7 +393,7 @@ func cmdCampaign(args []string) (retErr error) {
 			ids = append(ids, strings.ToLower(strings.TrimSpace(id)))
 		}
 	}
-	b, st, closeBench, err := newBench(*storePath, pf)
+	b, st, closeBench, err := newBench(*storePath, *storeCacheMB, pf)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,123 @@
+package memo
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func intHash(k int) uint32 { return uint32(k) * 2654435761 }
+
+// TestBoundedHitMiss: basic add/get plus the hit/miss counters the
+// store's stats surface reports.
+func TestBoundedHitMiss(t *testing.T) {
+	c := NewBounded[int, string](intHash, 1<<20)
+	if _, ok := c.Get(1); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Add(1, "one", 3)
+	if v, ok := c.Get(1); !ok || v != "one" {
+		t.Fatalf("Get(1) = %q, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != 3 {
+		t.Fatalf("Stats = %+v, want 1 hit / 1 miss / 1 entry / 3 bytes", st)
+	}
+}
+
+// TestBoundedEvictsLRU: a shard over budget sheds its least recently
+// used entries, and a Get refreshes recency.
+func TestBoundedEvictsLRU(t *testing.T) {
+	// One shard's budget is capacity/shards; use keys that hash to the
+	// same shard so the eviction order is deterministic.
+	c := NewBounded[int, int](func(int) uint32 { return 0 }, int64(c0shards(t))*30)
+	c.Add(1, 1, 10)
+	c.Add(2, 2, 10)
+	c.Add(3, 3, 10)
+	c.Get(1) // refresh 1: evicting now should drop 2 first
+	c.Add(4, 4, 10)
+	if _, ok := c.Get(2); ok {
+		t.Fatal("LRU entry 2 survived eviction")
+	}
+	for _, k := range []int{1, 3, 4} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("entry %d evicted out of LRU order", k)
+		}
+	}
+}
+
+// c0shards reports the shard count a Bounded cache built now would
+// have, so tests can size budgets per shard.
+func c0shards(t *testing.T) int {
+	t.Helper()
+	return len(NewBounded[int, int](intHash, 1).shards)
+}
+
+// TestBoundedStaysUnderBudget is the RSS contract: whatever passes
+// through, resident cost never exceeds the configured capacity.
+func TestBoundedStaysUnderBudget(t *testing.T) {
+	const budget = 4096
+	c := NewBounded[int, string](intHash, budget)
+	for i := 0; i < 10000; i++ {
+		c.Add(i, fmt.Sprintf("v-%d", i), 64)
+		if got := c.Bytes(); got > c.Capacity() {
+			t.Fatalf("resident %d bytes exceeds capacity %d after %d adds", got, c.Capacity(), i+1)
+		}
+	}
+	if c.Len() == 0 {
+		t.Fatal("everything was evicted — budget accounting is broken")
+	}
+}
+
+// TestBoundedOversizedEntryNotCached: an entry costlier than a whole
+// shard's budget is refused rather than thrashing the shard.
+func TestBoundedOversizedEntryNotCached(t *testing.T) {
+	c := NewBounded[int, int](intHash, 1) // 1 byte per shard after the floor
+	c.Add(1, 1, 1<<20)
+	if _, ok := c.Get(1); ok {
+		t.Fatal("oversized entry was cached")
+	}
+	if c.Bytes() != 0 {
+		t.Fatalf("Bytes = %d after refusing an oversized entry", c.Bytes())
+	}
+}
+
+// TestBoundedUpdateAdjustsCost: re-adding a key replaces its value and
+// re-charges its cost instead of double counting.
+func TestBoundedUpdateAdjustsCost(t *testing.T) {
+	c := NewBounded[int, string](intHash, 1<<20)
+	c.Add(1, "small", 10)
+	c.Add(1, "larger", 500)
+	if got := c.Bytes(); got != 500 {
+		t.Fatalf("Bytes = %d after update, want 500", got)
+	}
+	if v, _ := c.Get(1); v != "larger" {
+		t.Fatalf("Get = %q after update", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after update, want 1", c.Len())
+	}
+}
+
+// TestBoundedConcurrent hammers one cache from many goroutines under
+// -race: no torn lists, budget holds throughout.
+func TestBoundedConcurrent(t *testing.T) {
+	c := NewBounded[int, int](intHash, 1<<14)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := (w*2000 + i) % 512
+				c.Add(k, k, 32)
+				c.Get(k)
+				c.Get(k + 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Bytes(); got > c.Capacity() {
+		t.Fatalf("resident %d bytes exceeds capacity %d", got, c.Capacity())
+	}
+}

@@ -3,6 +3,7 @@ package store
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -14,11 +15,59 @@ import (
 	"cloudeval/internal/inference"
 )
 
+// errLogClosed is returned by logFile.pread after the handle has been
+// swapped out (compaction) or the store closed. Readers holding a
+// pre-swap index entry retry against the refreshed entry; a pread must
+// never land on a recycled file descriptor.
+var errLogClosed = errors.New("store: log file closed")
+
+// errCorruptFrame marks an on-demand read whose frame failed its
+// length or checksum check — served as a cache miss, never a panic.
+var errCorruptFrame = errors.New("store: corrupt frame")
+
+// logFile wraps one log's *os.File behind a close guard so on-demand
+// reads (Get pread) can race compaction's handle swap safely: pread
+// takes the read half, close takes the write half, and a pread after
+// close reports errLogClosed instead of touching a dead (or worse,
+// recycled) descriptor.
+type logFile struct {
+	mu     sync.RWMutex
+	f      *os.File
+	closed bool
+}
+
+func newLogFile(f *os.File) *logFile { return &logFile{f: f} }
+
+// pread fills p from offset off, failing with errLogClosed once the
+// file has been closed. Short reads (a torn tail, an offset past EOF)
+// surface as io errors and are treated like corruption by callers.
+func (lf *logFile) pread(p []byte, off int64) error {
+	lf.mu.RLock()
+	defer lf.mu.RUnlock()
+	if lf.closed {
+		return errLogClosed
+	}
+	_, err := lf.f.ReadAt(p, off)
+	return err
+}
+
+// close closes the underlying file exactly once, after waiting out any
+// pread in flight.
+func (lf *logFile) close() error {
+	lf.mu.Lock()
+	defer lf.mu.Unlock()
+	if lf.closed {
+		return nil
+	}
+	lf.closed = true
+	return lf.f.Close()
+}
+
 // segment is one shard of the store: a key range's append-only log
-// file plus its slice of the in-memory index. Each segment carries
-// its own group-commit machinery — pending buffer, batch sequencing,
-// committer election — so appends to different shards batch and
-// flush with no shared state at all.
+// file plus its slice of the offset index. Each segment carries its
+// own group-commit machinery — pending buffer, batch sequencing,
+// committer election — so appends to different shards batch and flush
+// with no shared state at all.
 type segment struct {
 	recs [idxStripes]recStripe
 	gens [idxStripes]genStripe
@@ -26,12 +75,25 @@ type segment struct {
 	appended atomic.Int64
 	flushes  atomic.Int64
 
-	// mu guards the log half: the file handle, the group-commit
-	// pending buffer and its batch/flush bookkeeping, and appendErr.
-	// Index reads and writes never take it.
+	// idxPath names this shard's index-snapshot sidecar (<seg>.idx).
+	idxPath string
+
+	// Open bookkeeping for the store's LastOpen stats: how many index
+	// entries came from the snapshot sidecar vs a frame-by-frame scan.
+	snapFrames int
+	scanFrames int
+
+	// mu guards the log half: the logFile handle, the logical size,
+	// the group-commit pending buffer and its batch/flush bookkeeping,
+	// and appendErr. Index reads never take it.
 	mu      sync.Mutex
 	flushed sync.Cond // signaled whenever flushedBatch advances
-	f       *os.File
+	lf      *logFile
+	// size is the segment's logical end: file length plus enqueued but
+	// not yet flushed bytes. Frames are assigned their offsets here, at
+	// enqueue time — batches flush strictly in order, so the logical
+	// end is exactly where the next frame will land.
+	size int64
 	// pending accumulates encoded frames for the batch curBatch;
 	// flushedBatch is the highest batch durably written. A writer's
 	// frames are on disk exactly when flushedBatch has reached the
@@ -46,34 +108,37 @@ type segment struct {
 	appendErr error
 }
 
-func newSegment(f *os.File) *segment {
-	seg := &segment{f: f, curBatch: 1}
+func newSegment(f *os.File, idxPath string) *segment {
+	seg := &segment{lf: newLogFile(f), idxPath: idxPath, curBatch: 1}
 	seg.flushed.L = &seg.mu
 	for i := range seg.recs {
-		seg.recs[i].m = make(map[Key]Record)
+		seg.recs[i].m = make(map[Key]entry)
 	}
 	for i := range seg.gens {
-		seg.gens[i].m = make(map[inference.Key]inference.Response)
+		seg.gens[i].m = make(map[inference.Key]entry)
 	}
 	return seg
 }
 
-// scanLog walks one log file from the start, calling apply for each
-// intact frame, and returns the offset of the first bad (or missing)
-// frame. One growable payload buffer is reused across frames —
-// json.Unmarshal copies what it keeps, and a warm daemon start on a
-// large log should not churn the allocator once per record. apply
+// scanLog walks one log file from offset start, calling apply for each
+// intact frame with its key fields, absolute offset, total length
+// (header included), and payload checksum, and returns the offset of
+// the first bad (or missing) frame. One growable payload buffer is
+// reused across frames, and the decode goes through keyFrame — only
+// the fields that feed the offset index — so a multi-gigabyte log
+// replays without ever materializing its payload strings. apply
 // returning false marks the frame bad (malformed key): the scan stops
 // there, exactly like a failed CRC.
-func scanLog(f *os.File, apply func(frame) bool) (int64, error) {
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
+func scanLog(f *os.File, start int64, apply func(fr keyFrame, off int64, n, sum uint32) bool) (int64, error) {
+	if _, err := f.Seek(start, io.SeekStart); err != nil {
 		return 0, err
 	}
-	var off int64
+	off := start
 	hdr := make([]byte, frameHeaderSize)
 	var payload []byte
+	r := io.Reader(f)
 	for {
-		if _, err := io.ReadFull(f, hdr); err != nil {
+		if _, err := io.ReadFull(r, hdr); err != nil {
 			// Clean EOF or a torn header: the log ends here.
 			return off, nil
 		}
@@ -86,34 +151,61 @@ func scanLog(f *os.File, apply func(frame) bool) (int64, error) {
 			payload = make([]byte, n)
 		}
 		payload = payload[:n]
-		if _, err := io.ReadFull(f, payload); err != nil {
+		if _, err := io.ReadFull(r, payload); err != nil {
 			return off, nil // torn payload
 		}
 		if crc32.Checksum(payload, castagnoli) != sum {
 			return off, nil // corrupt frame; drop it and everything after
 		}
-		var fr frame
+		var fr keyFrame
 		if err := json.Unmarshal(payload, &fr); err != nil {
 			return off, nil
 		}
-		if !apply(fr) {
+		if !apply(fr, off, frameHeaderSize+n, sum) {
 			return off, nil
 		}
 		off += frameHeaderSize + int64(n)
 	}
 }
 
-// replay loads the segment's log into the store's index (routing by
-// key, so even a misplaced record lands where Get looks for it) and
-// truncates the segment's torn tail.
+// replay loads the segment's log into the store's offset index
+// (routing by key, so even a misplaced record lands where Get looks
+// for it) and truncates the segment's torn tail. When the shard's
+// index-snapshot sidecar is present and consistent with the segment,
+// the snapshot supplies every entry up to its recorded byte length and
+// only the appended tail is scanned; a missing, stale, truncated or
+// corrupt sidecar falls back to the full frame-by-frame scan and
+// reproduces byte-identical state.
 func (seg *segment) replay(s *Store) error {
-	good, err := scanLog(seg.f, s.load)
+	fi, err := seg.lf.f.Stat()
 	if err != nil {
 		return err
 	}
-	if err := seg.f.Truncate(good); err != nil {
+	start := int64(0)
+	if snap, err := readSnapshot(seg.idxPath, fi.Size()); err == nil {
+		for _, re := range snap.recs {
+			s.loadRec(re.key, entry{src: seg.lf, off: re.off, n: re.n, sum: re.sum})
+		}
+		for _, ge := range snap.gens {
+			s.loadGen(ge.key, entry{src: seg.lf, off: ge.off, n: ge.n, sum: ge.sum})
+		}
+		seg.snapFrames = len(snap.recs) + len(snap.gens)
+		start = snap.segLen
+	}
+	good, err := scanLog(seg.lf.f, start, func(fr keyFrame, off int64, n, sum uint32) bool {
+		if !s.load(seg.lf, fr, off, n, sum) {
+			return false
+		}
+		seg.scanFrames++
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if err := seg.lf.f.Truncate(good); err != nil {
 		return fmt.Errorf("store: truncate torn tail: %w", err)
 	}
+	seg.size = good
 	return nil
 }
 
@@ -127,20 +219,30 @@ func (seg *segment) replay(s *Store) error {
 // accumulate the next batch; one of them commits it when the
 // in-flight flush completes. Frame encoding happens in the callers,
 // outside the lock.
-func (seg *segment) appendWait(buf []byte, encErr error) bool {
+//
+// install runs at enqueue time, under the segment lock, with the
+// frame's assigned offset and owning logFile: callers use it to write
+// the offset-index entry. Installing under the lock — before
+// durability, not after — is what makes compaction race-free: compact
+// holds this same lock, so every frame it drains into the old file is
+// already indexed and gets carried into the rewrite. A crash before
+// the flush loses the tail frame exactly like the pre-index store.
+func (seg *segment) appendWait(buf []byte, encErr error, install func(lf *logFile, off int64)) bool {
 	seg.mu.Lock()
 	defer seg.mu.Unlock()
 	if seg.appendErr != nil {
 		// The log is broken (failed append or a lost post-compaction
-		// reopen): keep serving the in-memory index, but don't pretend
-		// further appends persist.
+		// reopen): don't pretend further appends persist.
 		return false
 	}
 	if encErr != nil {
 		seg.appendErr = encErr
 		return false
 	}
+	off := seg.size
 	seg.pending = append(seg.pending, buf...)
+	seg.size += int64(len(buf))
+	install(seg.lf, off)
 	myBatch := seg.curBatch
 	for {
 		if seg.flushedBatch >= myBatch {
@@ -161,6 +263,7 @@ func (seg *segment) appendWait(buf []byte, encErr error) bool {
 func (seg *segment) flushBatchLocked() {
 	batch := seg.curBatch
 	buf := seg.pending
+	f := seg.lf.f
 	seg.pending = nil
 	seg.curBatch++
 	seg.flushing = true
@@ -168,7 +271,7 @@ func (seg *segment) flushBatchLocked() {
 	// One write syscall per batch: O_APPEND places it atomically at
 	// the end of file, and each frame's checksum still catches a tear
 	// inside the batch on the next Open.
-	_, werr := seg.f.Write(buf)
+	_, werr := f.Write(buf)
 	seg.mu.Lock()
 	seg.flushing = false
 	seg.flushedBatch = batch
@@ -219,14 +322,25 @@ func (seg *segment) err() error {
 	return seg.appendErr
 }
 
-// compact rewrites this shard's segment to exactly one record per key
-// — the newest — via a temp file atomically renamed over path.
+// compact rewrites this shard's segment to exactly one frame per key —
+// the newest — via a temp file atomically renamed over path, then
+// writes the shard's index-snapshot sidecar so the next Open loads the
+// index without scanning a single frame. Frames are copied raw from
+// their source logs (segment or legacy), byte-identical and
+// CRC-reverified in flight — compaction neither decodes nor re-encodes
+// a payload.
+//
 // Holding the shard's log lock throughout keeps this shard's
 // concurrent appends queued in pending until the new handle is in
-// place; appends to other shards never touch this lock. An index
-// entry added after the snapshot re-appends its frame to the
-// compacted segment, so nothing is lost either side of the rename. A
-// crash mid-compaction leaves the old intact segment in place.
+// place; appends to other shards never touch this lock. Entries
+// installed at enqueue time under that same lock guarantee the
+// collected index covers every frame drained into the old file, so
+// nothing racing the rewrite is lost either side of the rename. The
+// crash argument for the sidecar is ordering: the old sidecar is
+// removed before the segment rename, the new one written (temp +
+// rename) only after, so a crash anywhere in between leaves a
+// sidecar-less segment that the next Open fully scans — never a
+// sidecar describing bytes that are not there.
 func (seg *segment) compact(path string) error {
 	seg.mu.Lock()
 	defer seg.mu.Unlock()
@@ -235,37 +349,35 @@ func (seg *segment) compact(path string) error {
 	// Snapshot this shard's index slice. Stripe read-locks nest inside
 	// seg.mu here; writers never hold a stripe lock while acquiring
 	// seg.mu, so the order cannot invert.
-	index := make(map[Key]Record)
+	type recKV struct {
+		k Key
+		e entry
+	}
+	type genKV struct {
+		k inference.Key
+		e entry
+	}
+	var recKVs []recKV
 	for i := range seg.recs {
 		st := &seg.recs[i]
 		st.mu.RLock()
-		for k, r := range st.m {
-			index[k] = r
+		for k, e := range st.m {
+			recKVs = append(recKVs, recKV{k, e})
 		}
 		st.mu.RUnlock()
 	}
-	gens := make(map[inference.Key]inference.Response)
+	var genKVs []genKV
 	for i := range seg.gens {
 		st := &seg.gens[i]
 		st.mu.RLock()
-		for k, r := range st.m {
-			gens[k] = r
+		for k, e := range st.m {
+			genKVs = append(genKVs, genKV{k, e})
 		}
 		st.mu.RUnlock()
 	}
-
-	keys := make([]Key, 0, len(index))
-	for k := range index {
-		keys = append(keys, k)
-	}
-	sortKeys(keys)
-
-	genKeys := make([]inference.Key, 0, len(gens))
-	for k := range gens {
-		genKeys = append(genKeys, k)
-	}
-	sort.Slice(genKeys, func(i, j int) bool {
-		return string(genKeys[i][:]) < string(genKeys[j][:])
+	sort.Slice(recKVs, func(i, j int) bool { return lessKeys(recKVs[i].k, recKVs[j].k) })
+	sort.Slice(genKVs, func(i, j int) bool {
+		return string(genKVs[i].k[:]) < string(genKVs[j].k[:])
 	})
 
 	tmpPath := path + ".compact"
@@ -278,32 +390,60 @@ func (seg *segment) compact(path string) error {
 		os.Remove(tmpPath)
 		return err
 	}
-	for _, k := range keys {
-		buf, err := encodeFrame(k, index[k])
-		if err != nil {
-			return fail(err)
+
+	// Copy each newest frame raw, recording its offset in the rewrite.
+	var off int64
+	var buf []byte
+	copyFrame := func(e entry) (int64, error) {
+		if cap(buf) < int(e.n) {
+			buf = make([]byte, e.n)
 		}
-		if _, err := tmp.Write(buf); err != nil {
-			return fail(err)
+		b := buf[:e.n]
+		if err := e.src.pread(b, e.off); err != nil {
+			return 0, fmt.Errorf("store: compact read: %w", err)
 		}
+		if n := binary.LittleEndian.Uint32(b[0:4]); n != e.n-frameHeaderSize ||
+			binary.LittleEndian.Uint32(b[4:8]) != e.sum ||
+			crc32.Checksum(b[frameHeaderSize:], castagnoli) != e.sum {
+			return 0, fmt.Errorf("store: compact: %w at offset %d", errCorruptFrame, e.off)
+		}
+		if _, err := tmp.Write(b); err != nil {
+			return 0, err
+		}
+		at := off
+		off += int64(e.n)
+		return at, nil
 	}
-	for _, k := range genKeys {
-		buf, err := encodeGenFrame(k, gens[k])
+	newRecs := make([]recKV, len(recKVs))
+	for i, kv := range recKVs {
+		at, err := copyFrame(kv.e)
 		if err != nil {
 			return fail(err)
 		}
-		if _, err := tmp.Write(buf); err != nil {
+		newRecs[i] = recKV{kv.k, entry{off: at, n: kv.e.n, sum: kv.e.sum}}
+	}
+	newGens := make([]genKV, len(genKVs))
+	for i, kv := range genKVs {
+		at, err := copyFrame(kv.e)
+		if err != nil {
 			return fail(err)
 		}
+		newGens[i] = genKV{kv.k, entry{off: at, n: kv.e.n, sum: kv.e.sum}}
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmpPath)
-		return err
+		return fail(err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpPath)
 		return err
+	}
+
+	// Invalidate the old sidecar BEFORE the segment swap: between here
+	// and the new sidecar's rename, a crash leaves a segment with no
+	// sidecar — a full scan, never a lying fast path.
+	if err := os.Remove(seg.idxPath); err != nil && !os.IsNotExist(err) {
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: remove stale index sidecar: %w", err)
 	}
 	if err := os.Rename(tmpPath, path); err != nil {
 		os.Remove(tmpPath)
@@ -311,8 +451,9 @@ func (seg *segment) compact(path string) error {
 	}
 	// Swap the handle to the compacted segment. If the reopen fails,
 	// the old handle now points at the unlinked pre-compaction inode —
-	// latch the error so appends stop being trusted and Sync/Close
-	// surface it, instead of silently persisting into an orphan.
+	// keep serving reads from it, but latch the error so appends stop
+	// being trusted and Sync/Close surface it, instead of silently
+	// persisting into an orphan.
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		if seg.appendErr == nil {
@@ -320,8 +461,46 @@ func (seg *segment) compact(path string) error {
 		}
 		return err
 	}
-	seg.f.Close()
-	seg.f = f
+	newLF := newLogFile(f)
+
+	// Point every index entry at its frame in the rewrite. Appends to
+	// this shard are still queued on seg.mu, so the stripe contents are
+	// exactly the collected set; concurrent Gets that raced the swap
+	// retry via errLogClosed and land on the refreshed entries.
+	for _, kv := range newRecs {
+		st := &seg.recs[recStripeOf(kv.k)]
+		st.mu.Lock()
+		st.m[kv.k] = entry{src: newLF, off: kv.e.off, n: kv.e.n, sum: kv.e.sum}
+		st.mu.Unlock()
+	}
+	for _, kv := range newGens {
+		st := &seg.gens[genStripeOf(kv.k)]
+		st.mu.Lock()
+		st.m[kv.k] = entry{src: newLF, off: kv.e.off, n: kv.e.n, sum: kv.e.sum}
+		st.mu.Unlock()
+	}
+	old := seg.lf
+	seg.lf = newLF
+	seg.size = off
+	old.close()
+
+	// The snapshot sidecar: written only after the compacted segment
+	// is durably in place, covering exactly its off bytes. An empty
+	// shard gets no sidecar — there is nothing to accelerate.
+	if len(newRecs)+len(newGens) > 0 {
+		snap := snapshot{segLen: off}
+		snap.recs = make([]snapRec, len(newRecs))
+		for i, kv := range newRecs {
+			snap.recs[i] = snapRec{key: kv.k, off: kv.e.off, n: kv.e.n, sum: kv.e.sum}
+		}
+		snap.gens = make([]snapGen, len(newGens))
+		for i, kv := range newGens {
+			snap.gens[i] = snapGen{key: kv.k, off: kv.e.off, n: kv.e.n, sum: kv.e.sum}
+		}
+		if err := writeSnapshot(seg.idxPath, &snap); err != nil {
+			return fmt.Errorf("store: write index sidecar: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -334,7 +513,7 @@ func (seg *segment) sync() error {
 	if seg.appendErr != nil {
 		return seg.appendErr
 	}
-	return seg.f.Sync()
+	return seg.lf.f.Sync()
 }
 
 // close syncs and releases the segment.
@@ -342,8 +521,8 @@ func (seg *segment) close() error {
 	seg.mu.Lock()
 	defer seg.mu.Unlock()
 	seg.drainLocked()
-	syncErr := seg.f.Sync()
-	closeErr := seg.f.Close()
+	syncErr := seg.lf.f.Sync()
+	closeErr := seg.lf.close()
 	if seg.appendErr != nil {
 		return seg.appendErr
 	}

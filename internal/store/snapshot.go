@@ -1,0 +1,186 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+
+	"cloudeval/internal/inference"
+)
+
+// Index-snapshot sidecar (<segment>.idx): the shard's offset index,
+// serialized at the end of a successful Compact so the next Open can
+// load it and scan only the frames appended afterwards. The sidecar is
+// pure acceleration — it holds offsets and checksums, never payloads —
+// and Open trusts it only after full validation: magic, version, a
+// trailing CRC-32C over everything before it, a recorded segment byte
+// length no longer than the file on disk, and every entry in bounds.
+// Anything less falls back to the frame-by-frame scan, which
+// reproduces byte-identical state from the segment alone.
+//
+// Layout (all integers little-endian):
+//
+//	[6]  magic "CEVIDX"
+//	[2]  version (currently 1)
+//	[8]  segLen: segment byte length the index covers
+//	[4]  record entry count
+//	[4]  generation entry count
+//	then per record entry (80 bytes):
+//	     [32] test digest  [32] answer digest  [8] offset  [4] frame length  [4] payload CRC
+//	then per generation entry (48 bytes):
+//	     [32] generation key  [8] offset  [4] frame length  [4] payload CRC
+//	[4]  CRC-32C of everything above
+const (
+	snapMagic   = "CEVIDX"
+	snapVersion = 1
+
+	snapHeaderSize = 6 + 2 + 8 + 4 + 4
+	snapRecSize    = 32 + 32 + 8 + 4 + 4
+	snapGenSize    = 32 + 8 + 4 + 4
+)
+
+// errBadSnapshot covers every way a sidecar can fail validation —
+// corrupt, truncated, stale, wrong version. Callers treat them all the
+// same: ignore the sidecar, scan the segment.
+var errBadSnapshot = errors.New("store: invalid index sidecar")
+
+type snapRec struct {
+	key Key
+	off int64
+	n   uint32
+	sum uint32
+}
+
+type snapGen struct {
+	key inference.Key
+	off int64
+	n   uint32
+	sum uint32
+}
+
+type snapshot struct {
+	segLen int64
+	recs   []snapRec
+	gens   []snapGen
+}
+
+// readSnapshot loads and fully validates the sidecar at path against a
+// segment of segSize bytes. Any defect — missing file, bad magic,
+// unknown version, checksum mismatch, a recorded length exceeding the
+// segment (the segment was truncated or torn after the snapshot), or
+// an out-of-bounds entry — returns an error; the caller falls back to
+// scanning.
+func readSnapshot(path string, segSize int64) (*snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < snapHeaderSize+4 {
+		return nil, errBadSnapshot
+	}
+	body := data[:len(data)-4]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(data[len(data)-4:]) {
+		return nil, errBadSnapshot
+	}
+	if string(body[:6]) != snapMagic {
+		return nil, errBadSnapshot
+	}
+	if binary.LittleEndian.Uint16(body[6:8]) != snapVersion {
+		return nil, errBadSnapshot
+	}
+	segLen := int64(binary.LittleEndian.Uint64(body[8:16]))
+	if segLen < 0 || segLen > segSize {
+		// Stale: the segment no longer contains the bytes this index
+		// describes (a tear or truncation behind the snapshot's back).
+		return nil, errBadSnapshot
+	}
+	nRecs := int64(binary.LittleEndian.Uint32(body[16:20]))
+	nGens := int64(binary.LittleEndian.Uint32(body[20:24]))
+	if int64(len(body)) != snapHeaderSize+nRecs*snapRecSize+nGens*snapGenSize {
+		return nil, errBadSnapshot
+	}
+	snap := &snapshot{segLen: segLen}
+	p := body[snapHeaderSize:]
+	entryOK := func(off int64, n uint32) bool {
+		return off >= 0 && n > frameHeaderSize && off+int64(n) <= segLen
+	}
+	snap.recs = make([]snapRec, nRecs)
+	for i := range snap.recs {
+		e := &snap.recs[i]
+		copy(e.key.Test[:], p[0:32])
+		copy(e.key.Answer[:], p[32:64])
+		e.off = int64(binary.LittleEndian.Uint64(p[64:72]))
+		e.n = binary.LittleEndian.Uint32(p[72:76])
+		e.sum = binary.LittleEndian.Uint32(p[76:80])
+		if !entryOK(e.off, e.n) {
+			return nil, errBadSnapshot
+		}
+		p = p[snapRecSize:]
+	}
+	snap.gens = make([]snapGen, nGens)
+	for i := range snap.gens {
+		e := &snap.gens[i]
+		copy(e.key[:], p[0:32])
+		e.off = int64(binary.LittleEndian.Uint64(p[32:40]))
+		e.n = binary.LittleEndian.Uint32(p[40:44])
+		e.sum = binary.LittleEndian.Uint32(p[44:48])
+		if !entryOK(e.off, e.n) {
+			return nil, errBadSnapshot
+		}
+		p = p[snapGenSize:]
+	}
+	return snap, nil
+}
+
+// writeSnapshot serializes the sidecar atomically: temp file, fsync,
+// rename. A crash mid-write leaves either the previous sidecar state
+// or a temp file nothing reads — never a half-written .idx.
+func writeSnapshot(path string, snap *snapshot) error {
+	size := snapHeaderSize + len(snap.recs)*snapRecSize + len(snap.gens)*snapGenSize + 4
+	buf := make([]byte, 0, size)
+	buf = append(buf, snapMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, snapVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(snap.segLen))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(snap.recs)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(snap.gens)))
+	for _, e := range snap.recs {
+		buf = append(buf, e.key.Test[:]...)
+		buf = append(buf, e.key.Answer[:]...)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.off))
+		buf = binary.LittleEndian.AppendUint32(buf, e.n)
+		buf = binary.LittleEndian.AppendUint32(buf, e.sum)
+	}
+	for _, e := range snap.gens {
+		buf = append(buf, e.key[:]...)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.off))
+		buf = binary.LittleEndian.AppendUint32(buf, e.n)
+		buf = binary.LittleEndian.AppendUint32(buf, e.sum)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+
+	tmpPath := path + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := os.Rename(tmpPath, path); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	return nil
+}

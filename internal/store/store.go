@@ -62,28 +62,43 @@
 // instead of N, and Puts to different shards batch and flush fully
 // independently.
 //
-// The full index (including result payloads; outputs are bounded by
-// the corpus) is held in memory, so Get never touches disk after Open.
+// # Out-of-core index
+//
+// The resident index holds no payloads: each stripe maps a key to an
+// {owning log, offset, frame length, payload CRC} entry, so resident
+// cost per record is ~100 bytes regardless of how large its output or
+// response text is. Get/GetGen pread the frame on demand, re-verify
+// its checksum, decode, and serve the result through a bounded
+// sharded-LRU hot cache (WithHotCacheBytes, default 256 MiB), so a
+// warm campaign's working set stays in-memory fast while RSS is
+// bounded by index size + cache budget, not corpus size.
+//
+// Compact additionally writes each shard's index as a checksummed
+// binary sidecar (<segment>.idx, see snapshot.go) tied to the
+// segment's byte length; Open loads the sidecar when it validates and
+// scans only the frames appended after it — restart cost is O(tail),
+// not O(log). A missing, stale, truncated, or corrupt sidecar falls
+// back to the full scan and produces byte-identical state.
 package store
 
 import (
-	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
 	"path/filepath"
 	"runtime"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"cloudeval/internal/inference"
+	"cloudeval/internal/memo"
 	"cloudeval/internal/unittest"
 )
 
@@ -125,6 +140,18 @@ type frame struct {
 	LatencyNs        int64  `json:"latency_ns,omitempty"`
 }
 
+// keyFrame is the scan-time projection of frame: only the fields that
+// feed the offset index. Replay decodes into this so json.Unmarshal
+// skips the payload strings (Output, Text) entirely — a
+// multi-gigabyte log replays without allocating or retaining a single
+// payload.
+type keyFrame struct {
+	Kind   string `json:"kind"`
+	Test   string `json:"test"`
+	Answer string `json:"answer"`
+	Gen    string `json:"gen"`
+}
+
 // genKind tags generation frames.
 const genKind = "gen"
 
@@ -135,6 +162,17 @@ const frameHeaderSize = 8
 const maxPayload = 64 << 20
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// entry is one resident index entry: where a key's newest frame lives.
+// n is the full frame length, header included; sum is the payload
+// CRC-32C from the frame header, re-verified on every on-demand read
+// and used to recognize identical re-puts without decoding anything.
+type entry struct {
+	src *logFile
+	off int64
+	n   uint32
+	sum uint32
+}
 
 // Shard-count policy: a power of two sized like memo.Sharded's
 // GOMAXPROCS scaling, but clamped tighter — every shard is an open
@@ -156,12 +194,12 @@ const idxStripes = 4
 
 type recStripe struct {
 	mu sync.RWMutex
-	m  map[Key]Record
+	m  map[Key]entry
 }
 
 type genStripe struct {
 	mu sync.RWMutex
-	m  map[inference.Key]inference.Response
+	m  map[inference.Key]entry
 }
 
 // Shard routing uses the leading digest bytes; striping within a
@@ -172,6 +210,69 @@ func recStripeOf(k Key) int                    { return int(k.Test[1]^k.Answer[1
 func genShardOf(k inference.Key, mask int) int { return int(k[0]) & mask }
 func genStripeOf(k inference.Key) int          { return int(k[1]) & (idxStripes - 1) }
 
+// lessKeys orders unit-test keys for a deterministic compacted
+// segment.
+func lessKeys(a, b Key) bool {
+	if c := string(a.Test[:]); c != string(b.Test[:]) {
+		return c < string(b.Test[:])
+	}
+	return string(a.Answer[:]) < string(b.Answer[:])
+}
+
+// hotKey addresses one decoded result in the hot cache; gen
+// distinguishes the two key spaces (a generation key could otherwise
+// collide with a record whose digests happened to match).
+type hotKey struct {
+	gen  bool
+	a, b [sha256.Size]byte
+}
+
+// hotHash mixes digest bytes directly — the keys are already uniform
+// SHA-256 output, so four bytes of each are a perfectly good shard
+// selector.
+func hotHash(k hotKey) uint32 {
+	return binary.LittleEndian.Uint32(k.a[4:8]) ^ binary.LittleEndian.Uint32(k.b[8:12])
+}
+
+// DefaultHotCacheBytes is the hot cache's byte budget when Open is not
+// given WithHotCacheBytes: large enough that a typical campaign's
+// working set is fully resident, small enough to bound RSS on stores
+// that have outgrown memory.
+const DefaultHotCacheBytes int64 = 256 << 20
+
+// Option configures Open.
+type Option func(*config)
+
+type config struct {
+	cacheBytes int64
+}
+
+// WithHotCacheBytes caps the hot cache's resident decoded-frame budget
+// at n bytes. Zero or negative effectively disables caching (every
+// read goes to disk) — useful for benchmarks and for processes that
+// only append.
+func WithHotCacheBytes(n int64) Option {
+	return func(c *config) {
+		c.cacheBytes = n
+	}
+}
+
+// OpenStats describes how the last Open rebuilt the index: how much
+// came from index-snapshot sidecars versus frame-by-frame scanning,
+// and how long the whole replay took.
+type OpenStats struct {
+	// SnapshotShards counts shards whose sidecar validated and was
+	// used; SnapshotFrames is the index entries they supplied without
+	// touching a frame.
+	SnapshotShards int
+	// SnapshotFrames and ScannedFrames partition the index entries by
+	// provenance: supplied by a sidecar vs decoded from the log (the
+	// post-snapshot tail, sidecar-less shards, and any legacy file).
+	SnapshotFrames int
+	ScannedFrames  int
+	Duration       time.Duration
+}
+
 // Store is a persistent evaluation cache sharded across per-key-range
 // segment files. It is safe for concurrent use and implements
 // engine.CacheStore and inference.GenStore.
@@ -180,18 +281,30 @@ type Store struct {
 	segs []*segment
 	mask int
 
+	// cache holds decoded Records/Responses under a byte budget; the
+	// index itself holds only offsets. Values are Record or
+	// inference.Response; cost is the source frame's byte length.
+	cache *memo.Bounded[hotKey, any]
+
+	openStats OpenStats
+
 	// compactMu serializes Compact calls (each shard's compaction also
 	// takes that shard's log lock; appends to other shards proceed).
 	compactMu sync.Mutex
-	// legacyMu guards legacy: whether the pre-shard single-file log at
-	// path still exists and must be preserved until a full Compact has
-	// migrated its records into the shard segments.
+	// legacyMu guards legacy state: whether the pre-shard single-file
+	// log at path still exists (and must be preserved until a full
+	// Compact has migrated its records) and the open handle on it that
+	// serves on-demand reads of legacy-resident records.
 	legacyMu sync.Mutex
 	legacy   bool
+	legacyLF *logFile
 }
 
 // segPath names shard i's segment file.
 func segPath(path string, i int) string { return fmt.Sprintf("%s.s%02d", path, i) }
+
+// idxPath names shard i's index-snapshot sidecar.
+func idxPath(path string, i int) string { return segPath(path, i) + ".idx" }
 
 // metaPath names the shard-count meta file.
 func metaPath(path string) string { return path + ".shards" }
@@ -255,7 +368,7 @@ func inferShardCount(path string) (int, bool, error) {
 	maxIdx := -1
 	for _, e := range entries {
 		name := e.Name()
-		if !strings.HasPrefix(name, prefix) {
+		if !strings.HasPrefix(name, prefix) || strings.HasSuffix(name, ".idx") {
 			continue
 		}
 		idx, err := strconv.Atoi(name[len(prefix):])
@@ -293,19 +406,32 @@ func writeShardMeta(path string, n int) error {
 	return nil
 }
 
-// Open reads (or creates) the sharded store rooted at path, replaying
-// every intact record: first the legacy single-file log at path
-// itself if one exists (the pre-shard layout, read through
-// transparently), then all shard segments in parallel. A truncated or
-// corrupt tail in any file — the signature of a crash mid-append — is
-// dropped and that file truncated back to its last intact record, not
-// treated as fatal.
-func Open(path string) (*Store, error) {
+// Open reads (or creates) the sharded store rooted at path, rebuilding
+// the offset index for every intact record: first the legacy
+// single-file log at path itself if one exists (the pre-shard layout,
+// read through transparently), then all shard segments in parallel. A
+// shard whose index-snapshot sidecar validates loads its index
+// directly and scans only the post-snapshot tail; anything wrong with
+// a sidecar silently falls back to that shard's full scan. A truncated
+// or corrupt tail in any file — the signature of a crash mid-append —
+// is dropped and that file truncated back to its last intact record,
+// not treated as fatal.
+func Open(path string, opts ...Option) (*Store, error) {
+	start := time.Now()
+	cfg := config{cacheBytes: DefaultHotCacheBytes}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	n, err := resolveShardCount(path)
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{path: path, mask: n - 1, segs: make([]*segment, n)}
+	s := &Store{
+		path:  path,
+		mask:  n - 1,
+		segs:  make([]*segment, n),
+		cache: memo.NewBounded[hotKey, any](hotHash, cfg.cacheBytes),
+	}
 	for i := range s.segs {
 		// O_APPEND: every flush is one write syscall that the kernel
 		// positions at the true end of file, so even a second process
@@ -316,17 +442,19 @@ func Open(path string) (*Store, error) {
 		f, err := os.OpenFile(segPath(path, i), os.O_RDWR|os.O_APPEND|os.O_CREATE, 0o644)
 		if err != nil {
 			for j := 0; j < i; j++ {
-				s.segs[j].f.Close()
+				s.segs[j].lf.close()
 			}
 			return nil, err
 		}
-		s.segs[i] = newSegment(f)
+		s.segs[i] = newSegment(f, idxPath(path, i))
 	}
 	// Legacy pre-pass: replay the single-file log serially, routing
 	// each record to its owning shard's index. It runs before the
 	// parallel segment replay so segment records — always at least as
 	// new, since appends only ever go to segments once the sharded
-	// store exists — overwrite legacy ones on conflict.
+	// store exists — overwrite legacy ones on conflict. The handle
+	// stays open: legacy-resident records are pread on demand like any
+	// others, until Compact migrates them into the segments.
 	if fi, err := os.Stat(path); err == nil && fi.Mode().IsRegular() {
 		if err := s.replayLegacy(); err != nil {
 			s.closeFiles()
@@ -352,26 +480,43 @@ func Open(path string) (*Store, error) {
 			return nil, err
 		}
 	}
+	for _, seg := range s.segs {
+		if seg.snapFrames > 0 {
+			s.openStats.SnapshotShards++
+		}
+		s.openStats.SnapshotFrames += seg.snapFrames
+		s.openStats.ScannedFrames += seg.scanFrames
+	}
+	s.openStats.Duration = time.Since(start)
 	return s, nil
 }
 
 func (s *Store) closeFiles() {
 	for _, seg := range s.segs {
-		seg.f.Close()
+		seg.lf.close()
+	}
+	if s.legacyLF != nil {
+		s.legacyLF.close()
 	}
 }
 
 // replayLegacy loads the pre-shard single-file log at s.path into the
-// shard indexes and truncates its torn tail. The handle is closed
-// afterwards — appends never go to the legacy file; it is removed by
-// the first full Compact.
+// shard indexes and truncates its torn tail. The handle is kept open
+// in s.legacyLF — the offset index points into it until the first
+// full Compact migrates every record into the segments.
 func (s *Store) replayLegacy() error {
 	f, err := os.OpenFile(s.path, os.O_RDWR, 0o644)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	good, err := scanLog(f, s.load)
+	s.legacyLF = newLogFile(f)
+	good, err := scanLog(f, 0, func(fr keyFrame, off int64, n, sum uint32) bool {
+		if !s.load(s.legacyLF, fr, off, n, sum) {
+			return false
+		}
+		s.openStats.ScannedFrames++
+		return true
+	})
 	if err != nil {
 		return err
 	}
@@ -381,46 +526,43 @@ func (s *Store) replayLegacy() error {
 	return nil
 }
 
-// load routes one replayed frame into the owning shard's index,
-// reporting false on a malformed key (treated like a corrupt frame:
-// replay stops there). Stripe locks are taken because segment replay
-// goroutines run concurrently and a misplaced record (a segment file
-// holding a foreign key, e.g. hand-copied files) must still land in
-// its owning shard's index, where Get will look for it.
-func (s *Store) load(fr frame) bool {
+// load routes one scanned frame's index entry into the owning shard's
+// stripe, reporting false on a malformed key (treated like a corrupt
+// frame: replay stops there). Stripe locks are taken because segment
+// replay goroutines run concurrently and a misplaced record (a
+// segment file holding a foreign key, e.g. hand-copied files) must
+// still land in its owning shard's index, where Get will look for it.
+func (s *Store) load(lf *logFile, fr keyFrame, off int64, n, sum uint32) bool {
+	e := entry{src: lf, off: off, n: n, sum: sum}
 	switch fr.Kind {
 	case genKind:
 		key, err := genKeyFromHex(fr.Gen)
 		if err != nil {
 			return false
 		}
-		st := &s.segs[genShardOf(key, s.mask)].gens[genStripeOf(key)]
-		st.mu.Lock()
-		st.m[key] = inference.Response{
-			Text: fr.Text,
-			Usage: inference.Usage{
-				PromptTokens:     fr.PromptTokens,
-				CompletionTokens: fr.CompletionTokens,
-			},
-			Latency: time.Duration(fr.LatencyNs),
-		}
-		st.mu.Unlock()
+		s.loadGen(key, e)
 	default:
 		key, err := keyFromHex(fr.Test, fr.Answer)
 		if err != nil {
 			return false
 		}
-		st := &s.segs[recShardOf(key, s.mask)].recs[recStripeOf(key)]
-		st.mu.Lock()
-		st.m[key] = Record{
-			Passed:      fr.Passed,
-			Output:      fr.Output,
-			ExitCode:    fr.ExitCode,
-			VirtualTime: time.Duration(fr.VirtualSecs * float64(time.Second)),
-		}
-		st.mu.Unlock()
+		s.loadRec(key, e)
 	}
 	return true
+}
+
+func (s *Store) loadRec(k Key, e entry) {
+	st := &s.segs[recShardOf(k, s.mask)].recs[recStripeOf(k)]
+	st.mu.Lock()
+	st.m[k] = e
+	st.mu.Unlock()
+}
+
+func (s *Store) loadGen(k inference.Key, e entry) {
+	st := &s.segs[genShardOf(k, s.mask)].gens[genStripeOf(k)]
+	st.mu.Lock()
+	st.m[k] = e
+	st.mu.Unlock()
 }
 
 func keyFromHex(test, answer string) (Key, error) {
@@ -482,17 +624,101 @@ func framePayload(fr frame) ([]byte, error) {
 	return buf, nil
 }
 
+// readFrame preads and decodes the frame an index entry points at,
+// re-verifying the length prefix and payload checksum against the
+// entry before trusting a byte of it.
+func (s *Store) readFrame(e entry) (frame, error) {
+	var fr frame
+	buf := make([]byte, e.n)
+	if err := e.src.pread(buf, e.off); err != nil {
+		return fr, err
+	}
+	if binary.LittleEndian.Uint32(buf[0:4]) != e.n-frameHeaderSize ||
+		binary.LittleEndian.Uint32(buf[4:8]) != e.sum ||
+		crc32.Checksum(buf[frameHeaderSize:], castagnoli) != e.sum {
+		return fr, errCorruptFrame
+	}
+	if err := json.Unmarshal(buf[frameHeaderSize:], &fr); err != nil {
+		return fr, err
+	}
+	return fr, nil
+}
+
+// getFrame resolves an index entry to its decoded frame, riding out
+// the two read races: an entry pointing into a log whose handle
+// compaction just swapped out (errLogClosed — re-read the refreshed
+// entry and retry), and an entry installed at enqueue time whose
+// group-commit batch has not hit the file yet (drain the shard once,
+// then retry the pread).
+func (s *Store) getFrame(seg *segment, e entry, lookup func() (entry, bool)) (frame, bool) {
+	drained := false
+	for {
+		fr, err := s.readFrame(e)
+		if err == nil {
+			return fr, true
+		}
+		if errors.Is(err, errLogClosed) {
+			e2, ok := lookup()
+			if !ok || e2 == e {
+				// The store is closed, or the key vanished: give up.
+				return frame{}, false
+			}
+			e = e2
+			continue
+		}
+		if !drained {
+			// The frame may still be in the shard's pending batch
+			// (entries become visible at enqueue, durable at flush).
+			// Force the flush and try once more.
+			seg.mu.Lock()
+			seg.drainLocked()
+			seg.mu.Unlock()
+			drained = true
+			continue
+		}
+		return frame{}, false
+	}
+}
+
 // Get implements engine.CacheStore: the persisted result for
-// (test, answer), if any.
+// (test, answer), if any. A hot-cache hit returns immediately; a miss
+// preads the record's frame from its segment, verifies and decodes
+// it, and installs it in the cache.
 func (s *Store) Get(test, answer [sha256.Size]byte) (unittest.Result, bool) {
 	key := Key{Test: test, Answer: answer}
-	st := &s.segs[recShardOf(key, s.mask)].recs[recStripeOf(key)]
-	st.mu.RLock()
-	rec, ok := st.m[key]
-	st.mu.RUnlock()
+	hk := hotKey{a: test, b: answer}
+	if v, ok := s.cache.Get(hk); ok {
+		rec := v.(Record)
+		return unittest.Result{
+			Passed:      rec.Passed,
+			Output:      rec.Output,
+			ExitCode:    rec.ExitCode,
+			VirtualTime: rec.VirtualTime,
+		}, true
+	}
+	seg := s.segs[recShardOf(key, s.mask)]
+	st := &seg.recs[recStripeOf(key)]
+	lookup := func() (entry, bool) {
+		st.mu.RLock()
+		e, ok := st.m[key]
+		st.mu.RUnlock()
+		return e, ok
+	}
+	e, ok := lookup()
 	if !ok {
 		return unittest.Result{}, false
 	}
+	fr, ok := s.getFrame(seg, e, lookup)
+	if !ok {
+		return unittest.Result{}, false
+	}
+	rec := Record{
+		Passed:      fr.Passed,
+		Output:      fr.Output,
+		ExitCode:    fr.ExitCode,
+		VirtualTime: time.Duration(fr.VirtualSecs * float64(time.Second)),
+	}
+	s.cache.Add(hk, rec, int64(e.n))
 	return unittest.Result{
 		Passed:      rec.Passed,
 		Output:      rec.Output,
@@ -505,9 +731,12 @@ func (s *Store) Get(test, answer [sha256.Size]byte) (unittest.Result, bool) {
 // Errored executions (res.Err != nil) are never recorded — like the
 // engine's in-memory tier, a transient outage must not be frozen into
 // the cache. An identical re-record is a no-op so warm campaigns don't
-// grow the log. Append failures latch into Err/Sync/Close rather than
-// failing the evaluation that produced the result. Put returns with
-// the record on disk (its shard's group-commit batch flushed).
+// grow the log: JSON encoding is deterministic, so matching frame
+// length + payload CRC against the resident entry recognizes the
+// duplicate without reading a byte. Append failures latch into
+// Err/Sync/Close rather than failing the evaluation that produced the
+// result. Put returns with the record on disk (its shard's
+// group-commit batch flushed).
 func (s *Store) Put(test, answer [sha256.Size]byte, res unittest.Result) {
 	if res.Err != nil {
 		return
@@ -519,49 +748,97 @@ func (s *Store) Put(test, answer [sha256.Size]byte, res unittest.Result) {
 		ExitCode:    res.ExitCode,
 		VirtualTime: res.VirtualTime,
 	}
+	buf, err := encodeFrame(key, rec)
 	seg := s.segs[recShardOf(key, s.mask)]
 	st := &seg.recs[recStripeOf(key)]
-	st.mu.Lock()
-	if old, ok := st.m[key]; ok && old == rec {
-		st.mu.Unlock()
+	if err == nil {
+		sum := binary.LittleEndian.Uint32(buf[4:8])
+		st.mu.RLock()
+		old, ok := st.m[key]
+		st.mu.RUnlock()
+		if ok && old.n == uint32(len(buf)) && old.sum == sum {
+			return
+		}
+		// The write path deliberately skips the hot cache: a campaign's
+		// re-reads of its own results hit the engine's memo tier, and a
+		// raw read-after-write is already correct through the pending
+		// batch (install-at-enqueue + drain retry) — caching here would
+		// only add allocations to every append.
+		if seg.appendWait(buf, nil, func(lf *logFile, off int64) {
+			st.mu.Lock()
+			st.m[key] = entry{src: lf, off: off, n: uint32(len(buf)), sum: sum}
+			st.mu.Unlock()
+		}) {
+			seg.appended.Add(1)
+		}
 		return
 	}
-	st.m[key] = rec
-	st.mu.Unlock()
-	buf, err := encodeFrame(key, rec)
-	if seg.appendWait(buf, err) {
-		seg.appended.Add(1)
-	}
+	seg.appendWait(nil, err, nil)
 }
 
 // GetGen implements inference.GenStore: the persisted generation for
-// the given request key, if any.
+// the given request key, if any — hot cache first, pread on miss.
 func (s *Store) GetGen(key inference.Key) (inference.Response, bool) {
-	st := &s.segs[genShardOf(key, s.mask)].gens[genStripeOf(key)]
-	st.mu.RLock()
-	resp, ok := st.m[key]
-	st.mu.RUnlock()
-	return resp, ok
+	hk := hotKey{gen: true, a: key}
+	if v, ok := s.cache.Get(hk); ok {
+		return v.(inference.Response), true
+	}
+	seg := s.segs[genShardOf(key, s.mask)]
+	st := &seg.gens[genStripeOf(key)]
+	lookup := func() (entry, bool) {
+		st.mu.RLock()
+		e, ok := st.m[key]
+		st.mu.RUnlock()
+		return e, ok
+	}
+	e, ok := lookup()
+	if !ok {
+		return inference.Response{}, false
+	}
+	fr, ok := s.getFrame(seg, e, lookup)
+	if !ok {
+		return inference.Response{}, false
+	}
+	resp := inference.Response{
+		Text: fr.Text,
+		Usage: inference.Usage{
+			PromptTokens:     fr.PromptTokens,
+			CompletionTokens: fr.CompletionTokens,
+		},
+		Latency: time.Duration(fr.LatencyNs),
+	}
+	s.cache.Add(hk, resp, int64(e.n))
+	return resp, true
 }
 
 // PutGen implements inference.GenStore: persist one live generation.
-// An identical re-record is a no-op; append failures latch into
-// Err/Sync/Close, never failing the generation that produced the
-// response — the same advisory contract as Put.
+// An identical re-record is a no-op (recognized by frame length +
+// CRC, as in Put); append failures latch into Err/Sync/Close, never
+// failing the generation that produced the response — the same
+// advisory contract as Put.
 func (s *Store) PutGen(key inference.Key, resp inference.Response) {
+	buf, err := encodeGenFrame(key, resp)
 	seg := s.segs[genShardOf(key, s.mask)]
 	st := &seg.gens[genStripeOf(key)]
-	st.mu.Lock()
-	if old, ok := st.m[key]; ok && old == resp {
-		st.mu.Unlock()
+	if err == nil {
+		sum := binary.LittleEndian.Uint32(buf[4:8])
+		st.mu.RLock()
+		old, ok := st.m[key]
+		st.mu.RUnlock()
+		if ok && old.n == uint32(len(buf)) && old.sum == sum {
+			return
+		}
+		// No hot-cache insert on the write path — see Put.
+		if seg.appendWait(buf, nil, func(lf *logFile, off int64) {
+			st.mu.Lock()
+			st.m[key] = entry{src: lf, off: off, n: uint32(len(buf)), sum: sum}
+			st.mu.Unlock()
+		}) {
+			seg.appended.Add(1)
+		}
 		return
 	}
-	st.m[key] = resp
-	st.mu.Unlock()
-	buf, err := encodeGenFrame(key, resp)
-	if seg.appendWait(buf, err) {
-		seg.appended.Add(1)
-	}
+	seg.appendWait(nil, err, nil)
 }
 
 // Len reports how many distinct keys the store holds.
@@ -609,6 +886,30 @@ func (s *Store) Flushes() int64 {
 // Shards reports the store's shard count.
 func (s *Store) Shards() int { return len(s.segs) }
 
+// CacheStats snapshots the hot cache: budget, resident bytes, entry
+// count, and hit/miss counters since Open.
+func (s *Store) CacheStats() memo.BoundedStats { return s.cache.Stats() }
+
+// LastOpen reports how the most recent Open rebuilt the index —
+// snapshot-supplied vs scanned frames, and wall time.
+func (s *Store) LastOpen() OpenStats { return s.openStats }
+
+// Resident per-entry index cost estimates: key + entry struct + map
+// bucket overhead. Estimates, not measurements — the stats surface
+// reports magnitude, and the invariant that matters (payloads are not
+// resident) is structural.
+const (
+	residentPerRec = 128
+	residentPerGen = 96
+)
+
+// ResidentBytes estimates the store's resident memory: the offset
+// index (which scales with key count, never payload size) plus the
+// hot cache's current byte cost.
+func (s *Store) ResidentBytes() int64 {
+	return int64(s.Len())*residentPerRec + int64(s.GenLen())*residentPerGen + s.cache.Bytes()
+}
+
 // ShardStat is one shard's observable state: index sizes plus this
 // handle's append/flush counters (their ratio is the shard's
 // group-commit batching factor).
@@ -646,18 +947,21 @@ func (s *Store) Err() error {
 }
 
 // Compact rewrites every shard to exactly one record per key — the
-// newest — shedding superseded appends. Shards compact concurrently
-// and independently: each rewrite goes to a temp file that atomically
-// renames over that shard's segment, holding only that shard's log
-// lock, so appends to other shards proceed throughout and a crash
-// mid-compaction of shard k loses nothing — neither in shard k (the
-// rename is atomic; the old segment stays until it succeeds) nor in
-// shards ≠ k (their files are untouched). When every shard has been
-// durably rewritten, any legacy pre-shard log at path is fully
-// migrated into the segments and removed; a crash before that point
-// leaves the legacy file in place, and its stale duplicates are
-// resolved on the next Open by replay order (legacy first, segments
-// overwrite).
+// newest — shedding superseded appends, and leaves each non-empty
+// shard with a fresh index-snapshot sidecar for the next Open's fast
+// path. Shards compact concurrently and independently: each rewrite
+// goes to a temp file that atomically renames over that shard's
+// segment, holding only that shard's log lock, so appends to other
+// shards proceed throughout and a crash mid-compaction of shard k
+// loses nothing — neither in shard k (the rename is atomic; the old
+// segment stays until it succeeds, and the sidecar is invalidated
+// before the swap so it can never describe bytes that aren't there)
+// nor in shards ≠ k (their files are untouched). When every shard has
+// been durably rewritten, any legacy pre-shard log at path is fully
+// migrated into the segments (its frames raw-copied by the rewrites)
+// and removed; a crash before that point leaves the legacy file in
+// place, and its stale duplicates are resolved on the next Open by
+// replay order (legacy first, segments overwrite).
 func (s *Store) Compact() error {
 	s.compactMu.Lock()
 	defer s.compactMu.Unlock()
@@ -681,6 +985,13 @@ func (s *Store) Compact() error {
 	s.legacyMu.Lock()
 	defer s.legacyMu.Unlock()
 	if s.legacy {
+		// Every shard rewrite succeeded, so every record that lived in
+		// the legacy file now has a byte-identical copy in a segment
+		// and no index entry points at the legacy handle anymore.
+		if s.legacyLF != nil {
+			s.legacyLF.close()
+			s.legacyLF = nil
+		}
 		if err := os.Remove(s.path); err != nil && !os.IsNotExist(err) {
 			return fmt.Errorf("store: remove migrated legacy log: %w", err)
 		}
@@ -701,7 +1012,8 @@ func (s *Store) Sync() error {
 	return first
 }
 
-// Close syncs and releases every segment. The Store must not be used
+// Close syncs and releases every segment (and the legacy log handle,
+// if one is still being read through). The Store must not be used
 // after Close.
 func (s *Store) Close() error {
 	var first error
@@ -710,16 +1022,13 @@ func (s *Store) Close() error {
 			first = err
 		}
 	}
-	return first
-}
-
-// sortKeys orders a shard's unit-test keys for a deterministic
-// compacted segment.
-func sortKeys(keys []Key) {
-	sort.Slice(keys, func(i, j int) bool {
-		if c := bytes.Compare(keys[i].Test[:], keys[j].Test[:]); c != 0 {
-			return c < 0
+	s.legacyMu.Lock()
+	if s.legacyLF != nil {
+		if err := s.legacyLF.close(); err != nil && first == nil {
+			first = err
 		}
-		return bytes.Compare(keys[i].Answer[:], keys[j].Answer[:]) < 0
-	})
+		s.legacyLF = nil
+	}
+	s.legacyMu.Unlock()
+	return first
 }

@@ -28,8 +28,16 @@ func segmentPaths(t *testing.T, path string) []string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sort.Strings(matches)
-	return matches
+	segs := matches[:0]
+	for _, m := range matches {
+		// Index-snapshot sidecars (<seg>.idx) are derived acceleration
+		// state, not record bytes.
+		if !strings.HasSuffix(m, ".idx") {
+			segs = append(segs, m)
+		}
+	}
+	sort.Strings(segs)
+	return segs
 }
 
 // dataFiles lists every file holding store records: the legacy
@@ -93,6 +101,9 @@ func copyStore(t *testing.T, src, dst string) {
 	}
 	for _, seg := range segmentPaths(t, src) {
 		cp(seg, dst+strings.TrimPrefix(seg, src))
+		if _, err := os.Stat(seg + ".idx"); err == nil {
+			cp(seg+".idx", dst+strings.TrimPrefix(seg, src)+".idx")
+		}
 	}
 }
 
