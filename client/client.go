@@ -128,6 +128,12 @@ type Stats struct {
 	CacheHits int64  `json:"cache_hits"`
 	StoreHits int64  `json:"store_hits"`
 
+	// Pipeline depth gauges: instantaneous occupancy of the streaming
+	// generation→execution pipeline; zero when no campaign is running.
+	GenInflight        int64 `json:"gen_inflight"`
+	PipelineQueueDepth int64 `json:"pipeline_queue_depth"`
+	ExecBusy           int64 `json:"exec_busy"`
+
 	Provider         string `json:"provider"`
 	Generated        int64  `json:"generated"`
 	GenCacheHits     int64  `json:"gen_cache_hits"`

@@ -54,6 +54,16 @@
 //     stay at or under it — the pread + verify + decode path must not
 //     grow allocation fat. Like gate 5 the cap does not ratchet with
 //     baseline re-records.
+//  11. Pipeline overlap (-min-pipeline-overlap): CampaignPipelined
+//     must be at least the given factor faster than
+//     CampaignInterleaved from the same run — the streaming
+//     generation→execution pipeline must keep provider latency
+//     overlapped with unit-test execution instead of paying them in
+//     sequence. Both benchmarks run the identical latency-injected
+//     campaign in the same process, so the ratio is hardware-
+//     independent; measured at the 4-core -cpu point when the run
+//     recorded one. Skipped (loudly) on runners with fewer than 4
+//     CPUs, like the parallel gates.
 //
 // With -loadgen, a `cloudeval loadgen -out` report joins the artifact
 // under "loadgen" and two service-tier gates run against it:
@@ -138,6 +148,13 @@ type Artifact struct {
 	// read path. Recorded once in the baseline; does not move with
 	// baseline re-records.
 	StoreColdGetMaxAllocs float64 `json:"store_cold_get_max_allocs,omitempty"`
+	// PipelineOverlap is CampaignInterleaved ns/op divided by
+	// CampaignPipelined ns/op from this run — how much the streaming
+	// pipeline hides the injected provider latency behind unit-test
+	// execution (higher is better; 1.0 means no overlap at all).
+	// Recorded whenever both benchmarks ran, at the 4-core -cpu point
+	// when one was recorded.
+	PipelineOverlap float64 `json:"pipeline_overlap,omitempty"`
 	// Loadgen is the service-tier load report (-loadgen) folded in
 	// verbatim, so one artifact carries both the micro-benchmarks and
 	// the HTTP-path latency distribution of the same commit.
@@ -170,6 +187,14 @@ const minOpenFrames = 2000
 
 // coldGetBench is the benchmark the cold-read allocation cap inspects.
 const coldGetBench = "StoreColdGet"
+
+// Benchmarks the pipeline-overlap gate compares: the identical
+// latency-injected campaign run through the streaming pipeline vs the
+// pre-pipeline generate-then-score loop.
+const (
+	pipelinedBench   = "CampaignPipelined"
+	interleavedBench = "CampaignInterleaved"
+)
 
 // benchLine matches e.g.
 //
@@ -255,15 +280,16 @@ func ratio(benchmarks map[string]BenchResult) (float64, error) {
 // gates holds the regression thresholds; a zero (or negative) value
 // disables the corresponding gate.
 type gates struct {
-	maxRegress       float64 // engine/serial ns ratio, percent over baseline
-	maxAllocRegress  float64 // per-benchmark allocs/op, percent over baseline
-	minColdSpeedup   float64 // ColdPathUnitTest ns vs baseline cold_unittest_pre_pr_ns
-	minParallelScale float64 // CampaignParallel 1-core ns vs 4-core ns
-	minStoreScale    float64 // StoreAppendParallel 1-core ns vs 4-core ns
-	minOpenSpeedup   float64 // StoreOpenWarm ns vs StoreOpenSnapshot ns
-	loadgenPath      string  // cloudeval loadgen report to gate ("" disables)
-	maxP99Ms         float64 // loadgen p99 latency ceiling in ms
-	maxErrorRate     float64 // loadgen error-rate ceiling as a fraction; negative disables
+	maxRegress         float64 // engine/serial ns ratio, percent over baseline
+	maxAllocRegress    float64 // per-benchmark allocs/op, percent over baseline
+	minColdSpeedup     float64 // ColdPathUnitTest ns vs baseline cold_unittest_pre_pr_ns
+	minParallelScale   float64 // CampaignParallel 1-core ns vs 4-core ns
+	minStoreScale      float64 // StoreAppendParallel 1-core ns vs 4-core ns
+	minOpenSpeedup     float64 // StoreOpenWarm ns vs StoreOpenSnapshot ns
+	minPipelineOverlap float64 // CampaignInterleaved ns vs CampaignPipelined ns
+	loadgenPath        string  // cloudeval loadgen report to gate ("" disables)
+	maxP99Ms           float64 // loadgen p99 latency ceiling in ms
+	maxErrorRate       float64 // loadgen error-rate ceiling as a fraction; negative disables
 }
 
 func main() {
@@ -278,6 +304,7 @@ func main() {
 	flag.Float64Var(&g.minParallelScale, "min-parallel-speedup", 2.5, "fail when CampaignParallel at 4 cores is not at least this factor faster than at 1 core (0 disables; skipped on machines with fewer than 4 CPUs)")
 	flag.Float64Var(&g.minStoreScale, "min-store-speedup", 0, "fail when StoreAppendParallel at 4 cores is not at least this factor faster than at 1 core (0 disables; skipped on machines with fewer than 4 CPUs)")
 	flag.Float64Var(&g.minOpenSpeedup, "min-open-speedup", 0, "fail when StoreOpenSnapshot is not at least this factor faster than StoreOpenWarm in the same run (0 disables; skipped when the fixture replays fewer than 2000 records)")
+	flag.Float64Var(&g.minPipelineOverlap, "min-pipeline-overlap", 0, "fail when CampaignPipelined is not at least this factor faster than CampaignInterleaved in the same run (0 disables; skipped on machines with fewer than 4 CPUs)")
 	flag.StringVar(&g.loadgenPath, "loadgen", "", "cloudeval loadgen report JSON to gate and fold into the artifact")
 	flag.Float64Var(&g.maxP99Ms, "max-p99-ms", 0, "fail when the loadgen report's p99 latency exceeds this many milliseconds (0 disables; skipped on machines with fewer than 4 CPUs)")
 	flag.Float64Var(&g.maxErrorRate, "max-error-rate", -1, "fail when the loadgen report's error rate exceeds this fraction (negative disables; 0 means no errors tolerated)")
@@ -317,6 +344,9 @@ func run(in, out, sha, baselinePath string, g gates) error {
 	}
 	if speedup, _, ok := openSpeedup(benchmarks); ok {
 		art.StoreOpenSnapshotSpeedup = speedup
+	}
+	if overlap, ok := pipelineOverlap(benchmarks); ok {
+		art.PipelineOverlap = overlap
 	}
 
 	// The baseline is loaded before the artifact is written only so the
@@ -399,6 +429,9 @@ func run(in, out, sha, baselinePath string, g gates) error {
 		return err
 	}
 	if err := gateOpenSpeedup(benchmarks, g.minOpenSpeedup); err != nil {
+		return err
+	}
+	if err := gatePipelineOverlap(benchmarks, g.minPipelineOverlap); err != nil {
 		return err
 	}
 	if err := gateColdGetAllocCap(benchmarks, baseline); err != nil {
@@ -587,6 +620,55 @@ func gateOpenSpeedup(benchmarks map[string]BenchResult, minSpeedup float64) erro
 	if speedup < minSpeedup {
 		return fmt.Errorf("snapshot Open regressed: only %.2fx faster than the full scan (need %.1fx) — the sidecar fast path is not paying for itself",
 			speedup, minSpeedup)
+	}
+	return nil
+}
+
+// pipelineOverlap computes CampaignInterleaved ns/op over
+// CampaignPipelined ns/op when both ran. When a run recorded a 4-core
+// -cpu point for both, the ratio is taken there — that is where the
+// execution stage has real workers to overlap with — otherwise the
+// headline ns/op is used.
+func pipelineOverlap(benchmarks map[string]BenchResult) (float64, bool) {
+	pipe, okPipe := benchmarks[pipelinedBench]
+	inter, okInter := benchmarks[interleavedBench]
+	if !okPipe || !okInter {
+		return 0, false
+	}
+	pipeNs, interNs := pipe.NsPerOp, inter.NsPerOp
+	if p, i := pipe.ByCPU["4"], inter.ByCPU["4"]; p > 0 && i > 0 {
+		pipeNs, interNs = p, i
+	}
+	if pipeNs <= 0 || interNs <= 0 {
+		return 0, false
+	}
+	return interNs / pipeNs, true
+}
+
+// gatePipelineOverlap enforces the streaming pipeline's reason to
+// exist: the latency-injected campaign must finish at least minOverlap
+// times faster pipelined than interleaved. Both benchmarks come from
+// the same run on the same machine, so the ratio is hardware-
+// independent — but with fewer than 4 CPUs the execution stage has no
+// parallelism for generation to overlap with, so like the parallel
+// gates it announces itself skipped rather than passing silently.
+func gatePipelineOverlap(benchmarks map[string]BenchResult, minOverlap float64) error {
+	if minOverlap <= 0 {
+		return nil
+	}
+	if runtime.NumCPU() < 4 {
+		fmt.Printf("benchguard: pipeline-overlap gate skipped: %d CPUs (< 4) leave the execution stage nothing to overlap with\n", runtime.NumCPU())
+		return nil
+	}
+	overlap, ok := pipelineOverlap(benchmarks)
+	if !ok {
+		return fmt.Errorf("%s/%s missing from bench output (pipeline-overlap gate active)", pipelinedBench, interleavedBench)
+	}
+	fmt.Printf("benchguard: pipelined campaign %.2fx faster than interleaved (required %.2fx)\n",
+		overlap, minOverlap)
+	if overlap < minOverlap {
+		return fmt.Errorf("pipeline overlap regressed: the pipelined campaign is only %.2fx faster than the interleaved baseline (need %.2fx) — provider latency is being paid in sequence with execution again",
+			overlap, minOverlap)
 	}
 	return nil
 }

@@ -357,6 +357,88 @@ func TestOpenSpeedupGate(t *testing.T) {
 	}
 }
 
+// pipelineSample pairs the pipelined and interleaved latency-campaign
+// benchmarks of one run: 8x apart at 4 cores, 20x at 1 core (a single
+// executor leaves the most latency exposed in the interleaved shape).
+const pipelineSample = `goos: linux
+pkg: cloudeval
+BenchmarkCampaignPipelined      	       5	 200000000 ns/op	        64.00 peak-gen-inflight
+BenchmarkCampaignPipelined-4    	      10	 150000000 ns/op	        64.00 peak-gen-inflight
+BenchmarkCampaignInterleaved    	       1	4000000000 ns/op
+BenchmarkCampaignInterleaved-4  	       1	1200000000 ns/op
+PASS
+`
+
+func TestPipelineOverlapGate(t *testing.T) {
+	benchmarks, err := parseBench(strings.NewReader(pipelineSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ratio must come from the 4-core points (8x), not the 1-core
+	// headline fallback (20x).
+	if overlap, ok := pipelineOverlap(benchmarks); !ok || overlap != 8 {
+		t.Errorf("pipelineOverlap = %v, %v; want 8 from the 4-core points", overlap, ok)
+	}
+	// Without -cpu points the headline ns/op carries the ratio.
+	headline := map[string]BenchResult{
+		pipelinedBench:   {NsPerOp: 100},
+		interleavedBench: {NsPerOp: 300},
+	}
+	if overlap, ok := pipelineOverlap(headline); !ok || overlap != 3 {
+		t.Errorf("headline pipelineOverlap = %v, %v; want 3", overlap, ok)
+	}
+	bad, err := parseBench(strings.NewReader(strings.ReplaceAll(
+		pipelineSample, " 150000000 ns/op", " 1000000000 ns/op")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gatePipelineOverlap(benchmarks, 0); err != nil {
+		t.Fatalf("disabled gate failed: %v", err)
+	}
+	if runtime.NumCPU() < 4 {
+		// The gate must announce itself skipped, not fail, on small
+		// runners — including this one.
+		if err := gatePipelineOverlap(bad, 1.54); err != nil {
+			t.Fatalf("gate did not skip on a %d-CPU machine: %v", runtime.NumCPU(), err)
+		}
+		t.Skipf("%d CPUs: enforcement paths need >= 4", runtime.NumCPU())
+	}
+	if err := gatePipelineOverlap(benchmarks, 1.54); err != nil {
+		t.Fatalf("gate failed an 8x overlap: %v", err)
+	}
+	if err := gatePipelineOverlap(bad, 1.54); err == nil {
+		t.Fatal("gate passed a 1.2x overlap")
+	}
+	if err := gatePipelineOverlap(map[string]BenchResult{}, 1.54); err == nil {
+		t.Fatal("gate passed with neither campaign benchmark present")
+	}
+}
+
+// TestPipelineOverlapInArtifact: the measured overlap folds into the
+// written artifact whether or not the gate is active.
+func TestPipelineOverlapInArtifact(t *testing.T) {
+	dir := t.TempDir()
+	benchPath := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(benchPath, []byte(pipelineSample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "BENCH_pipe.json")
+	if err := run(benchPath, outPath, "pipe", "", gates{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art Artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatal(err)
+	}
+	if art.PipelineOverlap != 8 {
+		t.Errorf("artifact pipeline overlap = %v, want 8", art.PipelineOverlap)
+	}
+}
+
 func TestColdGetAllocCapGate(t *testing.T) {
 	benchmarks, err := parseBench(strings.NewReader(snapshotSample))
 	if err != nil {

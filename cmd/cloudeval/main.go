@@ -112,23 +112,41 @@ bench, figures, campaign and models take inference provider flags:
   -replay F                  serve every generation from the JSONL trace at F
                              (zero live calls; overrides -provider)
   -record F                  record every live generation to the trace at F
+  -gen-concurrency N         max generations in flight (0 = unbounded;
+                             default -1 = provider default: sim/replay
+                             unbounded, http 64). Campaigns stream this
+                             generation stage into the CPU-sized
+                             execution pool, so N is how much provider
+                             latency can hide behind unit-test execution.
 `)
 }
 
 // providerFlags carries the inference provider selection shared by
 // bench, figures, campaign and models.
 type providerFlags struct {
-	provider *string
-	record   *string
-	replay   *string
+	provider       *string
+	record         *string
+	replay         *string
+	genConcurrency *int
 }
 
 func addProviderFlags(fs *flag.FlagSet) providerFlags {
 	return providerFlags{
-		provider: fs.String("provider", "sim", `inference provider: "sim" or "http:<base-url>"`),
-		record:   fs.String("record", "", "record generations to this JSONL trace file"),
-		replay:   fs.String("replay", "", "replay generations from this JSONL trace file"),
+		provider:       fs.String("provider", "sim", `inference provider: "sim" or "http:<base-url>"`),
+		record:         fs.String("record", "", "record generations to this JSONL trace file"),
+		replay:         fs.String("replay", "", "replay generations from this JSONL trace file"),
+		genConcurrency: fs.Int("gen-concurrency", -1, "max generations in flight (0 = unbounded; -1 = provider default: sim/replay unbounded, http 64)"),
 	}
+}
+
+// dispatchOptions translates the flag values into dispatcher options:
+// -gen-concurrency -1 defers to the provider default, anything else
+// overrides it (0 lifts the cap entirely).
+func (pf providerFlags) dispatchOptions() []inference.DispatchOption {
+	if *pf.genConcurrency >= 0 {
+		return []inference.DispatchOption{inference.WithConcurrency(*pf.genConcurrency)}
+	}
+	return nil
 }
 
 // configured reports whether any non-default provider flag is set.
@@ -162,7 +180,7 @@ func newBench(storePath string, cacheMB int, pf providerFlags) (*cloudeval.Bench
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	var dopts []inference.DispatchOption
+	dopts := pf.dispatchOptions()
 	var st *store.Store
 	if storePath != "" {
 		st, err = store.Open(storePath, store.WithHotCacheBytes(int64(cacheMB)<<20))

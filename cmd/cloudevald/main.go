@@ -98,6 +98,7 @@ func run() error {
 	provider := flag.String("provider", "sim", `inference provider: "sim" or "http:<base-url>" (key from $CLOUDEVAL_API_KEY)`)
 	record := flag.String("record", "", "record every live generation to this JSONL trace")
 	replay := flag.String("replay", "", "serve generations from this JSONL trace (overrides -provider)")
+	genConcurrency := flag.Int("gen-concurrency", -1, "max generations in flight (0 = unbounded; -1 = provider default: sim/replay unbounded, http 64)")
 	warm := flag.Bool("warm", false, "run the Table 4 campaign at startup so the first request is cheap")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (off by default)")
 	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant admission rate in requests/s for POST /v1/eval and /v1/campaign (0 = unlimited)")
@@ -127,7 +128,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	disp := inference.NewDispatcher(prov, inference.WithGenStore(st))
+	dopts := []inference.DispatchOption{inference.WithGenStore(st)}
+	if *genConcurrency >= 0 {
+		dopts = append(dopts, inference.WithConcurrency(*genConcurrency))
+	}
+	disp := inference.NewDispatcher(prov, dopts...)
 	defer disp.Close()
 
 	eng := engine.New(engine.WithStore(st))

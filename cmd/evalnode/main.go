@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sync"
 	"time"
 
 	"cloudeval/internal/dataset"
@@ -77,6 +78,7 @@ func runMaster(args []string) error {
 	modelName := fs.String("model", "gpt-4", "model to evaluate")
 	limit := fs.Int("limit", 50, "number of problems to submit")
 	inflight := fs.Int("inflight", 16, "jobs kept in flight on the cluster")
+	genConcurrency := fs.Int("gen-concurrency", -1, "max generations in flight (0 = unbounded; -1 = provider default: sim/replay unbounded, http 64)")
 	timeout := fs.Duration("timeout", 5*time.Minute, "per-job result timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -100,26 +102,43 @@ func runMaster(args []string) error {
 	// Generation routes through the inference dispatcher — the same
 	// provider seam the in-process campaigns use, so a master could
 	// just as well replay a recorded trace.
-	gen := inference.NewDispatcher(inference.NewSim(llm.Models))
+	var dopts []inference.DispatchOption
+	if *genConcurrency >= 0 {
+		dopts = append(dopts, inference.WithConcurrency(*genConcurrency))
+	}
+	gen := inference.NewDispatcher(inference.NewSim(llm.Models), dopts...)
 	index := make(map[string]dataset.Problem, len(problems))
-	jobs := make([]engine.Job, len(problems))
-	for i, p := range problems {
+	for _, p := range problems {
 		index[p.ID] = p
-		jobs[i] = engine.Job{
-			ID:        fmt.Sprintf("job-%d", i+1),
-			ProblemID: p.ID,
-			Answer:    gen.Answer(model, p, llm.GenOptions{}),
-		}
 	}
 	fmt.Printf("dispatching %d jobs for %s (%d in flight); waiting for workers...\n",
-		len(jobs), model.Name, eng.Workers())
+		len(problems), model.Name, eng.Workers())
+	// Generation streams into cluster dispatch instead of completing
+	// first: the pipeline keeps -gen-concurrency answers being drawn
+	// while up to -inflight finished jobs ride the wire, so provider
+	// latency and worker round-trips overlap rather than add.
+	jobs := len(problems)
+	results := make([]engine.Result, jobs)
 	done := 0
-	results := eng.Run(jobs, index, func(r engine.Result) {
-		done++
-		if done%10 == 0 || done == len(jobs) {
-			fmt.Printf("  %d/%d results in\n", done, len(jobs))
-		}
-	})
+	var progress sync.Mutex
+	engine.Pipeline(eng, jobs, gen.Concurrency(), 0,
+		func(i int) engine.Job {
+			return engine.Job{
+				ID:        fmt.Sprintf("job-%d", i+1),
+				ProblemID: problems[i].ID,
+				Answer:    gen.Answer(model, problems[i], llm.GenOptions{}),
+			}
+		},
+		func(i int, job engine.Job) {
+			r := eng.RunOne(job, index)
+			results[i] = r
+			progress.Lock()
+			done++
+			if done%10 == 0 || done == jobs {
+				fmt.Printf("  %d/%d results in\n", done, jobs)
+			}
+			progress.Unlock()
+		})
 	passed, errored := 0, 0
 	for _, r := range results {
 		if r.Passed {

@@ -233,25 +233,42 @@ func PassAtKWith(eng *engine.Engine, m llm.Model, problems []dataset.Problem, ma
 	return PassAtKVia(eng, inference.Default(), m, problems, maxK, temperature)
 }
 
-// PassAtKVia schedules the multi-sample study on eng with samples
-// drawn through gen: problems fan out across the pool while each
-// problem's sample loop stays sequential, so the early exit after the
-// first passing sample — the paper's lazy sampling — is preserved and
-// the counts match the serial path exactly.
+// PassAtKVia schedules the multi-sample study round by round: round k
+// streams (generate sample k, execute its unit test) through the
+// two-stage pipeline over exactly the problems still unresolved after
+// round k-1. The early exit after the first passing sample — the
+// paper's lazy sampling — is therefore preserved to the generation:
+// sample k is drawn for precisely the problems whose first k samples
+// all failed, the same set the serial per-problem loop draws it for,
+// so both the counts and the provider bill match the serial path
+// exactly.
 func PassAtKVia(eng *engine.Engine, gen *inference.Dispatcher, m llm.Model, problems []dataset.Problem, maxK int, temperature float64) []int {
 	firstPass := make([]int, len(problems)) // index of first passing sample, or -1
-	eng.ForEach(len(problems), func(i int) {
-		p := problems[i]
-		idx := -1
-		for k := 0; k < maxK; k++ {
-			ans := gen.Answer(m, p, llm.GenOptions{Sample: k, Temperature: temperature})
-			if eng.UnitTest(p, ans).Passed {
-				idx = k
-				break
+	pending := make([]int, len(problems))   // problem indices still unresolved
+	for i := range problems {
+		firstPass[i] = -1
+		pending[i] = i
+	}
+	for k := 0; k < maxK && len(pending) > 0; k++ {
+		opts := llm.GenOptions{Sample: k, Temperature: temperature}
+		passed := make([]bool, len(pending))
+		engine.Pipeline(eng, len(pending), gen.Concurrency(), 0,
+			func(j int) string {
+				return gen.Answer(m, problems[pending[j]], opts)
+			},
+			func(j int, ans string) {
+				passed[j] = eng.UnitTest(problems[pending[j]], ans).Passed
+			})
+		still := pending[:0]
+		for j, idx := range pending {
+			if passed[j] {
+				firstPass[idx] = k
+			} else {
+				still = append(still, idx)
 			}
 		}
-		firstPass[i] = idx
-	})
+		pending = still
+	}
 	out := make([]int, maxK)
 	for k := 1; k <= maxK; k++ {
 		n := 0

@@ -106,6 +106,19 @@ type Stats struct {
 	Executed  int64
 	CacheHits int64
 	StoreHits int64
+
+	// Pipeline depth gauges — instantaneous, not cumulative. While a
+	// Pipeline call is running, GenInflight is how many stage-one
+	// producer calls are executing right now, QueueDepth how many
+	// completed items sit in the bounded hand-off channel awaiting an
+	// executor, and ExecBusy how many stage-two workers are inside
+	// their exec function. All three read zero when no pipeline is
+	// active; a campaign that is IO-bound shows GenInflight pinned at
+	// the generation limit with QueueDepth near zero, a CPU-bound one
+	// the reverse.
+	GenInflight int64
+	QueueDepth  int64
+	ExecBusy    int64
 }
 
 // Engine schedules evaluation jobs over an executor with memoization.
@@ -125,6 +138,11 @@ type Engine struct {
 	executed  atomic.Int64
 	cacheHits atomic.Int64
 	storeHits atomic.Int64
+
+	// Pipeline depth gauges (see Stats).
+	genInflight atomic.Int64
+	queueDepth  atomic.Int64
+	execBusy    atomic.Int64
 }
 
 // cacheKey content-addresses one evaluation: a unit-test outcome is a
@@ -233,9 +251,12 @@ func (e *Engine) Executor() Executor { return e.exec }
 // Stats snapshots the engine counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Executed:  e.executed.Load(),
-		CacheHits: e.cacheHits.Load(),
-		StoreHits: e.storeHits.Load(),
+		Executed:    e.executed.Load(),
+		CacheHits:   e.cacheHits.Load(),
+		StoreHits:   e.storeHits.Load(),
+		GenInflight: e.genInflight.Load(),
+		QueueDepth:  e.queueDepth.Load(),
+		ExecBusy:    e.execBusy.Load(),
 	}
 }
 
@@ -290,6 +311,31 @@ func (e *Engine) unitTest(p dataset.Problem, answer string) (unittest.Result, bo
 	return res, hit || fromStore
 }
 
+// RunOne executes a single job, resolving its problem by ID — the
+// per-job contract of Run, exported so streaming callers (the evalnode
+// master's generation pipeline) can drive jobs one at a time as their
+// answers arrive instead of materializing the whole batch first. An
+// unknown problem ID or executor failure produces a Result with Error
+// set rather than a panic, the same contract as a cluster worker.
+func (e *Engine) RunOne(job Job, problems map[string]dataset.Problem) Result {
+	r := Result{ID: job.ID, ProblemID: job.ProblemID, Worker: e.exec.Name()}
+	if p, ok := problems[job.ProblemID]; ok {
+		res, hit := e.unitTest(p, job.Answer)
+		r.Passed = res.Passed
+		r.VirtualSecs = res.VirtualTime.Seconds()
+		r.CacheHit = hit
+		if !res.Passed {
+			r.Output = res.Output
+		}
+		if res.Err != nil {
+			r.Error = res.Err.Error()
+		}
+	} else {
+		r.Error = "unknown problem " + job.ProblemID
+	}
+	return r
+}
+
 // Run executes a batch of jobs, resolving problems by ID, and returns
 // results in job order. onResult, when non-nil, streams each result as
 // it completes (calls are serialized). Unknown problem IDs and
@@ -300,22 +346,7 @@ func (e *Engine) Run(jobs []Job, problems map[string]dataset.Problem, onResult f
 	out := make([]Result, len(jobs))
 	var cbMu sync.Mutex
 	e.ForEach(len(jobs), func(i int) {
-		job := jobs[i]
-		r := Result{ID: job.ID, ProblemID: job.ProblemID, Worker: e.exec.Name()}
-		if p, ok := problems[job.ProblemID]; ok {
-			res, hit := e.unitTest(p, job.Answer)
-			r.Passed = res.Passed
-			r.VirtualSecs = res.VirtualTime.Seconds()
-			r.CacheHit = hit
-			if !res.Passed {
-				r.Output = res.Output
-			}
-			if res.Err != nil {
-				r.Error = res.Err.Error()
-			}
-		} else {
-			r.Error = "unknown problem " + job.ProblemID
-		}
+		r := e.RunOne(jobs[i], problems)
 		out[i] = r
 		if onResult != nil {
 			cbMu.Lock()
@@ -414,4 +445,118 @@ func (e *Engine) ForEach(n int, fn func(int)) {
 		}(self)
 	}
 	wg.Wait()
+}
+
+// DefaultPipelineWindow is the backpressure window Pipeline resolves
+// when the caller passes window <= 0: generations may lead executions
+// by at most this many multiples of the engine's worker count — deep
+// enough that an execution stall never starves the generators of a
+// full window, shallow enough that a 1131-problem corpus never sits
+// materialized in memory.
+const DefaultPipelineWindow = 4
+
+// Pipeline streams indices 0..n-1 through a two-stage producer/
+// consumer graph with independent concurrency: genWorkers goroutines
+// run gen (an IO-bound stage — a provider call), completed values flow
+// through a bounded channel into e.Workers() goroutines running exec
+// (the CPU-bound stage — a unit-test execution). It is the overlap
+// counterpart of ForEach: where ForEach interleaves both stages on one
+// CPU-sized pool (parking executors on provider latency), Pipeline
+// sizes each stage on its own axis, so wall-clock approaches
+// max(gen time, exec time) instead of their sum.
+//
+// genWorkers <= 0 means "as many as the window admits" — the right
+// setting for providers with no real latency (sim, replay) and for
+// dispatchers reporting Concurrency() == 0 (unbounded). window is the
+// backpressure bound K: at any instant, at most K items have entered
+// gen without having finished exec, so memory stays bounded however
+// far the provider outruns the executors. window <= 0 resolves to
+// DefaultPipelineWindow * e.Workers(), widened to 2*genWorkers when a
+// larger explicit generation limit would otherwise be throttled by the
+// window itself.
+//
+// Determinism: values land in index-addressed slots (exec receives the
+// original index), so output is byte-identical to the serial loop
+// regardless of schedule — the same contract as ForEach. gen and exec
+// must be safe to call concurrently; error handling stays wherever the
+// stages put it (the dispatcher's latch, the engine's Result.Error).
+// Pipeline returns when every index has been through both stages.
+func Pipeline[T any](e *Engine, n int, genWorkers, window int, gen func(int) T, exec func(int, T)) {
+	if n <= 0 {
+		return
+	}
+	execWorkers := e.workers
+	if execWorkers > n {
+		execWorkers = n
+	}
+	if execWorkers < 1 {
+		execWorkers = 1
+	}
+	if window <= 0 {
+		window = DefaultPipelineWindow * execWorkers
+		if genWorkers > 0 && window < 2*genWorkers {
+			window = 2 * genWorkers
+		}
+	}
+	if window > n {
+		window = n
+	}
+	// More generators than the window can never all hold tokens; the
+	// excess would only park. Unbounded (<= 0) means window-many.
+	if genWorkers <= 0 || genWorkers > window {
+		genWorkers = window
+	}
+
+	type item struct {
+		i int
+		v T
+	}
+	// tokens is the backpressure ledger: a generator acquires a slot
+	// before calling gen(i); the executor releases it after exec(i)
+	// returns. Outstanding tokens == items generated-but-not-executed,
+	// so that count can never exceed the window. ready is sized to the
+	// window too, so a generator holding a token never blocks on the
+	// hand-off — the token bound is the only throttle.
+	tokens := make(chan struct{}, window)
+	ready := make(chan item, window)
+	var next atomic.Int64
+	var genWG sync.WaitGroup
+	genWG.Add(genWorkers)
+	for g := 0; g < genWorkers; g++ {
+		go func() {
+			defer genWG.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				tokens <- struct{}{}
+				e.genInflight.Add(1)
+				v := gen(i)
+				e.genInflight.Add(-1)
+				e.queueDepth.Add(1)
+				ready <- item{i: i, v: v}
+			}
+		}()
+	}
+	go func() {
+		genWG.Wait()
+		close(ready)
+	}()
+
+	var execWG sync.WaitGroup
+	execWG.Add(execWorkers)
+	for w := 0; w < execWorkers; w++ {
+		go func() {
+			defer execWG.Done()
+			for it := range ready {
+				e.queueDepth.Add(-1)
+				e.execBusy.Add(1)
+				exec(it.i, it.v)
+				e.execBusy.Add(-1)
+				<-tokens
+			}
+		}()
+	}
+	execWG.Wait()
 }

@@ -180,17 +180,23 @@ func TestParallelMatchesSerialTable4(t *testing.T) {
 	serialRows, serialRaw := score.BenchmarkSerial(llm.Models, full)
 	serialTable := score.FormatTable4(serialRows)
 
-	// 4 workers is the shipped default shape; 16 workers with
-	// GOMAXPROCS raised to match oversubscribes this test machine and
-	// hammers the sharded caches from more goroutines than shards on
-	// small boxes — the configuration most likely to surface an
-	// ordering or lost-update bug under -race.
-	for _, workers := range []int{4, 16} {
+	// 1 worker pins the degenerate pipeline (generation still fans out
+	// ahead of a single executor); 4 workers is the shipped default
+	// shape; 16 workers with GOMAXPROCS raised to match oversubscribes
+	// this test machine and hammers the sharded caches from more
+	// goroutines than shards on small boxes — the configuration most
+	// likely to surface an ordering or lost-update bug under -race.
+	// The provider injects key-derived randomized latency so every
+	// generation completes out of order with its neighbours: any
+	// schedule-dependence in the pipeline's result placement would
+	// break byte-identity here.
+	for _, workers := range []int{1, 4, 16} {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
 			prev := runtime.GOMAXPROCS(workers)
 			defer runtime.GOMAXPROCS(prev)
 			eng := engine.New(engine.WithWorkers(workers))
-			gen := inference.NewDispatcher(inference.NewSim(llm.Models), inference.WithConcurrency(workers))
+			prov := inference.NewDelay(inference.NewSim(llm.Models), 0, time.Millisecond)
+			gen := inference.NewDispatcher(prov, inference.WithoutGenCache())
 			parRows, parRaw := score.BenchmarkVia(eng, gen, llm.Models, full)
 
 			if parallel := score.FormatTable4(parRows); serialTable != parallel {
@@ -203,6 +209,77 @@ func TestParallelMatchesSerialTable4(t *testing.T) {
 				t.Error("engine executed nothing")
 			}
 		})
+	}
+}
+
+// TestPipelineBackpressure pins the pipeline's admission invariant:
+// with window K, the number of generations started but not yet
+// executed never exceeds K, no matter how much faster the generation
+// stage runs than the execution stage.
+func TestPipelineBackpressure(t *testing.T) {
+	const (
+		n      = 96
+		window = 8
+	)
+	eng := engine.New(engine.WithWorkers(2))
+	var started, executed atomic.Int64
+	var maxLead atomic.Int64
+	out := make([]int, n)
+	engine.Pipeline(eng, n, 16, window,
+		func(i int) int {
+			s := started.Add(1)
+			// executed only grows between the Add and the Load, so the
+			// observed lead is a lower bound on the true lead — it can
+			// never falsely exceed the window.
+			lead := s - executed.Load()
+			for {
+				cur := maxLead.Load()
+				if lead <= cur || maxLead.CompareAndSwap(cur, lead) {
+					break
+				}
+			}
+			return i * i
+		},
+		func(i, v int) {
+			time.Sleep(500 * time.Microsecond) // exec slower than gen
+			out[i] = v
+			executed.Add(1)
+		})
+	if got := maxLead.Load(); got > window {
+		t.Errorf("pipeline ran %d generations ahead of execution, window is %d", got, window)
+	}
+	// The pipeline must actually run ahead — a lead that never exceeds
+	// the executor count would mean generation and execution serialized
+	// and the test proved nothing about backpressure.
+	if got := maxLead.Load(); got <= 2 {
+		t.Errorf("max lead %d never exceeded the executor count; generation did not overlap execution", got)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d: results landed in the wrong slots", i, v, i*i)
+		}
+	}
+	// All depth gauges must return to zero once the pipeline drains.
+	if st := eng.Stats(); st.GenInflight != 0 || st.QueueDepth != 0 || st.ExecBusy != 0 {
+		t.Errorf("pipeline gauges did not drain: %+v", st)
+	}
+}
+
+// TestPipelineGenConcurrencyCap: the generation stage never exceeds
+// the dispatcher's in-flight limit, observed at the provider itself
+// via the Delay wrapper's high-water mark.
+func TestPipelineGenConcurrencyCap(t *testing.T) {
+	const genCap = 3
+	prov := inference.NewDelay(inference.NewSim(llm.Models), 200*time.Microsecond, 300*time.Microsecond)
+	gen := inference.NewDispatcher(prov, inference.WithConcurrency(genCap), inference.WithoutGenCache())
+	eng := engine.New(engine.WithWorkers(4))
+	problems := dataset.Generate()[:32]
+	model := llm.Models[0]
+	engine.Pipeline(eng, len(problems), gen.Concurrency(), 0,
+		func(i int) string { return gen.Answer(model, problems[i], llm.GenOptions{}) },
+		func(i int, answer string) { eng.UnitTest(problems[i], answer) })
+	if peak := prov.MaxInFlight(); peak > genCap {
+		t.Errorf("provider saw %d concurrent generations, cap is %d", peak, genCap)
 	}
 }
 

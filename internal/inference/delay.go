@@ -1,0 +1,74 @@
+package inference
+
+import (
+	"context"
+	"encoding/binary"
+	"sync/atomic"
+	"time"
+)
+
+// Delay wraps a provider with artificial wall-clock latency — the
+// fake-but-honest stand-in for a live HTTP endpoint that the pipeline
+// benchmarks and determinism tests run against. Each call sleeps
+// base plus a jitter derived from the request's content-addressed key,
+// so the per-request latency is randomized across the corpus yet
+// byte-reproducible across runs: the same campaign sees the same
+// schedule pressure every time, which is what lets the byte-identity
+// tests assert anything under -race.
+//
+// Delay also tracks its concurrent-call high-water mark, the
+// observable the backpressure tests pin: a pipeline with window K must
+// never have more than K generations in flight.
+type Delay struct {
+	inner  Provider
+	base   time.Duration
+	jitter time.Duration
+
+	inflight atomic.Int64
+	peak     atomic.Int64
+}
+
+// NewDelay wraps inner so every Generate sleeps base plus a
+// key-deterministic jitter in [0, jitter).
+func NewDelay(inner Provider, base, jitter time.Duration) *Delay {
+	return &Delay{inner: inner, base: base, jitter: jitter}
+}
+
+// Name implements Provider.
+func (d *Delay) Name() string { return "delay(" + d.inner.Name() + ")" }
+
+// Generate implements Provider: sleep the deterministic latency, then
+// delegate.
+func (d *Delay) Generate(ctx context.Context, req Request) (Response, error) {
+	cur := d.inflight.Add(1)
+	for {
+		peak := d.peak.Load()
+		if cur <= peak || d.peak.CompareAndSwap(peak, cur) {
+			break
+		}
+	}
+	defer d.inflight.Add(-1)
+
+	sleep := d.base
+	if d.jitter > 0 {
+		key := req.Key()
+		sleep += time.Duration(binary.LittleEndian.Uint64(key[:8]) % uint64(d.jitter))
+	}
+	if sleep > 0 {
+		timer := time.NewTimer(sleep)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return Response{}, ctx.Err()
+		}
+	}
+	return d.inner.Generate(ctx, req)
+}
+
+// MaxInFlight reports the highest number of concurrent Generate calls
+// observed since construction.
+func (d *Delay) MaxInFlight() int64 { return d.peak.Load() }
+
+// Close implements Provider.
+func (d *Delay) Close() error { return d.inner.Close() }

@@ -68,13 +68,49 @@ type Dispatcher struct {
 // DispatchOption configures a Dispatcher.
 type DispatchOption func(*Dispatcher)
 
-// WithConcurrency caps live in-flight provider calls (default
-// GOMAXPROCS). Real APIs rate-limit; the sim does not care.
+// WithConcurrency caps live in-flight provider calls. n <= 0 removes
+// the cap entirely (no semaphore on the live path) — the right setting
+// for providers with no rate limit to respect, like the sim zoo or a
+// replay trace. When the option is not given, NewDispatcher picks the
+// provider's default (DefaultConcurrency).
 func WithConcurrency(n int) DispatchOption {
 	return func(d *Dispatcher) {
 		if n > 0 {
 			d.sem = make(chan struct{}, n)
+		} else {
+			d.sem = nil
 		}
+	}
+}
+
+// HTTPDefaultConcurrency is the default live-call limit for the HTTP
+// provider: wide enough to hide hundreds of milliseconds of round-trip
+// latency behind a CPU-sized execution pool, narrow enough not to trip
+// a typical OpenAI-compatible gateway's per-key rate limiting.
+const HTTPDefaultConcurrency = 64
+
+// DefaultConcurrency is the in-flight limit a dispatcher adopts for
+// prov when WithConcurrency is not given: 0 (unbounded) for the sim
+// zoo and replay traces, whose "latency" is metadata rather than wall
+// clock, so throttling them only starves the pipeline;
+// HTTPDefaultConcurrency for live endpoints; a recording provider
+// inherits the default of the provider it wraps. Anything unknown gets
+// GOMAXPROCS — the historical default, safe for any custom provider.
+func DefaultConcurrency(prov Provider) int {
+	switch p := prov.(type) {
+	case *Sim, *Replay:
+		return 0
+	case *HTTP:
+		return HTTPDefaultConcurrency
+	case *Record:
+		return DefaultConcurrency(p.inner)
+	case *Delay:
+		// Latency injection doesn't change how many calls the wrapped
+		// backend tolerates — a delayed sim stays unbounded, a delayed
+		// HTTP endpoint keeps its live-call limit.
+		return DefaultConcurrency(p.inner)
+	default:
+		return runtime.GOMAXPROCS(0)
 	}
 }
 
@@ -89,12 +125,16 @@ func WithGenStore(s GenStore) DispatchOption { return func(d *Dispatcher) { d.st
 // dispatch path).
 func WithoutGenCache() DispatchOption { return func(d *Dispatcher) { d.noCache = true } }
 
-// NewDispatcher builds a dispatcher over prov.
+// NewDispatcher builds a dispatcher over prov. The live-call limit
+// defaults per provider (DefaultConcurrency); WithConcurrency
+// overrides it.
 func NewDispatcher(prov Provider, opts ...DispatchOption) *Dispatcher {
 	d := &Dispatcher{
 		prov:  prov,
-		sem:   make(chan struct{}, runtime.GOMAXPROCS(0)),
 		cache: memo.NewSharded[Key, Response](keyShard),
+	}
+	if n := DefaultConcurrency(prov); n > 0 {
+		d.sem = make(chan struct{}, n)
 	}
 	for _, o := range opts {
 		o(d)
@@ -120,7 +160,10 @@ func Default() *Dispatcher {
 // Provider returns the dispatcher's provider.
 func (d *Dispatcher) Provider() Provider { return d.prov }
 
-// Concurrency reports the live-call limit.
+// Concurrency reports the live-call limit; 0 means unbounded (no
+// semaphore on the live path). Campaign paths size their generation
+// stage from this — it is the dispatcher's statement of how much IO
+// parallelism the provider can absorb.
 func (d *Dispatcher) Concurrency() int { return cap(d.sem) }
 
 // Stats snapshots the dispatcher counters.
@@ -216,14 +259,17 @@ func (d *Dispatcher) generate(ctx context.Context, req Request) (Response, error
 	return resp, err
 }
 
-// live performs one provider call under the concurrency limit.
+// live performs one provider call under the concurrency limit (no
+// limit when the dispatcher is unbounded).
 func (d *Dispatcher) live(ctx context.Context, req Request) (Response, error) {
-	select {
-	case d.sem <- struct{}{}:
-	case <-ctx.Done():
-		return Response{}, ctx.Err()
+	if d.sem != nil {
+		select {
+		case d.sem <- struct{}{}:
+		case <-ctx.Done():
+			return Response{}, ctx.Err()
+		}
+		defer func() { <-d.sem }()
 	}
-	defer func() { <-d.sem }()
 	resp, err := d.prov.Generate(ctx, req)
 	if err != nil {
 		return resp, err
@@ -246,6 +292,11 @@ func (d *Dispatcher) live(ctx context.Context, req Request) (Response, error) {
 func (d *Dispatcher) GenerateBatch(ctx context.Context, reqs []Request) ([]Response, error) {
 	out := make([]Response, len(reqs))
 	errs := make([]error, len(reqs))
+	// An unbounded dispatcher (Concurrency() == 0) still gets a
+	// GOMAXPROCS-sized pool here: a batch over the sim or a replay
+	// trace is CPU-bound, so more goroutines would only add scheduler
+	// churn. Latency-hiding fan-out belongs to engine.Pipeline, which
+	// sizes its generation stage from Concurrency() directly.
 	workers := max(cap(d.sem), runtime.GOMAXPROCS(0))
 	if workers > len(reqs) {
 		workers = len(reqs)

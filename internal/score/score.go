@@ -155,11 +155,14 @@ func EvaluateModelWith(eng *engine.Engine, m llm.Model, problems []dataset.Probl
 	return EvaluateModelVia(eng, inference.Default(), m, problems, opts)
 }
 
-// EvaluateModelVia turns every kept problem into an evaluation job —
-// generate through gen's provider and caches, post-process, score —
-// and schedules them on eng. Results land in problem order, so the
-// output is byte-identical to the serial path regardless of schedule.
-// Generation failures score as empty answers and latch into gen.Err.
+// EvaluateModelVia streams every kept problem through the two-stage
+// pipeline: an IO-sized generation stage (gen's provider and caches,
+// fan-out set by gen.Concurrency()) feeding the engine's CPU-sized
+// execution pool, with the pipeline's backpressure window keeping
+// generations at most a bounded lead ahead of scoring. Results land in
+// problem order, so the output is byte-identical to the serial path
+// regardless of schedule. Generation failures score as empty answers
+// and latch into gen.Err.
 func EvaluateModelVia(eng *engine.Engine, gen *inference.Dispatcher, m llm.Model, problems []dataset.Problem, opts llm.GenOptions) []ProblemScore {
 	kept := evalProblems(m, problems)
 	// One warm pass over the corpus feeds both cache-key pipelines
@@ -168,13 +171,15 @@ func EvaluateModelVia(eng *engine.Engine, gen *inference.Dispatcher, m llm.Model
 	engine.WarmDigests(kept)
 	inference.WarmPrompts(kept, opts.Shots)
 	out := make([]ProblemScore, len(kept))
-	eng.ForEach(len(kept), func(i int) {
-		p := kept[i]
-		answer := gen.Answer(m, p, opts)
-		s := ScoreAnswerWith(eng, p, answer)
-		s.Model = m.Name
-		out[i] = s
-	})
+	engine.Pipeline(eng, len(kept), gen.Concurrency(), 0,
+		func(i int) string {
+			return gen.Answer(m, kept[i], opts)
+		},
+		func(i int, answer string) {
+			s := ScoreAnswerWith(eng, kept[i], answer)
+			s.Model = m.Name
+			out[i] = s
+		})
 	return out
 }
 
@@ -266,12 +271,14 @@ func BenchmarkWith(eng *engine.Engine, models []llm.Model, problems []dataset.Pr
 }
 
 // BenchmarkVia flattens the campaign into one job per (model, problem)
-// pair and schedules the whole matrix on eng at once, so a slow model
-// cannot leave workers idle while another still has problems queued.
-// Generations route through gen — the sim zoo, a recorded trace, or a
-// live endpoint, plus the generation caches. Scores are written to
-// pair-indexed slots and regrouped afterwards: the rows and raw map
-// are byte-identical to BenchmarkSerial's.
+// pair and streams the whole matrix through the two-stage pipeline at
+// once, so a slow model cannot leave workers idle while another still
+// has problems queued, and provider latency overlaps with unit-test
+// execution instead of adding to it. Generations route through gen —
+// the sim zoo, a recorded trace, or a live endpoint, plus the
+// generation caches. Scores are written to pair-indexed slots and
+// regrouped afterwards: the rows and raw map are byte-identical to
+// BenchmarkSerial's.
 func BenchmarkVia(eng *engine.Engine, gen *inference.Dispatcher, models []llm.Model, problems []dataset.Problem) ([]ModelAggregate, map[string][]ProblemScore) {
 	type pair struct {
 		model   int
@@ -292,14 +299,16 @@ func BenchmarkVia(eng *engine.Engine, gen *inference.Dispatcher, models []llm.Mo
 	engine.WarmDigests(problems)
 	inference.WarmPrompts(problems, 0)
 	scores := make([]ProblemScore, len(pairs))
-	eng.ForEach(len(pairs), func(i int) {
-		pr := pairs[i]
-		m := models[pr.model]
-		answer := gen.Answer(m, pr.problem, llm.GenOptions{})
-		s := ScoreAnswerWith(eng, pr.problem, answer)
-		s.Model = m.Name
-		scores[i] = s
-	})
+	engine.Pipeline(eng, len(pairs), gen.Concurrency(), 0,
+		func(i int) string {
+			return gen.Answer(models[pairs[i].model], pairs[i].problem, llm.GenOptions{})
+		},
+		func(i int, answer string) {
+			pr := pairs[i]
+			s := ScoreAnswerWith(eng, pr.problem, answer)
+			s.Model = models[pr.model].Name
+			scores[i] = s
+		})
 
 	rows := make([]ModelAggregate, 0, len(models))
 	raw := make(map[string][]ProblemScore, len(models))

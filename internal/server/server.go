@@ -297,6 +297,13 @@ type statsResponse struct {
 	CacheHits int64  `json:"cache_hits"`
 	StoreHits int64  `json:"store_hits"`
 
+	// Pipeline depth gauges: instantaneous occupancy of the streaming
+	// generation→execution pipeline (DESIGN.md §2.12). All three read
+	// zero when no campaign is mid-flight.
+	GenInflight        int64 `json:"gen_inflight"`
+	PipelineQueueDepth int64 `json:"pipeline_queue_depth"`
+	ExecBusy           int64 `json:"exec_busy"`
+
 	// Inference-side counters: live provider calls, generation cache
 	// tiers, and the metered token usage of live generations.
 	Provider         string `json:"provider"`
@@ -411,6 +418,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Executed:  st.Executed,
 		CacheHits: st.CacheHits,
 		StoreHits: st.StoreHits,
+
+		GenInflight:        st.GenInflight,
+		PipelineQueueDepth: st.QueueDepth,
+		ExecBusy:           st.ExecBusy,
 
 		Provider:         gen.Provider().Name(),
 		Generated:        gst.Generated,
